@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared setup for the figure-reproduction benches.
+ *
+ * Every bench uses the paper's evaluation setup (Section 6.0): a 16-ary
+ * 2-cube, 32-flit messages, 1-flit header, uniform traffic, 8-message
+ * injection-queue limit. Reproduction targets the *shape* of each curve
+ * (who wins, by what factor, where the knees are), not absolute cycle
+ * counts.
+ *
+ * Environment knobs:
+ *   TPNET_BENCH_REPS  replications per point (default 1; the paper's
+ *                     95%-CI rule engages when > 1)
+ *   TPNET_BENCH_FAST  nonzero -> quarter-length windows (smoke mode)
+ */
+
+#ifndef TPNET_BENCH_COMMON_HPP
+#define TPNET_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/tpnet.hpp"
+
+namespace tpnet::bench {
+
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::atoi(v) : fallback;
+}
+
+inline bool
+fastMode()
+{
+    return envInt("TPNET_BENCH_FAST", 0) != 0;
+}
+
+/** The paper's simulated system (Section 6.0). */
+inline SimConfig
+paperConfig(Protocol p)
+{
+    SimConfig cfg;
+    cfg.k = 16;
+    cfg.n = 2;
+    cfg.protocol = p;
+    cfg.msgLength = 32;
+    cfg.warmup = fastMode() ? 500 : 2000;
+    cfg.measure = fastMode() ? 1500 : 6000;
+    cfg.drain = 30000;
+    cfg.seed = 20260705;
+    return cfg;
+}
+
+inline SweepOptions
+sweepOptions()
+{
+    SweepOptions opt;
+    opt.minReps = 1;
+    opt.maxReps = static_cast<std::size_t>(envInt("TPNET_BENCH_REPS", 1));
+    if (opt.maxReps < 1)
+        opt.maxReps = 1;
+    opt.minReps = opt.maxReps > 1 ? 2 : 1;
+    return opt;
+}
+
+/** Offered loads in data flits/node/cycle (the figures' x-range). */
+inline std::vector<double>
+loadGrid()
+{
+    if (fastMode())
+        return {0.05, 0.15, 0.25, 0.32};
+    return defaultLoadGrid();
+}
+
+inline void
+banner(const char *title, const char *paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("system: 16-ary 2-cube, 32-flit messages, uniform traffic\n");
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace tpnet::bench
+
+#endif // TPNET_BENCH_COMMON_HPP

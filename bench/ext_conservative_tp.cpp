@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension experiment — the paper's "ongoing studies" (Section 6.2):
+ *
+ * "We also note that TP protocol used in the experiments was designed
+ * for 3 faults (a 2 dimensional network). A relatively more
+ * conservative version could have been configured and would be expected
+ * to produce improved high fault rate performance but some sacrifices
+ * in low fault rate performance would have to be made."
+ *
+ * This bench sweeps the conservatism knobs at a high fault count
+ * (20 failed nodes) and at one fault:
+ *   - scouting distance K in {0, 1, 3, 5},
+ *   - unsafe-channel marking on/off (the paper's aggressive transition
+ *     note: "it [is] not necessary marking channels as unsafe"),
+ *   - hardware acknowledgment signalling for the K > 0 variants,
+ * reporting saturation-side throughput and the low-fault cost.
+ */
+
+#include "common.hpp"
+
+namespace {
+
+using namespace tpnet;
+
+void
+point(const char *tag, const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    std::printf("%-34s faults=%-2d load=%.2f  thr=%.4f  lat=%7.1f  "
+                "del=%5.1f%%  acks=%llu\n",
+                tag, cfg.staticNodeFaults, cfg.load, r.throughput,
+                r.avgLatency, r.deliveredFraction * 100.0,
+                static_cast<unsigned long long>(r.counters.posAcks));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tpnet;
+    bench::banner("ext_conservative_tp — conservatism sweep for TP",
+                  "Section 6.2 'subject of ongoing studies'");
+
+    for (int faults : {1, 20}) {
+        for (double load : {0.10, 0.25}) {
+            for (int k : {0, 1, 3, 5}) {
+                SimConfig cfg = bench::paperConfig(Protocol::TwoPhase);
+                cfg.staticNodeFaults = faults;
+                cfg.load = load;
+                cfg.scoutK = k;
+                std::string tag = "K=" + std::to_string(k);
+                point(tag.c_str(), cfg);
+
+                if (k > 0) {
+                    cfg.hardwareAcks = true;
+                    tag += " + hw acks";
+                    point(tag.c_str(), cfg);
+                }
+            }
+            {
+                SimConfig cfg = bench::paperConfig(Protocol::TwoPhase);
+                cfg.staticNodeFaults = faults;
+                cfg.load = load;
+                cfg.scoutK = 0;
+                cfg.markUnsafe = false;
+                point("K=0, unsafe marking off", cfg);
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

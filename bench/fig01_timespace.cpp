@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 1 / Section 2.2: time-space behavior of the three flow control
+ * mechanisms. Prints the measured single-message latency of WR, SR(K)
+ * and PCS on an idle network against the paper's closed-form minimums
+ *   t_WR = l + L,  t_scouting = l + (2K-1) + L,  t_PCS = 3l + L - 1
+ * for a range of path lengths, plus the header/data-flit gap bound.
+ */
+
+#include <algorithm>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace tpnet;
+
+double
+oneShot(Protocol p, int scout_k, int hops, int length)
+{
+    SimConfig cfg = bench::paperConfig(p);
+    cfg.scoutK = scout_k;
+    cfg.msgLength = length;
+    cfg.load = 0.0;
+    Network net(cfg);
+    net.setMeasuring(true);
+    // Split the distance across both dimensions so it stays minimal.
+    const int dx = std::min(hops, 7);
+    const int dy = hops - dx;
+    net.offerMessage(0, dx + 16 * dy);
+    for (Cycle c = 0; c < 20000 && net.activeMessages() > 0; ++c)
+        net.step();
+    return net.counters().latency.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tpnet;
+    bench::banner("fig01_timespace — flow control latency model",
+                  "Fig. 1 and the Section 2.2 latency expressions");
+
+    const int length = 32;
+    std::printf("l\tmech\tmeasured\tformula\tdelta\n");
+    for (int l : {2, 4, 6, 8, 12}) {
+        struct Row
+        {
+            const char *name;
+            Protocol proto;
+            int k;
+            int formula;
+        };
+        const Row rows[] = {
+            {"WR", Protocol::DimOrder, 0, analytic::wrLatency(l, length)},
+            {"SR K=1", Protocol::Scouting, 1,
+             analytic::scoutingLatency(l, length, 1)},
+            {"SR K=2", Protocol::Scouting, 2,
+             analytic::scoutingLatency(l, length, 2)},
+            {"SR K=3", Protocol::Scouting, 3,
+             analytic::scoutingLatency(l, length, 3)},
+            {"PCS", Protocol::Pcs, 0, analytic::pcsLatency(l, length)},
+        };
+        for (const Row &row : rows) {
+            const double measured =
+                oneShot(row.proto, row.k, l, length);
+            std::printf("%d\t%s\t%.0f\t%d\t%+.0f\n", l, row.name,
+                        measured, row.formula, measured - row.formula);
+        }
+    }
+
+    std::printf("\n# Scouting gap bound (2K - 1 links while advancing):\n");
+    for (int k = 0; k <= 4; ++k)
+        std::printf("K=%d\tmax gap=%d\n", k, analytic::maxScoutGap(k));
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 12: latency vs throughput of TP, DP, and MB-m in the
+ * fault-free 16-ary 2-cube.
+ *
+ * Expected shape (Section 6.1): TP closely follows DP (an efficient WR
+ * protocol) because with SR = 0 no acknowledgments are sent and K = 0
+ * in every virtual channel; MB-m pays the extra control flits and the
+ * decoupled path setup of PCS — higher base latency (~3l vs l) and a
+ * clearly lower saturation throughput.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace tpnet;
+    bench::banner("fig12_faultfree — TP vs DP vs MB-m, fault-free",
+                  "Fig. 12 (Section 6.1)");
+
+    const auto loads = bench::loadGrid();
+    const auto opt = bench::sweepOptions();
+
+    for (Protocol p : {Protocol::TwoPhase, Protocol::Duato,
+                       Protocol::MBm}) {
+        const SimConfig cfg = bench::paperConfig(p);
+        const Series s = loadSweep(cfg, protocolName(p), loads, opt);
+        printSeries(std::cout, s, "offered");
+    }
+
+    // Zero-load sanity anchors (Section 2.2): average minimal distance
+    // of uniform traffic on the 16-ary 2-cube is 8 links.
+    std::printf("# zero-load anchors: t_WR(8,32)=%d  t_PCS(8,32)=%d\n",
+                analytic::wrLatency(8, 32), analytic::pcsLatency(8, 32));
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduce the paper's Figure 1 visually: ASCII time-space diagrams of
+ * a single message pipelined across five links under wormhole routing,
+ * scouting routing (K = 3), and pipelined circuit switching — generated
+ * from actual simulation events via the trace subsystem. Also prints a
+ * diagram of a Two-Phase detour around a fault and the measured
+ * header/first-data-flit separation against the 2K - 1 bound.
+ */
+
+#include <cstdio>
+
+#include "core/tpnet.hpp"
+#include "metrics/timespace.hpp"
+
+namespace {
+
+using namespace tpnet;
+
+void
+diagram(const char *title, Protocol proto, int scout_k, int length,
+        NodeId dst, const std::vector<NodeId> &faults = {})
+{
+    SimConfig cfg;
+    cfg.k = 16;
+    cfg.n = 2;
+    cfg.protocol = proto;
+    cfg.scoutK = scout_k;
+    cfg.msgLength = length;
+    cfg.load = 0.0;
+    cfg.watchdog = 50000;
+
+    Network net(cfg);
+    for (NodeId f : faults)
+        net.failNode(f);
+    TimeSpaceTrace trace(0);  // the first message gets id 0
+    net.attachTrace(&trace);
+    net.setMeasuring(true);
+    net.offerMessage(0, dst);
+    for (Cycle c = 0; c < 20000 && net.activeMessages() > 0; ++c)
+        net.step();
+
+    std::printf("--- %s ---\n", title);
+    std::printf("%s", trace.render().c_str());
+    std::printf("latency: %.0f cycles, max header lead: %d links\n\n",
+                net.counters().latency.mean(), trace.maxHeaderLead());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace tpnet;
+
+    std::printf("Figure 1 — time-space diagrams, 5-link path, 8 data "
+                "flits\n\n");
+    // Five links: dst offset (+5, 0); short message keeps the picture
+    // compact (the paper draws the same mechanics).
+    diagram("Wormhole routing (WR)", Protocol::DimOrder, 0, 8, 5);
+    diagram("Scouting, K = 3", Protocol::Scouting, 3, 8, 5);
+    diagram("Pipelined circuit switching (PCS)", Protocol::Pcs, 0, 8, 5);
+
+    std::printf("Scouting-gap bound check (Section 2.2): the header may "
+                "lead the first data\nflit by at most 2K-1 = %d links "
+                "while advancing (plus the source stage).\n\n",
+                analytic::maxScoutGap(3));
+
+    // A Two-Phase detour in action: wall of faults on the corridor.
+    diagram("Two-Phase detour around a fault wall (K = 0)",
+            Protocol::TwoPhase, 0, 8, 7,
+            {5 + 16 * 0, 5 + 16 * 1, 6 + 16 * 1});
+    return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduce the full evaluation: build, test, and regenerate every
+# figure/ablation series plus the micro benchmarks.
+#
+# Usage:
+#   scripts/reproduce.sh [results-dir]
+#
+# Environment:
+#   TPNET_BENCH_REPS=5   enable the paper's 95%-CI replication rule
+#   TPNET_BENCH_FAST=1   quarter-length smoke run
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RESULTS="${1:-results}"
+mkdir -p "$RESULTS"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee "$RESULTS/ctest.txt"
+
+for bench in build/bench/fig* build/bench/ablation_* build/bench/ext_*; do
+    name="$(basename "$bench")"
+    echo "=== $name ==="
+    "$bench" 2>&1 | tee "$RESULTS/$name.txt"
+done
+
+./build/bench/micro_router --benchmark_min_time=0.2 2>&1 \
+    | tee "$RESULTS/micro_router.txt"
+
+echo "results written to $RESULTS/"

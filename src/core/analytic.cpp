@@ -1,0 +1,17 @@
+// Intentionally (almost) empty: the analytic model of Section 2.2 is
+// header-only (constexpr). This translation unit pins the header's odr
+// sanity under every configuration the library is built with.
+
+#include "core/analytic.hpp"
+
+namespace tpnet {
+namespace analytic {
+
+static_assert(wrLatency(5, 32) == 37, "Fig. 1 WR timing");
+static_assert(scoutingLatency(5, 32, 3) == 42, "Fig. 1 scouting timing");
+static_assert(pcsLatency(5, 32) == 46, "Fig. 1 PCS timing");
+static_assert(scoutingLatency(5, 32, 0) == wrLatency(5, 32),
+              "K = 0 scouting degenerates to WR");
+
+} // namespace analytic
+} // namespace tpnet

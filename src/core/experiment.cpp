@@ -1,0 +1,115 @@
+#include "core/experiment.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace tpnet {
+
+Series
+loadSweep(const SimConfig &base, const std::string &label,
+          const std::vector<double> &loads, const SweepOptions &opt)
+{
+    Series series;
+    series.label = label;
+    for (double load : loads) {
+        SimConfig cfg = base;
+        cfg.load = load;
+        Simulator sim(cfg);
+        SeriesPoint pt;
+        pt.x = load;
+        pt.result = sim.runToConfidence(opt.minReps, opt.maxReps,
+                                        opt.relBound);
+        series.points.push_back(pt);
+    }
+    return series;
+}
+
+Series
+faultSweep(const SimConfig &base, const std::string &label,
+           const std::vector<int> &fault_counts, const SweepOptions &opt)
+{
+    Series series;
+    series.label = label;
+    for (int faults : fault_counts) {
+        SimConfig cfg = base;
+        cfg.staticNodeFaults = faults;
+        Simulator sim(cfg);
+        SeriesPoint pt;
+        pt.x = static_cast<double>(faults);
+        pt.result = sim.runToConfidence(opt.minReps, opt.maxReps,
+                                        opt.relBound);
+        series.points.push_back(pt);
+    }
+    return series;
+}
+
+double
+findSaturation(const SimConfig &base, const std::vector<double> &probe_loads,
+               double latency_factor, const SweepOptions &opt)
+{
+    if (probe_loads.empty())
+        return 0.0;
+    double base_latency = 0.0;
+    double last = probe_loads.front();
+    bool first = true;
+    for (double load : probe_loads) {
+        SimConfig cfg = base;
+        cfg.load = load;
+        Simulator sim(cfg);
+        const ReplicatedResult r =
+            sim.runToConfidence(opt.minReps, opt.maxReps, opt.relBound);
+        if (first) {
+            base_latency = r.mean.avgLatency;
+            first = false;
+        } else if (base_latency > 0.0 &&
+                   r.mean.avgLatency > latency_factor * base_latency) {
+            return load;
+        }
+        last = load;
+    }
+    return last;  // never saturated within the grid
+}
+
+void
+printSeries(std::ostream &os, const Series &series, const char *x_name)
+{
+    os << "# " << series.label << '\n';
+    os << x_name << '\t' << RunResult::header() << "\treps\tlat_ci95\n";
+    for (const SeriesPoint &pt : series.points) {
+        os << pt.x << '\t' << pt.result.mean.row() << '\t'
+           << pt.result.replications << '\t' << pt.result.latencyHw95
+           << '\n';
+    }
+    os << '\n';
+}
+
+bool
+writeSeriesCsv(const std::string &path, const std::vector<Series> &series,
+               const char *x_name)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "series," << x_name
+       << ",throughput,latency,p95,delivered_frac,undeliverable,"
+          "replications,lat_ci95\n";
+    for (const Series &s : series) {
+        for (const SeriesPoint &pt : s.points) {
+            const RunResult &r = pt.result.mean;
+            os << '"' << s.label << '"' << ',' << pt.x << ','
+               << r.throughput << ',' << r.avgLatency << ','
+               << r.p95Latency << ',' << r.deliveredFraction << ','
+               << r.undeliverable << ',' << pt.result.replications
+               << ',' << pt.result.latencyHw95 << '\n';
+        }
+    }
+    return static_cast<bool>(os);
+}
+
+std::vector<double>
+defaultLoadGrid()
+{
+    return {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40};
+}
+
+} // namespace tpnet

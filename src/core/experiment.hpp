@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Experiment harness: offered-load sweeps, fault-count sweeps, and
+ * saturation search — the building blocks of every figure in the
+ * paper's evaluation (Section 6.0). Bench binaries print the series
+ * these helpers produce.
+ */
+
+#ifndef TPNET_CORE_EXPERIMENT_HPP
+#define TPNET_CORE_EXPERIMENT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "sim/config.hpp"
+
+namespace tpnet {
+
+/** One point of a latency-throughput (or fault-sweep) series. */
+struct SeriesPoint
+{
+    double x = 0.0;  ///< offered load or fault count
+    ReplicatedResult result;
+};
+
+/** A labelled curve, e.g. "TP (10F)". */
+struct Series
+{
+    std::string label;
+    std::vector<SeriesPoint> points;
+};
+
+/** Replication policy for a sweep. */
+struct SweepOptions
+{
+    std::size_t minReps = 1;
+    std::size_t maxReps = 3;
+    double relBound = 0.05;
+};
+
+/**
+ * Latency-throughput curve: run @p base at each offered load (in data
+ * flits/node/cycle).
+ */
+Series loadSweep(const SimConfig &base, const std::string &label,
+                 const std::vector<double> &loads,
+                 const SweepOptions &opt = {});
+
+/**
+ * Fault sweep at fixed offered load: run @p base with each static
+ * node-fault count (Fig. 14's x-axis).
+ */
+Series faultSweep(const SimConfig &base, const std::string &label,
+                  const std::vector<int> &fault_counts,
+                  const SweepOptions &opt = {});
+
+/**
+ * Smallest offered load (within the probe grid) at which the average
+ * latency exceeds @p latency_factor times the zero-load latency — the
+ * saturation point used throughout Section 6.
+ */
+double findSaturation(const SimConfig &base,
+                      const std::vector<double> &probe_loads,
+                      double latency_factor = 3.0,
+                      const SweepOptions &opt = {});
+
+/** Print a series as a TSV block (label, header, one row per point). */
+void printSeries(std::ostream &os, const Series &series,
+                 const char *x_name);
+
+/**
+ * Write several series as one tidy CSV (columns: series, x, throughput,
+ * latency, p95, delivered_frac, undeliverable, replications, lat_ci95)
+ * ready for any plotting tool. @return false if the file could not be
+ * opened.
+ */
+bool writeSeriesCsv(const std::string &path,
+                    const std::vector<Series> &series,
+                    const char *x_name);
+
+/** Default offered-load grid used by the figure benches. */
+std::vector<double> defaultLoadGrid();
+
+} // namespace tpnet
+
+#endif // TPNET_CORE_EXPERIMENT_HPP

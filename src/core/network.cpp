@@ -1,0 +1,458 @@
+#include "core/network.hpp"
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+Network::Network(const SimConfig &cfg)
+    : cfg_(cfg),
+      topo_(cfg.k, cfg.n, cfg.wrap),
+      rng_(cfg.seed),
+      proto_(makeProtocol(cfg))
+{
+    cfg_.validate();
+
+    links_.resize(static_cast<std::size_t>(topo_.links()));
+    for (NodeId node = 0; node < topo_.nodes(); ++node) {
+        for (int port = 0; port < topo_.radix(); ++port) {
+            const LinkId id = topo_.linkId(node, port);
+            const NodeId nbr = topo_.neighbor(node, port);
+            Link &lk = links_[static_cast<std::size_t>(id)];
+            lk.init(id, node, port, nbr, oppositePort(port),
+                    cfg_.vcsPerLink(), cfg_.bufDepth);
+            if (!cfg_.wrap && topo_.wrapsAround(node, port)) {
+                // Mesh: the wraparound channels do not exist.
+                lk.absent = true;
+                lk.faulty = true;
+            }
+        }
+    }
+
+    routers_.resize(static_cast<std::size_t>(topo_.nodes()));
+    for (NodeId node = 0; node < topo_.nodes(); ++node)
+        routers_[static_cast<std::size_t>(node)].init(node, topo_.radix());
+
+    injQ_.resize(static_cast<std::size_t>(topo_.nodes()));
+
+    applyStaticFaults();
+}
+
+Message *
+Network::findMessage(MsgId id)
+{
+    auto it = messages_.find(id);
+    return it == messages_.end() ? nullptr : &it->second;
+}
+
+std::vector<MsgId>
+Network::liveMessageIds() const
+{
+    std::vector<MsgId> ids;
+    ids.reserve(messages_.size());
+    for (const auto &[id, msg] : messages_)
+        ids.push_back(id);
+    return ids;
+}
+
+Message &
+Network::message(MsgId id)
+{
+    Message *m = findMessage(id);
+    if (!m)
+        tpnet_panic("message ", id, " not found");
+    return *m;
+}
+
+bool
+Network::offerMessage(NodeId src, NodeId dst)
+{
+    if (nodeFaulty(src) || nodeFaulty(dst))
+        tpnet_panic("traffic offered at/to a failed node");
+    auto &queue = injQ_[static_cast<std::size_t>(src)];
+    if (queue.size() >= static_cast<std::size_t>(cfg_.injQueueLimit)) {
+        ++counters_.notAccepted;
+        return false;
+    }
+
+    const MsgId id = nextMsgId_++;
+    Message msg;
+    msg.id = id;
+    msg.src = src;
+    msg.dst = dst;
+    msg.length = cfg_.msgLength;
+    msg.created = now_;
+    msg.measured = measuring_;
+    msg.hdr.cur = src;
+    msg.hdr.offset = topo_.offsets(src, dst);
+    msg.hdr.flow = proto_->initialFlow();
+    if (msg.hdr.flow == FlowMode::PcsSetup)
+        msg.srcHold = true;
+    else if (msg.hdr.flow == FlowMode::Scout)
+        msg.srcK = cfg_.scoutK;  // the injection channel's K register
+    messages_.emplace(id, std::move(msg));
+    queue.push_back(id);
+    ++liveMessages_;
+    ++counters_.generated;
+    if (measuring_)
+        ++counters_.measuredGenerated;
+
+    if (queue.front() == id)
+        activateFront(src);
+    return true;
+}
+
+void
+Network::activateFront(NodeId node)
+{
+    auto &queue = injQ_[static_cast<std::size_t>(node)];
+    if (queue.empty())
+        return;
+    Message *msg = findMessage(queue.front());
+    if (!msg)
+        tpnet_panic("stale message at injection queue front");
+    if (msg->state != MsgState::Queued)
+        return;  // WaitRetry front wakes by itself; Active already going
+    msg->state = MsgState::Active;
+    if (!msg->inRcu) {
+        router(node).rcuQueue.push_back({msg->id, msg->epoch});
+        msg->inRcu = true;
+    }
+}
+
+void
+Network::step()
+{
+    wakeRetries();
+    phaseRcu();
+    phaseControl();
+    phaseData();
+    stepDynamicFaults();
+    retireMessages();
+    checkWatchdog();
+    ++now_;
+}
+
+void
+Network::phaseRcu()
+{
+    const std::size_t nodes = routers_.size();
+    for (std::size_t i = 0; i < nodes; ++i) {
+        Router &rt = routers_[(i + rrNode_) % nodes];
+        if (rt.faulty)
+            continue;
+        if (rt.rcuQueue.size() > rt.maxRcuDepth)
+            rt.maxRcuDepth = rt.rcuQueue.size();
+        // Serve one header per cycle; skip over stale entries of killed
+        // or retired messages without consuming the service slot.
+        while (!rt.rcuQueue.empty()) {
+            const RcuEntry entry = rt.rcuQueue.front();
+            rt.rcuQueue.pop_front();
+            Message *msg = findMessage(entry.msg);
+            if (!msg || entry.epoch != msg->epoch || msg->beingKilled ||
+                msg->terminal() || msg->state == MsgState::WaitRetry) {
+                if (msg && entry.epoch == msg->epoch)
+                    msg->inRcu = false;
+                continue;
+            }
+            if (serveHeader(*msg)) {
+                ++rt.headersRouted;
+            } else if (msg->inRcu) {
+                // Blocked: rotate to the back, re-try next cycle.
+                rt.rcuQueue.push_back(entry);
+            }
+            break;
+        }
+    }
+}
+
+void
+Network::phaseData()
+{
+    const std::size_t nodes = routers_.size();
+    for (std::size_t i = 0; i < nodes; ++i) {
+        const NodeId node = static_cast<NodeId>((i + rrNode_) % nodes);
+        Router &rt = routers_[static_cast<std::size_t>(node)];
+        if (rt.faulty)
+            continue;
+
+        // --- Ejection: one flit per node per cycle --------------------
+        const std::size_t ejn = rt.ejectInputs.size();
+        for (std::size_t e = 0; e < ejn; ++e) {
+            const InRef in = rt.ejectInputs[(e + rt.ejectRR) % ejn];
+            VcState &vc = link(in.link).vcs[static_cast<std::size_t>(in.vc)];
+            if (vc.data.empty() || !vc.dataEnabled())
+                continue;
+            Flit &front = vc.data.front();
+            if (front.readyAt > now_)
+                continue;
+            const Flit flit = vc.data.pop();
+            rt.ejectRR = (e + rt.ejectRR + 1) % ejn;
+            noteActivity();
+            Message *msg = findMessage(flit.msg);
+            if (msg && !msg->beingKilled)
+                deliverFlit(*msg, flit);
+            break;
+        }
+
+        // --- One data flit per output link ----------------------------
+        for (int port = 0; port < topo_.radix(); ++port) {
+            Link &out = linkAt(node, port);
+            if (out.faulty)
+                continue;
+            auto &cands = rt.mappedInputs[static_cast<std::size_t>(port)];
+            const std::size_t cn = cands.size();
+            bool moved = false;
+            for (std::size_t c = 0; c < cn && !moved; ++c) {
+                const std::size_t pick =
+                    (c + rt.outRR[static_cast<std::size_t>(port)]) % cn;
+                const InRef in = cands[pick];
+                if (tryMoveData(link(in.link), in.vc, rt)) {
+                    rt.outRR[static_cast<std::size_t>(port)] = pick + 1;
+                    moved = true;
+                }
+            }
+            if (!moved)
+                moved = tryInjectOn(node, port);
+        }
+    }
+    rrNode_ = (rrNode_ + 1) % nodes;
+}
+
+bool
+Network::tryMoveData(Link &lk, int vcIdx, Router &rt)
+{
+    VcState &vc = lk.vcs[static_cast<std::size_t>(vcIdx)];
+    if (vc.data.empty() || !vc.dataEnabled())
+        return false;
+    Flit &front = vc.data.front();
+    if (front.readyAt > now_)
+        return false;
+    if (vc.outPort < 0)
+        return false;
+    Link &out = linkAt(rt.id, vc.outPort);
+    if (out.faulty)
+        return false;
+    VcState &tvc = out.vcs[static_cast<std::size_t>(vc.outVc)];
+    if (tvc.data.full())
+        return false;
+    if (tvc.owner != vc.owner) {
+        // The downstream trio was released by a teardown walk that has
+        // not yet reached (and purged) this hop: hold the data here.
+        return false;
+    }
+
+    Flit flit = vc.data.pop();
+    ++flit.hopIdx;
+    flit.readyAt = now_ + 1;
+    tvc.data.push(flit);
+    ++out.dataCrossings;
+    ++counters_.dataCrossings;
+    noteActivity();
+    if (trace_)
+        trace_->flitCrossed(now_, out, flit, false);
+
+    Message *msg = findMessage(flit.msg);
+    if (!msg)
+        tpnet_panic("data flit of retired message in flight: msg=",
+                    flit.msg, " type=", flitTypeName(flit.type),
+                    " seq=", flit.seq, " hop=", flit.hopIdx,
+                    " link=", lk.id, " vc=", vcIdx, " owner=", vc.owner);
+
+    if (flit.type == FlitType::Header) {
+        // Inline wormhole probe made a hop.
+        probeArrived(*msg, flit.hopIdx);
+    } else {
+        if (flit.seq == 1)
+            msg->leadHop = flit.hopIdx;
+        if (flit.type == FlitType::Tail && !cfg_.tailAck)
+            releaseHop(*msg, flit.hopIdx - 1, false);
+    }
+    return true;
+}
+
+bool
+Network::tryInjectOn(NodeId node, int port)
+{
+    auto &queue = injQ_[static_cast<std::size_t>(node)];
+    if (queue.empty())
+        return false;
+    Message *msg = findMessage(queue.front());
+    if (!msg || msg->state != MsgState::Active || !msg->srcRouted ||
+        msg->beingKilled) {
+        return false;
+    }
+    if (msg->path.empty())
+        tpnet_panic("srcRouted message with empty path");
+    Link &first = link(msg->path[0].link);
+    if (first.src != node || first.srcPort != port)
+        return false;
+    if (first.faulty)
+        return false;
+
+    VcState &vc = first.vcs[static_cast<std::size_t>(msg->path[0].vc)];
+    if (vc.owner != msg->id || vc.data.full())
+        return false;
+
+    const bool inline_hdr = proto_->inlineHeader();
+    if (inline_hdr && !msg->headerInjected) {
+        Flit flit;
+        flit.type = FlitType::Header;
+        flit.msg = msg->id;
+        flit.seq = 0;
+        flit.hopIdx = 0;
+        flit.readyAt = now_ + 1;
+        vc.data.push(flit);
+        msg->headerInjected = true;
+        ++counters_.dataCrossings;
+        noteActivity();
+        if (trace_) {
+            trace_->flitInjected(now_, node, flit);
+            trace_->flitCrossed(now_, first, flit, false);
+        }
+        // The inline probe just crossed the first reserved hop.
+        probeArrived(*msg, 0);
+        return true;
+    }
+
+    // Source-side flow control gate (the injection channel's CMU).
+    if (msg->srcHold || msg->srcCounter < msg->srcK)
+        return false;
+    if (msg->injectedFlits >= msg->length)
+        return false;
+    if (inline_hdr && !msg->headerInjected)
+        return false;
+
+    Flit flit;
+    flit.msg = msg->id;
+    flit.seq = msg->injectedFlits + 1;
+    flit.type = flit.seq == msg->length ? FlitType::Tail : FlitType::Data;
+    flit.hopIdx = 0;
+    flit.readyAt = now_ + 1;
+    vc.data.push(flit);
+    ++msg->injectedFlits;
+    if (flit.seq == 1)
+        msg->leadHop = 0;
+    ++counters_.dataCrossings;
+    noteActivity();
+    if (trace_) {
+        trace_->flitInjected(now_, node, flit);
+        trace_->flitCrossed(now_, first, flit, false);
+    }
+
+    if (msg->injectedFlits == msg->length) {
+        // Tail has left the PE; the injection channel frees up.
+        queue.pop_front();
+        msg->inQueue = false;
+        activateFront(node);
+    }
+    return true;
+}
+
+void
+Network::deliverFlit(Message &msg, const Flit &flit)
+{
+    if (trace_)
+        trace_->flitDelivered(now_, msg.dst, flit);
+    if (flit.type == FlitType::Header)
+        return;  // inline probe consumed at the destination PE
+
+    ++msg.arrivedFlits;
+    ++counters_.dataFlitsDelivered;
+    if (measuring_)
+        ++counters_.windowDataFlits;
+    if (flit.seq == 1)
+        msg.leadHop = leadEjected;
+
+    if (flit.type != FlitType::Tail)
+        return;
+
+    // Tail delivered: the message is complete end-to-end.
+    msg.deliveredAt = now_;
+    ++counters_.delivered;
+    if (msg.measured) {
+        ++counters_.measuredDelivered;
+        const double lat = static_cast<double>(now_ - msg.created);
+        counters_.latency.add(lat);
+        counters_.latencyHist.add(lat);
+    }
+
+    const int last = static_cast<int>(msg.path.size()) - 1;
+    if (cfg_.tailAck) {
+        // Hold the path; destination returns a message acknowledgment
+        // over the complementary channels (Fig. 17, "with TAck").
+        msg.state = MsgState::Delivered;
+        releaseHop(msg, last, false);
+        ++counters_.msgAcks;
+        Flit ack;
+        ack.type = FlitType::MsgAck;
+        ack.msg = msg.id;
+        ack.hopIdx = last - 1;
+        ack.epoch = msg.epoch;
+        ack.readyAt = now_ + 1;
+        relayUpstream(msg, ack);
+    } else {
+        releaseHop(msg, last, false);
+        msg.state = MsgState::Complete;
+        retired_.push_back(msg.id);
+    }
+}
+
+void
+Network::releaseHop(Message &msg, int idx, bool purge)
+{
+    if (idx < 0 || idx >= static_cast<int>(msg.path.size()))
+        return;
+    PathHop &hop = msg.path[static_cast<std::size_t>(idx)];
+    Link &lk = link(hop.link);
+    VcState &vc = lk.vcs[static_cast<std::size_t>(hop.vc)];
+    if (vc.owner != msg.id)
+        return;  // already released (idempotent under recovery races)
+
+    if (purge) {
+        while (!vc.data.empty())
+            vc.data.pop();
+    } else if (!vc.data.empty()) {
+        tpnet_panic("releasing a VC with resident flits");
+    }
+
+    if (vc.routed)
+        router(lk.dst).unmapInput(vc.outPort, InRef{hop.link, hop.vc});
+    vc.release();
+    if (idx >= msg.releasedHops)
+        msg.releasedHops = idx + 1;
+}
+
+void
+Network::retireMessages()
+{
+    for (MsgId id : retired_) {
+        auto it = messages_.find(id);
+        if (it == messages_.end())
+            continue;
+        if (!it->second.terminal())
+            tpnet_panic("retiring non-terminal message");
+        messages_.erase(it);
+        --liveMessages_;
+    }
+    retired_.clear();
+}
+
+void
+Network::checkWatchdog()
+{
+    if (cfg_.watchdog == 0 || liveMessages_ == 0)
+        return;
+    if (now_ - lastActivity_ > cfg_.watchdog) {
+        tpnet_panic("deadlock watchdog: no activity for ",
+                    now_ - lastActivity_, " cycles with ", liveMessages_,
+                    " live messages at cycle ", now_);
+    }
+}
+
+std::size_t
+Network::injQueueLen(NodeId node) const
+{
+    return injQ_[static_cast<std::size_t>(node)].size();
+}
+
+} // namespace tpnet

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * The network: routers, links, messages, and the cycle engine.
+ *
+ * Network::step() advances one cycle through five phases:
+ *   1. RCU phase — each router's RCU services at most one header,
+ *      consulting the configured routing protocol (Section 5.0);
+ *   2. control phase — one control flit crosses each link's multiplexed
+ *      control lane (headers forward, acknowledgment/kill/release flits
+ *      along complementary channels, Fig. 2b);
+ *   3. data phase — one data flit crosses each link's data lane
+ *      (demand-driven round-robin over the VC trios), plus one flit of
+ *      ejection and injection bandwidth per node;
+ *   4. fault phase — dynamic fault process and recovery walks;
+ *   5. housekeeping — retry wakeups, watchdog, message retirement.
+ *
+ * Flits carry a readyAt cycle so nothing moves more than one hop per
+ * cycle. Member functions are implemented across core/network.cpp,
+ * flow/flow_control.cpp, fault/fault_model.cpp, and fault/recovery.cpp.
+ */
+
+#ifndef TPNET_CORE_NETWORK_HPP
+#define TPNET_CORE_NETWORK_HPP
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/message.hpp"
+#include "metrics/collector.hpp"
+#include "router/link.hpp"
+#include "router/router.hpp"
+#include "routing/protocol.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+#include "topology/torus.hpp"
+
+namespace tpnet {
+
+/** Builds the configured routing protocol object. */
+std::unique_ptr<RoutingAlgorithm> makeProtocol(const SimConfig &cfg);
+
+/** The simulated interconnection network. */
+class Network
+{
+  public:
+    explicit Network(const SimConfig &cfg);
+
+    // --- Simulation control ----------------------------------------------
+    /** Advance one cycle. */
+    void step();
+
+    Cycle now() const { return now_; }
+
+    /** Toggle the measurement window (tags new messages, counts flits). */
+    void setMeasuring(bool on) { measuring_ = on; }
+    bool measuring() const { return measuring_; }
+
+    /**
+     * Enable the dynamic node-fault process: each cycle one random
+     * healthy node fails with probability @p per_cycle_prob, up to
+     * @p max_faults total failures over the run.
+     */
+    void setDynamicFaultProcess(double per_cycle_prob, int max_faults);
+
+    /** Same for full-duplex physical-link failures. */
+    void setDynamicLinkFaultProcess(double per_cycle_prob,
+                                    int max_faults);
+
+    // --- Traffic entry -----------------------------------------------------
+    /**
+     * Offer a new message for injection at @p src. Returns false (and
+     * counts it as not accepted) when the injection queue is full —
+     * the congestion-control mechanism of Section 6.0.
+     */
+    bool offerMessage(NodeId src, NodeId dst);
+
+    /** Messages that are not yet terminal. */
+    std::size_t activeMessages() const { return liveMessages_; }
+
+    /** True when no message is active anywhere. */
+    bool quiescent() const { return liveMessages_ == 0; }
+
+    // --- Component access ---------------------------------------------
+    const SimConfig &config() const { return cfg_; }
+    const TorusTopology &topo() const { return topo_; }
+    Rng &rng() { return rng_; }
+    Counters &counters() { return counters_; }
+    const Counters &counters() const { return counters_; }
+
+    Link &link(LinkId id) { return links_[static_cast<std::size_t>(id)]; }
+    const Link &
+    link(LinkId id) const
+    {
+        return links_[static_cast<std::size_t>(id)];
+    }
+
+    Router &
+    router(NodeId id)
+    {
+        return routers_[static_cast<std::size_t>(id)];
+    }
+
+    const Router &
+    router(NodeId id) const
+    {
+        return routers_[static_cast<std::size_t>(id)];
+    }
+
+    /**
+     * Attach an event observer (nullptr detaches). The sink must
+     * outlive the network or be detached first.
+     */
+    void attachTrace(TraceSink *sink) { trace_ = sink; }
+
+    /** @return the message or nullptr if retired. */
+    Message *findMessage(MsgId id);
+    Message &message(MsgId id);
+
+    /** Ids of all non-retired messages (unordered). */
+    std::vector<MsgId> liveMessageIds() const;
+
+    RoutingAlgorithm &protocol() { return *proto_; }
+
+    /** Link out of @p node through @p port. */
+    Link &
+    linkAt(NodeId node, int port)
+    {
+        return link(topo_.linkId(node, port));
+    }
+
+    const Link &
+    linkAt(NodeId node, int port) const
+    {
+        return link(topo_.linkId(node, port));
+    }
+
+    // --- Status queries (used by routing protocols) -------------------
+    bool
+    nodeFaulty(NodeId id) const
+    {
+        return routers_[static_cast<std::size_t>(id)].faulty;
+    }
+
+    /** Link or its far-end node failed. */
+    bool channelFaulty(NodeId node, int port) const;
+
+    /** Healthy but marked unsafe (Section 2.4). */
+    bool channelUnsafe(NodeId node, int port) const;
+
+    /** Healthy and not unsafe. */
+    bool channelSafe(NodeId node, int port) const;
+
+    int escapeVcCount() const { return cfg_.escapeVcs; }
+    int vcCount() const { return cfg_.vcsPerLink(); }
+
+    /** First free adaptive VC on (node, port), or -1. */
+    int freeAdaptiveVc(NodeId node, int port) const;
+
+    /** Escape (dateline) VC class @p msg must use in @p port's dim. */
+    int escapeClass(const Message &msg, int port) const;
+
+    /** True when the required escape VC on (node, port) is free. */
+    bool escapeVcFree(const Message &msg, int port) const;
+
+    /** E-cube port: lowest dimension with a nonzero offset, or -1. */
+    int ecubePort(const Message &msg) const;
+
+    /** Port the probe arrived at its current node through (-1 at src). */
+    int arrivalPort(const Message &msg) const;
+
+    /** History frame (tried-port mask) at the probe's current node. */
+    std::uint32_t &triedHere(Message &msg);
+
+    /**
+     * Whether the probe may retreat one hop: there must be a hop to
+     * retreat over, with no data flits resident in it or beyond
+     * (Section 4.0: the probe can backtrack up to the node where the
+     * first data flit resides).
+     */
+    bool canBacktrack(const Message &msg) const;
+
+    // --- Two-Phase protocol hooks (Section 4.0) -----------------------
+    /** Switch the message to SR flow over unsafe channels. */
+    void enterSrMode(Message &msg);
+
+    /** Set the detour bit: freeze data, suppress positive acks. */
+    void enterDetour(Message &msg);
+
+    /** Detour complete: clear the bit, release held gates. */
+    void completeDetour(Message &msg);
+
+    // --- Fault control (fault/fault_model.cpp) ------------------------
+    /** Fail a PE+router: all incident links become faulty. */
+    void failNode(NodeId id);
+
+    /** Fail the full-duplex physical link (both directions). */
+    void failLink(NodeId node, int port);
+
+    /** Recompute unsafe designations from the current fault set. */
+    void recomputeUnsafe();
+
+    /** Place the configured static faults (called by the constructor). */
+    void applyStaticFaults();
+
+    std::vector<NodeId> healthyNodes() const;
+
+    // --- Recovery (fault/recovery.cpp) ---------------------------------
+    /**
+     * Abandon the current setup attempt: tear the circuit down with kill
+     * walks and schedule a source re-try (or drop after maxRetries).
+     */
+    void abortSetup(Message &msg);
+
+    /**
+     * Kill an interrupted message: release every hop on or adjacent to
+     * failed components synchronously (the spanning routers detect the
+     * failure) and launch kill walks toward source and destination
+     * (Fig. 16).
+     */
+    void killMessage(Message &msg);
+
+    /** Injection queue length at @p node (tests). */
+    std::size_t injQueueLen(NodeId node) const;
+
+  private:
+    // --- Phases (core/network.cpp) -------------------------------------
+    void phaseRcu();
+    void phaseData();
+    void phaseHousekeeping();
+
+    /** Serve one RCU decision for @p msg. @return true if probe moved. */
+    bool serveHeader(Message &msg);
+
+    /** Apply a Forward decision: reserve the next trio. */
+    void applyForward(Message &msg, const Decision &d);
+
+    /** Apply a Backtrack decision. */
+    void applyBacktrack(Message &msg);
+
+    /** Probe arrived at the downstream node of path[hop_idx]. */
+    void probeArrived(Message &msg, int hop_idx);
+
+    /** Probe reached its destination: complete the path. */
+    void applyEject(Message &msg);
+
+    /** Move one data flit out of (link, vc); true if one moved. */
+    bool tryMoveData(Link &lk, int vc, Router &rt);
+
+    /** Try to inject the front message's next flit onto (node, port). */
+    bool tryInjectOn(NodeId node, int port);
+
+    /** Deliver a data flit to the PE at its destination. */
+    void deliverFlit(Message &msg, const Flit &flit);
+
+    /** Release hop @p idx of @p msg (tail passed or recovery). */
+    void releaseHop(Message &msg, int idx, bool purge);
+
+    /** The next message of a node's queue becomes injection-eligible. */
+    void activateFront(NodeId node);
+
+    /** Retire terminal messages collected during the cycle. */
+    void retireMessages();
+
+    // --- Control lane (flow/flow_control.cpp) -----------------------------
+    void phaseControl();
+    void processCtrlArrival(Link &wire, Flit flit);
+
+    /** Enqueue a control flit onto the wire out of node via port. */
+    void pushCtrl(NodeId node, int port, const Flit &flit);
+
+    /** Continue an upstream walker (acks, kills, releases, done). */
+    void relayUpstream(Message &msg, Flit flit);
+
+    /** Apply an upstream walker's effect at hop flit.hopIdx. */
+    bool applyUpstream(Message &msg, const Flit &flit);
+
+    /** Walker reached the source-side gate. */
+    void upstreamReachedSource(Message &msg, const Flit &flit);
+
+    /** Handle a downstream kill walk arrival. */
+    void handleKillDown(Message &msg, Flit flit);
+
+    // --- Fault machinery (fault_model.cpp / recovery.cpp) ------------------
+    void stepDynamicFaults();
+
+    /** Kill every circuit holding a VC of the newly failed links. */
+    void killAffectedCircuits(const std::vector<LinkId> &failed);
+
+    void scheduleRetry(Message &msg);
+    void wakeRetries();
+    void resetForRetry(Message &msg);
+    void dropMessage(Message &msg, bool lost);
+    void finalizeKillWalk(Message &msg);
+    void synchronousRelease(Message &msg, int from_hop, int to_hop);
+
+    void noteActivity() { lastActivity_ = now_; }
+    void checkWatchdog();
+
+    // --- State ---------------------------------------------------------
+    SimConfig cfg_;
+    TorusTopology topo_;
+    Rng rng_;
+    std::unique_ptr<RoutingAlgorithm> proto_;
+
+    std::vector<Link> links_;
+    std::vector<Router> routers_;
+    std::unordered_map<MsgId, Message> messages_;
+    std::vector<std::deque<MsgId>> injQ_;
+    std::vector<MsgId> retryList_;
+    std::vector<MsgId> retired_;
+
+    Counters counters_;
+    TraceSink *trace_ = nullptr;
+    Cycle now_ = 0;
+    Cycle lastActivity_ = 0;
+    MsgId nextMsgId_ = 0;
+    std::size_t liveMessages_ = 0;
+    bool measuring_ = false;
+    double dynFaultProb_ = 0.0;
+    int dynFaultBudget_ = 0;
+    double dynLinkFaultProb_ = 0.0;
+    int dynLinkFaultBudget_ = 0;
+    bool drainNoAccept_ = false;
+    std::size_t rrNode_ = 0;  ///< rotating router service offset
+};
+
+} // namespace tpnet
+
+#endif // TPNET_CORE_NETWORK_HPP

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Routing-probe mechanics: applying RCU decisions, probe movement
+ * bookkeeping (offsets, dateline bits, Theorem 2 misroute balances,
+ * search budget), backtracking, path completion, and the Two-Phase
+ * mode-transition hooks (SR mode, detour construction) of Section 4.0.
+ */
+
+#include <algorithm>
+
+#include "core/network.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+bool
+Network::serveHeader(Message &msg)
+{
+    HeaderState &hdr = msg.hdr;
+
+    if (hdr.atDest()) {
+        msg.inRcu = false;
+        applyEject(msg);
+        return true;
+    }
+
+    const Decision d = proto_->route(*this, msg);
+    switch (d.kind) {
+      case Decision::Kind::Forward:
+        msg.inRcu = false;
+        applyForward(msg, d);
+        return true;
+
+      case Decision::Kind::Eject:
+        msg.inRcu = false;
+        applyEject(msg);
+        return true;
+
+      case Decision::Kind::Backtrack:
+        msg.inRcu = false;
+        applyBacktrack(msg);
+        return true;
+
+      case Decision::Kind::Block:
+        ++hdr.stalled;
+        if (hdr.stalled > cfg_.stallLimit && proto_->abortsOnStall(msg)) {
+            msg.inRcu = false;
+            abortSetup(msg);
+        }
+        return false;
+
+      case Decision::Kind::Abort:
+        msg.inRcu = false;
+        abortSetup(msg);
+        return false;
+    }
+    tpnet_panic("unhandled decision kind");
+}
+
+void
+Network::applyForward(Message &msg, const Decision &d)
+{
+    HeaderState &hdr = msg.hdr;
+    const NodeId cur = hdr.cur;
+    Link &out = linkAt(cur, d.port);
+    if (out.faulty || nodeFaulty(out.dst))
+        tpnet_panic("protocol forwarded onto a faulty channel");
+    VcState &vc = out.vcs[static_cast<std::size_t>(d.vc)];
+    if (!vc.free())
+        tpnet_panic("protocol forwarded onto a busy VC");
+
+    // History store: record the searched output port at this node.
+    triedHere(msg) |= 1u << d.port;
+
+    // Theorem 2 misroute bookkeeping, evaluated before the move.
+    PathHop hop;
+    hop.link = out.id;
+    hop.vc = d.vc;
+    hop.misroute = !topo_.portProfitable(hdr.offset, d.port);
+    if (hop.misroute) {
+        ++hdr.misroutes;
+        ++hdr.misBalance[static_cast<std::size_t>(d.port)];
+        ++msg.misroutesTaken;
+        ++counters_.misroutes;
+    } else {
+        const int opp = oppositePort(d.port);
+        if (hdr.misBalance[static_cast<std::size_t>(opp)] > 0) {
+            // A profitable hop in the opposite direction corrects one
+            // outstanding misroute of this dimension.
+            --hdr.misBalance[static_cast<std::size_t>(opp)];
+            --hdr.misroutes;
+            hop.corrected = static_cast<std::int8_t>(opp);
+        }
+    }
+
+    vc.reserve(msg.id, proto_->kRegFor(*this, msg), hdr.detour);
+
+    if (msg.path.empty()) {
+        msg.srcRouted = true;
+    } else {
+        PathHop &prev = msg.path.back();
+        VcState &pvc =
+            link(prev.link).vcs[static_cast<std::size_t>(prev.vc)];
+        pvc.routed = true;
+        pvc.outPort = d.port;
+        pvc.outVc = d.vc;
+        router(cur).mapInput(d.port, InRef{prev.link, prev.vc});
+    }
+    msg.path.push_back(hop);
+    hdr.stalled = 0;
+    if (trace_)
+        trace_->probeEvent(now_, msg, ProbeEvent::Routed);
+
+    if (!proto_->inlineHeader()) {
+        // Probe travels on the corresponding channel via the control lane.
+        Flit flit;
+        flit.type = FlitType::Header;
+        flit.msg = msg.id;
+        flit.hopIdx = static_cast<std::int32_t>(msg.path.size()) - 1;
+        flit.epoch = msg.epoch;
+        flit.readyAt = now_;
+        pushCtrl(cur, d.port, flit);
+    }
+    // Inline WR probes physically move through the data lanes; the
+    // corresponding probeArrived() fires when the flit crosses.
+}
+
+void
+Network::probeArrived(Message &msg, int hop_idx)
+{
+    HeaderState &hdr = msg.hdr;
+    if (hop_idx != static_cast<int>(msg.path.size()) - 1)
+        tpnet_panic("probe arrival at non-frontier hop ", hop_idx);
+    const PathHop &hop = msg.path[static_cast<std::size_t>(hop_idx)];
+    const Link &in = link(hop.link);
+
+    hdr.cur = in.dst;
+    hdr.offset = topo_.offsets(in.dst, msg.dst);
+    if (topo_.crossesDateline(in.src, in.srcPort))
+        hdr.datelineCrossed |=
+            static_cast<std::uint8_t>(1u << dimOf(in.srcPort));
+    ++hdr.hops;
+    hdr.stalled = 0;
+    ++counters_.headerMoves;
+    noteActivity();
+
+    // "Every time a channel is successfully reserved by the routing
+    // header, it returns a positive acknowledgment" (Section 2.2).
+    if (proto_->emitsPosAck(msg)) {
+        ++counters_.posAcks;
+        Flit ack;
+        ack.type = FlitType::AckPos;
+        ack.msg = msg.id;
+        ack.hopIdx = hop_idx - 1;
+        ack.epoch = msg.epoch;
+        ack.readyAt = now_ + 1;
+        relayUpstream(msg, ack);
+    }
+
+    proto_->postMove(*this, msg);
+    if (msg.terminal() || msg.state == MsgState::WaitRetry)
+        return;
+
+    if (hdr.hops > cfg_.searchBudgetDiameters * topo_.diameter()) {
+        abortSetup(msg);
+        return;
+    }
+
+    if (!msg.inRcu) {
+        router(hdr.cur).rcuQueue.push_back({msg.id, msg.epoch});
+        msg.inRcu = true;
+    }
+}
+
+void
+Network::applyBacktrack(Message &msg)
+{
+    HeaderState &hdr = msg.hdr;
+    if (!canBacktrack(msg))
+        tpnet_panic("illegal backtrack");
+    if (proto_->inlineHeader())
+        tpnet_panic("inline wormhole probes cannot backtrack");
+
+    const int idx = static_cast<int>(msg.path.size()) - 1;
+    const PathHop hop = msg.path[static_cast<std::size_t>(idx)];
+    Link &lk = link(hop.link);
+
+    releaseHop(msg, idx, false);
+    msg.path.pop_back();
+
+    if (msg.path.empty()) {
+        msg.srcRouted = false;
+    } else {
+        PathHop &prev = msg.path.back();
+        VcState &pvc =
+            link(prev.link).vcs[static_cast<std::size_t>(prev.vc)];
+        if (pvc.routed) {
+            router(lk.src).unmapInput(pvc.outPort,
+                                      InRef{prev.link, prev.vc});
+            pvc.routed = false;
+            pvc.outPort = -1;
+            pvc.outVc = -1;
+        }
+    }
+
+    // Undo the Theorem 2 bookkeeping for the removed hop. "Backtracking
+    // over a misroute removes it from the path and decrements the
+    // misroute count" (Section 3.0).
+    if (hop.misroute) {
+        --hdr.misroutes;
+        --hdr.misBalance[static_cast<std::size_t>(lk.srcPort)];
+    } else if (hop.corrected >= 0) {
+        ++hdr.misBalance[static_cast<std::size_t>(hop.corrected)];
+        ++hdr.misroutes;
+    }
+
+    hdr.backtrack = true;
+    ++msg.backtracksTaken;
+    ++counters_.backtracks;
+    if (trace_)
+        trace_->probeEvent(now_, msg, ProbeEvent::Backtracked);
+
+    // The probe retreats over the complementary channel of the released
+    // trio: the reverse wire's control lane.
+    Flit flit;
+    flit.type = FlitType::Header;
+    flit.msg = msg.id;
+    flit.hopIdx = idx - 1;
+    flit.epoch = msg.epoch;
+    flit.readyAt = now_;
+    pushCtrl(lk.dst, oppositePort(lk.srcPort), flit);
+}
+
+void
+Network::applyEject(Message &msg)
+{
+    HeaderState &hdr = msg.hdr;
+    if (msg.path.empty())
+        tpnet_panic("eject with empty path (src == dst traffic?)");
+    PathHop &last = msg.path.back();
+    Link &in = link(last.link);
+    if (in.dst != msg.dst)
+        tpnet_panic("eject away from destination");
+    VcState &vc = in.vcs[static_cast<std::size_t>(last.vc)];
+
+    vc.routed = true;
+    vc.outPort = ejectPort;
+    vc.outVc = -1;
+    router(msg.dst).mapInput(ejectPort, InRef{last.link, last.vc});
+    msg.headerAtDest = true;
+    if (trace_)
+        trace_->probeEvent(now_, msg, ProbeEvent::Ejected);
+
+    if (hdr.detour)
+        completeDetour(msg);
+
+    // Destination-reached acknowledgment: releases the PCS source hold,
+    // opens residual SR gates (paths shorter than K), and sweeps any
+    // remaining detour holds.
+    const bool need_done = msg.srcHold || msg.srcK > 0 || vc.kReg > 0 ||
+        msg.detoursBuilt > 0;
+    if (need_done) {
+        vc.counter = std::max(vc.counter, vc.kReg);
+        vc.hold = false;
+        Flit done;
+        done.type = FlitType::PathDone;
+        done.msg = msg.id;
+        done.hopIdx = static_cast<std::int32_t>(msg.path.size()) - 2;
+        done.epoch = msg.epoch;
+        done.readyAt = now_ + 1;
+        relayUpstream(msg, done);
+    }
+}
+
+bool
+Network::canBacktrack(const Message &msg) const
+{
+    if (msg.path.empty())
+        return false;
+    const int last = static_cast<int>(msg.path.size()) - 1;
+    if (msg.leadHop >= last)
+        return false;  // a data flit resides at or beyond the probe's hop
+    const PathHop &hop = msg.path[static_cast<std::size_t>(last)];
+    return link(hop.link)
+        .vcs[static_cast<std::size_t>(hop.vc)].data.empty();
+}
+
+int
+Network::arrivalPort(const Message &msg) const
+{
+    if (msg.path.empty())
+        return -1;
+    const Link &in = link(msg.path.back().link);
+    return oppositePort(in.srcPort);
+}
+
+std::uint32_t &
+Network::triedHere(Message &msg)
+{
+    return msg.visited[msg.hdr.cur];
+}
+
+// --- Channel-status queries ------------------------------------------------
+
+bool
+Network::channelFaulty(NodeId node, int port) const
+{
+    const Link &lk = linkAt(node, port);
+    return lk.faulty ||
+        routers_[static_cast<std::size_t>(lk.dst)].faulty;
+}
+
+bool
+Network::channelUnsafe(NodeId node, int port) const
+{
+    return linkAt(node, port).unsafe;
+}
+
+bool
+Network::channelSafe(NodeId node, int port) const
+{
+    return !channelFaulty(node, port) && !channelUnsafe(node, port);
+}
+
+int
+Network::freeAdaptiveVc(NodeId node, int port) const
+{
+    return linkAt(node, port).firstFreeVc(cfg_.escapeVcs,
+                                          cfg_.vcsPerLink());
+}
+
+int
+Network::escapeClass(const Message &msg, int port) const
+{
+    const int cls = (msg.hdr.datelineCrossed >> dimOf(port)) & 1;
+    return std::min(cls, cfg_.escapeVcs - 1);
+}
+
+bool
+Network::escapeVcFree(const Message &msg, int port) const
+{
+    const Link &lk = linkAt(msg.hdr.cur, port);
+    return lk.vcs[static_cast<std::size_t>(escapeClass(msg, port))].free();
+}
+
+int
+Network::ecubePort(const Message &msg) const
+{
+    for (int d = 0; d < topo_.n(); ++d) {
+        const int off = msg.hdr.offset[d];
+        if (off > 0)
+            return portOf(d, Dir::Plus);
+        if (off < 0)
+            return portOf(d, Dir::Minus);
+    }
+    return -1;
+}
+
+// --- Two-Phase mode transitions (Section 4.0) --------------------------
+
+void
+Network::enterSrMode(Message &msg)
+{
+    if (msg.hdr.sr)
+        return;
+    msg.hdr.sr = true;
+    msg.hdr.flow = FlowMode::Scout;
+    if (msg.path.empty())
+        msg.srcK = cfg_.scoutK;
+    if (trace_)
+        trace_->probeEvent(now_, msg, ProbeEvent::EnteredSrMode);
+}
+
+void
+Network::enterDetour(Message &msg)
+{
+    HeaderState &hdr = msg.hdr;
+    if (hdr.detour)
+        return;
+    hdr.detour = true;
+    ++msg.detoursBuilt;
+    ++counters_.detoursBuilt;
+    if (trace_)
+        trace_->probeEvent(now_, msg, ProbeEvent::EnteredDetour);
+
+    // Freeze the data where it stands: place the detour hold on the gate
+    // in front of the leading data flit.
+    if (msg.leadHop < 0) {
+        hdr.holdIdx = -1;
+        msg.srcHold = true;
+    } else if (msg.leadHop == leadEjected) {
+        hdr.holdIdx = -2;  // all data already delivered; nothing to hold
+    } else {
+        hdr.holdIdx = std::min(msg.leadHop,
+                               static_cast<int>(msg.path.size()) - 1);
+        PathHop &hop = msg.path[static_cast<std::size_t>(hdr.holdIdx)];
+        link(hop.link).vcs[static_cast<std::size_t>(hop.vc)].hold = true;
+    }
+}
+
+void
+Network::completeDetour(Message &msg)
+{
+    HeaderState &hdr = msg.hdr;
+    if (!hdr.detour)
+        return;
+    hdr.detour = false;
+    if (trace_)
+        trace_->probeEvent(now_, msg, ProbeEvent::CompletedDetour);
+
+    const int last = static_cast<int>(msg.path.size()) - 1;
+    if (last < 0) {
+        // The whole detour was unwound back to the source.
+        msg.srcHold = msg.hdr.flow == FlowMode::PcsSetup;
+        hdr.holdIdx = -2;
+        return;
+    }
+
+    // "All channels (or none) in a detour are accepted before the data
+    // flits resume progress": a release sweeps upstream from the probe,
+    // accepting every held trio down to the frozen gate.
+    PathHop &hop = msg.path[static_cast<std::size_t>(last)];
+    VcState &vc = link(hop.link).vcs[static_cast<std::size_t>(hop.vc)];
+    vc.hold = false;
+    vc.counter = std::max(vc.counter, vc.kReg);
+    if (last == hdr.holdIdx) {
+        hdr.holdIdx = -2;
+        return;
+    }
+    Flit rel;
+    rel.type = FlitType::Release;
+    rel.msg = msg.id;
+    rel.hopIdx = last - 1;
+    rel.epoch = msg.epoch;
+    rel.readyAt = now_ + 1;
+    relayUpstream(msg, rel);
+}
+
+} // namespace tpnet

@@ -1,0 +1,106 @@
+#include "core/simulator.hpp"
+
+#include <cmath>
+
+#include "core/network.hpp"
+#include "sim/stats.hpp"
+#include "traffic/injector.hpp"
+
+namespace tpnet {
+
+Simulator::Simulator(const SimConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+RunResult
+Simulator::run(std::uint64_t replication) const
+{
+    SimConfig cfg = cfg_;
+    // Decorrelate replications while keeping each one reproducible.
+    cfg.seed = cfg_.seed + 0x9e3779b97f4a7c15ull * (replication + 1);
+
+    Network net(cfg);
+    Injector inj(net);
+
+    const double horizon = static_cast<double>(cfg.warmup + cfg.measure);
+    if (cfg.dynamicNodeFaults > 0.0) {
+        net.setDynamicFaultProcess(cfg.dynamicNodeFaults / horizon,
+                                   static_cast<int>(std::lround(
+                                       cfg.dynamicNodeFaults)));
+    }
+    if (cfg.dynamicLinkFaults > 0.0) {
+        net.setDynamicLinkFaultProcess(
+            cfg.dynamicLinkFaults / horizon,
+            static_cast<int>(std::lround(cfg.dynamicLinkFaults)));
+    }
+
+    for (Cycle c = 0; c < cfg.warmup; ++c) {
+        inj.step();
+        net.step();
+    }
+
+    net.setMeasuring(true);
+    for (Cycle c = 0; c < cfg.measure; ++c) {
+        inj.step();
+        net.step();
+    }
+    net.setMeasuring(false);
+
+    // Drain: keep background traffic flowing so tagged messages finish
+    // under realistic contention, until every measured message is
+    // resolved or the drain budget runs out.
+    for (Cycle c = 0; c < cfg.drain; ++c) {
+        const Counters &k = net.counters();
+        if (k.measuredDelivered + k.measuredDropped >= k.measuredGenerated)
+            break;
+        inj.step();
+        net.step();
+    }
+
+    return deriveResult(net.counters(), cfg.load, cfg.nodes(),
+                        cfg.measure);
+}
+
+ReplicatedResult
+Simulator::runToConfidence(std::size_t min_reps, std::size_t max_reps,
+                           double rel_bound) const
+{
+    ReplicatedResult out;
+    ReplicationStat lat(rel_bound);
+    ReplicationStat thr(rel_bound);
+    RunningStat p95;
+    RunningStat dfrac;
+    std::uint64_t undeliverable = 0;
+    RunResult last;
+
+    std::size_t reps = 0;
+    while (reps < max_reps) {
+        last = run(reps);
+        ++reps;
+        lat.add(last.avgLatency);
+        thr.add(last.throughput);
+        p95.add(last.p95Latency);
+        dfrac.add(last.deliveredFraction);
+        undeliverable += last.undeliverable;
+        if (reps >= min_reps && lat.acceptable(min_reps) &&
+            thr.acceptable(min_reps)) {
+            out.converged = true;
+            break;
+        }
+    }
+
+    out.mean = last;
+    out.mean.avgLatency = lat.mean();
+    out.mean.throughput = thr.mean();
+    out.mean.p95Latency = p95.mean();
+    out.mean.deliveredFraction = dfrac.mean();
+    out.mean.undeliverable = undeliverable / reps;
+    out.latencyHw95 = lat.halfWidth95();
+    out.throughputHw95 = thr.halfWidth95();
+    out.replications = reps;
+    return out;
+}
+
+} // namespace tpnet

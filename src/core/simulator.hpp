@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Run-level simulation driver: warmup, measurement window, drain, and
+ * the paper's replication methodology (independent replications until
+ * the 95% confidence interval of the mean is within 5% of the mean,
+ * Section 6.0).
+ */
+
+#ifndef TPNET_CORE_SIMULATOR_HPP
+#define TPNET_CORE_SIMULATOR_HPP
+
+#include <cstddef>
+
+#include "metrics/collector.hpp"
+#include "sim/config.hpp"
+
+namespace tpnet {
+
+/** Aggregate of several independent replications of one configuration. */
+struct ReplicatedResult
+{
+    RunResult mean;          ///< scalar fields averaged over replications
+    double latencyHw95 = 0;  ///< 95% CI half-width of the latency mean
+    double throughputHw95 = 0;
+    std::size_t replications = 0;
+    bool converged = false;  ///< CI bound met before the replication cap
+};
+
+/** Runs complete simulations of one configuration. */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &cfg);
+
+    /**
+     * One full replication: warmup, measure, drain. @p replication
+     * perturbs the seed so replications are independent.
+     */
+    RunResult run(std::uint64_t replication = 0) const;
+
+    /**
+     * Replicate until the 95% CIs of mean latency and throughput are
+     * within @p rel_bound of their means (the paper's acceptance rule),
+     * bounded by [@p min_reps, @p max_reps].
+     */
+    ReplicatedResult runToConfidence(std::size_t min_reps,
+                                     std::size_t max_reps,
+                                     double rel_bound = 0.05) const;
+
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    SimConfig cfg_;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_CORE_SIMULATOR_HPP

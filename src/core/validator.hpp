@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural invariant checker for the simulator state.
+ *
+ * validateNetwork() cross-checks the distributed router state against
+ * the message-level bookkeeping: trio ownership vs reserved paths,
+ * crossbar mappings vs mapped-input lists, CMU counters vs programmed
+ * K registers, FIFO contents vs circuit ownership, and message
+ * lifecycle consistency. Tests run it periodically inside loaded
+ * simulations; it is also a debugging aid (call it from anywhere when
+ * chasing a protocol bug).
+ */
+
+#ifndef TPNET_CORE_VALIDATOR_HPP
+#define TPNET_CORE_VALIDATOR_HPP
+
+#include <string>
+#include <vector>
+
+namespace tpnet {
+
+class Network;
+
+/** One detected inconsistency. */
+struct Violation
+{
+    std::string what;
+};
+
+/**
+ * Check every structural invariant; returns the violations found
+ * (empty = consistent). Runs in O(links * vcs + messages * path).
+ */
+std::vector<Violation> validateNetwork(Network &net);
+
+/** Convenience: panic with a report if the network is inconsistent. */
+void assertConsistent(Network &net);
+
+} // namespace tpnet
+
+#endif // TPNET_CORE_VALIDATOR_HPP

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Fault model (paper Section 2.4, Fig. 3).
+ *
+ * Two fault types are modelled: a PE + router failing as a unit (all
+ * incident physical links become faulty) and a full-duplex physical link
+ * failing (both unidirectional wires become faulty). Healthy channels
+ * incident on nodes adjacent to failed components are marked *unsafe* —
+ * routing across them may lead to an encounter with a failed component,
+ * which is what triggers the Two-Phase protocol's switch to conservative
+ * SR flow control. Failures are permanent. Static failures are placed
+ * before the run; dynamic failures arrive as a Bernoulli process and
+ * interrupt live circuits (recovery in fault/recovery.cpp).
+ */
+
+#include <unordered_set>
+
+#include "core/network.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+void
+Network::setDynamicFaultProcess(double per_cycle_prob, int max_faults)
+{
+    dynFaultProb_ = per_cycle_prob;
+    dynFaultBudget_ = max_faults;
+}
+
+void
+Network::setDynamicLinkFaultProcess(double per_cycle_prob, int max_faults)
+{
+    dynLinkFaultProb_ = per_cycle_prob;
+    dynLinkFaultBudget_ = max_faults;
+}
+
+void
+Network::killAffectedCircuits(const std::vector<LinkId> &failed)
+{
+    std::unordered_set<MsgId> victims;
+    for (LinkId id : failed) {
+        for (const VcState &vc : link(id).vcs) {
+            if (vc.owner != invalidMsg)
+                victims.insert(vc.owner);
+        }
+    }
+    for (MsgId id : victims) {
+        if (Message *msg = findMessage(id))
+            killMessage(*msg);
+    }
+}
+
+void
+Network::failNode(NodeId id)
+{
+    Router &rt = router(id);
+    if (rt.faulty)
+        return;
+
+    std::vector<LinkId> failed;
+    for (int port = 0; port < topo_.radix(); ++port) {
+        Link &out = linkAt(id, port);
+        if (!out.faulty) {
+            out.faulty = true;
+            out.ctrlQ.clear();
+            failed.push_back(out.id);
+        }
+        Link &in = link(topo_.reverseLink(out.id));
+        if (!in.faulty) {
+            in.faulty = true;
+            in.ctrlQ.clear();
+            failed.push_back(in.id);
+        }
+    }
+    rt.faulty = true;
+    rt.rcuQueue.clear();
+
+    killAffectedCircuits(failed);
+
+    // Messages queued at the failed PE die with it.
+    auto &queue = injQ_[static_cast<std::size_t>(id)];
+    std::vector<MsgId> queued(queue.begin(), queue.end());
+    for (MsgId mid : queued) {
+        if (Message *msg = findMessage(mid)) {
+            if (msg->beingKilled) {
+                // killMessage above already owns the teardown; the drop
+                // happens when its walks complete.
+                continue;
+            }
+            dropMessage(*msg, false);
+        }
+    }
+    queue.clear();
+
+    recomputeUnsafe();
+}
+
+void
+Network::failLink(NodeId node, int port)
+{
+    std::vector<LinkId> failed;
+    Link &fwd = linkAt(node, port);
+    if (!fwd.faulty) {
+        fwd.faulty = true;
+        fwd.ctrlQ.clear();
+        failed.push_back(fwd.id);
+    }
+    Link &rev = link(topo_.reverseLink(fwd.id));
+    if (!rev.faulty) {
+        rev.faulty = true;
+        rev.ctrlQ.clear();
+        failed.push_back(rev.id);
+    }
+    killAffectedCircuits(failed);
+    recomputeUnsafe();
+}
+
+void
+Network::recomputeUnsafe()
+{
+    for (Link &lk : links_)
+        lk.unsafe = false;
+    if (!cfg_.markUnsafe)
+        return;  // aggressive designs may skip the designation entirely
+
+    // Every healthy channel incident on a node adjacent to a failed
+    // component becomes unsafe (Section 2.4).
+    auto markNode = [this](NodeId node) {
+        for (int port = 0; port < topo_.radix(); ++port) {
+            Link &out = linkAt(node, port);
+            if (!out.faulty)
+                out.unsafe = true;
+            Link &in = link(topo_.reverseLink(out.id));
+            if (!in.faulty)
+                in.unsafe = true;
+        }
+    };
+
+    for (const Link &lk : links_) {
+        if (!lk.faulty || lk.absent)
+            continue;  // absent mesh channels are not failures
+        if (!nodeFaulty(lk.src))
+            markNode(lk.src);
+        if (!nodeFaulty(lk.dst))
+            markNode(lk.dst);
+    }
+}
+
+void
+Network::applyStaticFaults()
+{
+    auto protectedNode = [this](NodeId id) {
+        if (!cfg_.protectPerimeter)
+            return false;
+        if (id == 0)
+            return true;
+        for (int port = 0; port < topo_.radix(); ++port) {
+            if (topo_.neighbor(0, port) == id)
+                return true;
+        }
+        return false;
+    };
+
+    int placed = 0;
+    int guard = 0;
+    while (placed < cfg_.staticNodeFaults) {
+        if (++guard > 1000 * cfg_.nodes())
+            tpnet_fatal("unable to place static node faults");
+        const NodeId id =
+            static_cast<NodeId>(rng_.below(
+                static_cast<std::uint64_t>(topo_.nodes())));
+        if (nodeFaulty(id) || protectedNode(id))
+            continue;
+        failNode(id);
+        ++placed;
+    }
+
+    placed = 0;
+    guard = 0;
+    while (placed < cfg_.staticLinkFaults) {
+        if (++guard > 1000 * topo_.links())
+            tpnet_fatal("unable to place static link faults");
+        const LinkId id = static_cast<LinkId>(
+            rng_.below(static_cast<std::uint64_t>(topo_.links())));
+        const Link &lk = link(id);
+        if (lk.faulty || nodeFaulty(lk.src) || nodeFaulty(lk.dst))
+            continue;
+        failLink(lk.src, lk.srcPort);
+        ++placed;
+    }
+}
+
+void
+Network::stepDynamicFaults()
+{
+    if (dynFaultBudget_ > 0 && dynFaultProb_ > 0.0 &&
+        rng_.chance(dynFaultProb_)) {
+        // Pick a random healthy node; keep at least two nodes alive so
+        // traffic remains definable.
+        const auto healthy = healthyNodes();
+        if (healthy.size() > 2) {
+            NodeId victim = invalidNode;
+            for (int attempt = 0; attempt < 64; ++attempt) {
+                const NodeId cand = healthy[rng_.below(
+                    static_cast<std::uint64_t>(healthy.size()))];
+                if (cfg_.protectPerimeter && cand == 0)
+                    continue;
+                victim = cand;
+                break;
+            }
+            if (victim != invalidNode) {
+                --dynFaultBudget_;
+                ++counters_.dynamicFaults;
+                failNode(victim);
+                noteActivity();
+            }
+        }
+    }
+
+    if (dynLinkFaultBudget_ > 0 && dynLinkFaultProb_ > 0.0 &&
+        rng_.chance(dynLinkFaultProb_)) {
+        // Pick a random healthy physical link between healthy nodes.
+        for (int attempt = 0; attempt < 256; ++attempt) {
+            const LinkId id = static_cast<LinkId>(rng_.below(
+                static_cast<std::uint64_t>(topo_.links())));
+            const Link &lk = link(id);
+            if (lk.faulty || nodeFaulty(lk.src) || nodeFaulty(lk.dst))
+                continue;
+            --dynLinkFaultBudget_;
+            ++counters_.dynamicFaults;
+            failLink(lk.src, lk.srcPort);
+            noteActivity();
+            break;
+        }
+    }
+}
+
+std::vector<NodeId>
+Network::healthyNodes() const
+{
+    std::vector<NodeId> out;
+    out.reserve(routers_.size());
+    for (const Router &rt : routers_) {
+        if (!rt.faulty)
+            out.push_back(rt.id);
+    }
+    return out;
+}
+
+} // namespace tpnet

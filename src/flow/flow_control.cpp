@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Control-lane flow control (paper Sections 2.2, 2.3, 5.0).
+ *
+ * Each unidirectional physical link multiplexes all of its control
+ * traffic — forward/backtracking routing headers on the corresponding
+ * channels and acknowledgment/kill/release flits on the complementary
+ * channels of the reverse direction's trios — over a single control lane
+ * moving one flit per cycle (Fig. 2b). This file implements the lane
+ * itself plus the upstream walkers: positive/negative SR acknowledgments
+ * that drive the CMU counters, the destination-reached (PathDone)
+ * acknowledgment, detour releases, kill walks, and end-to-end message
+ * acknowledgments.
+ */
+
+#include <algorithm>
+
+#include "core/network.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+void
+Network::pushCtrl(NodeId node, int port, const Flit &flit)
+{
+    Link &wire = linkAt(node, port);
+    if (wire.faulty)
+        tpnet_panic("control flit pushed onto a faulty wire");
+    auto &queue =
+        cfg_.hardwareAcks && isAckClass(flit.type) ? wire.ackQ
+                                                   : wire.ctrlQ;
+    queue.push_back(flit);
+    wire.maxCtrlDepth = std::max(wire.maxCtrlDepth, queue.size());
+}
+
+void
+Network::phaseControl()
+{
+    for (Link &wire : links_) {
+        if (wire.faulty) {
+            // Control flits on a failed wire are lost; the recovery
+            // machinery releases the affected circuits separately.
+            wire.ctrlQ.clear();
+            wire.ackQ.clear();
+            continue;
+        }
+        if (!wire.ctrlQ.empty() && wire.ctrlQ.front().readyAt <= now_) {
+            const Flit flit = wire.ctrlQ.front();
+            wire.ctrlQ.pop_front();
+            ++wire.ctrlCrossings;
+            ++counters_.ctrlCrossings;
+            noteActivity();
+            if (trace_)
+                trace_->flitCrossed(now_, wire, flit, true);
+            processCtrlArrival(wire, flit);
+        }
+        // Dedicated acknowledgment signals (hardware-ack design).
+        if (!wire.ackQ.empty() && wire.ackQ.front().readyAt <= now_) {
+            const Flit flit = wire.ackQ.front();
+            wire.ackQ.pop_front();
+            ++wire.ctrlCrossings;
+            ++counters_.ctrlCrossings;
+            noteActivity();
+            if (trace_)
+                trace_->flitCrossed(now_, wire, flit, true);
+            processCtrlArrival(wire, flit);
+        }
+    }
+}
+
+void
+Network::processCtrlArrival(Link &wire, Flit flit)
+{
+    Message *mp = findMessage(flit.msg);
+    if (!mp || flit.epoch != mp->epoch)
+        return;  // stale control traffic of a retired/re-tried message
+    Message &msg = *mp;
+
+    if (flit.type == FlitType::Header) {
+        if (msg.beingKilled || msg.terminal() ||
+            msg.state == MsgState::WaitRetry) {
+            return;  // the probe dies with its circuit
+        }
+        HeaderState &hdr = msg.hdr;
+        if (!hdr.backtrack) {
+            probeArrived(msg, flit.hopIdx);
+            return;
+        }
+
+        // Backtracking probe retreated one hop over the complementary
+        // channel (Section 2.2: it must send a negative acknowledgment).
+        hdr.backtrack = false;
+        hdr.cur = wire.dst;
+        hdr.offset = topo_.offsets(wire.dst, msg.dst);
+        ++hdr.hops;
+        hdr.stalled = 0;
+        ++counters_.headerMoves;
+
+        if (proto_->emitsPosAck(msg)) {
+            ++counters_.negAcks;
+            const int j = static_cast<int>(msg.path.size()) - 1;
+            Flit neg;
+            neg.type = FlitType::AckNeg;
+            neg.msg = msg.id;
+            neg.hopIdx = j;
+            neg.epoch = msg.epoch;
+            neg.readyAt = now_ + 1;
+            if (j < 0) {
+                upstreamReachedSource(msg, neg);
+            } else {
+                // Apply locally (this router holds hop j's counter),
+                // then continue upstream unless the data is here.
+                if (!applyUpstream(msg, neg)) {
+                    neg.hopIdx = j - 1;
+                    relayUpstream(msg, neg);
+                }
+            }
+        }
+
+        if (hdr.hops > cfg_.searchBudgetDiameters * topo_.diameter()) {
+            abortSetup(msg);
+            return;
+        }
+        if (!msg.inRcu) {
+            router(hdr.cur).rcuQueue.push_back({msg.id, msg.epoch});
+            msg.inRcu = true;
+        }
+        return;
+    }
+
+    if (flit.type == FlitType::KillDown) {
+        handleKillDown(msg, flit);
+        return;
+    }
+
+    // Upstream walkers: apply at flit.hopIdx (source when -1), then
+    // either stop or continue one hop further upstream.
+    if (flit.hopIdx < 0) {
+        upstreamReachedSource(msg, flit);
+        return;
+    }
+    if (flit.hopIdx >= static_cast<int>(msg.path.size())) {
+        // Stale walker: the probe backtracked past this hop while the
+        // flit was in flight (possible when acknowledgments travel on
+        // dedicated signals and the retreating header overtakes them).
+        // The trio was released with the hop; discard.
+        return;
+    }
+    if (!applyUpstream(msg, flit)) {
+        flit.hopIdx -= 1;
+        flit.readyAt = now_ + 1;
+        relayUpstream(msg, flit);
+    }
+}
+
+bool
+Network::applyUpstream(Message &msg, const Flit &flit)
+{
+    const int j = flit.hopIdx;
+    PathHop &hop = msg.path[static_cast<std::size_t>(j)];
+    VcState &vc = link(hop.link).vcs[static_cast<std::size_t>(hop.vc)];
+    const bool owned = vc.owner == msg.id;
+
+    switch (flit.type) {
+      case FlitType::AckPos:
+        if (owned)
+            ++vc.counter;
+        // "The RCU does not propagate the acknowledgment beyond the
+        // first data flit" (Section 5.0).
+        return j == msg.leadHop;
+
+      case FlitType::AckNeg:
+        if (owned)
+            --vc.counter;
+        return j == msg.leadHop;
+
+      case FlitType::PathDone:
+        if (owned) {
+            vc.counter = std::max(vc.counter, vc.kReg);
+            vc.hold = false;
+        }
+        return j == msg.leadHop;
+
+      case FlitType::Release:
+        if (owned) {
+            vc.hold = false;
+            vc.counter = std::max(vc.counter, vc.kReg);
+        }
+        if (j == msg.hdr.holdIdx) {
+            msg.hdr.holdIdx = -2;
+            return true;
+        }
+        return false;
+
+      case FlitType::MsgAck:
+        releaseHop(msg, j, false);
+        return false;
+
+      case FlitType::KillUp:
+        releaseHop(msg, j, true);
+        ++counters_.killFlits;
+        return false;
+
+      default:
+        tpnet_panic("unexpected upstream flit type");
+    }
+}
+
+void
+Network::relayUpstream(Message &msg, Flit flit)
+{
+    const int next = flit.hopIdx;  // apply there after crossing
+    const std::size_t crossIdx = static_cast<std::size_t>(next + 1);
+    if (crossIdx >= msg.path.size())
+        tpnet_panic("upstream relay beyond the path frontier");
+    const LinkId fwd = msg.path[crossIdx].link;
+    Link &wire = link(topo_.reverseLink(fwd));
+
+    if (wire.faulty || nodeFaulty(wire.dst)) {
+        // The walker cannot continue: recovery of last resort releases
+        // the remaining span synchronously (Section 2.4).
+        switch (flit.type) {
+          case FlitType::KillUp:
+          case FlitType::MsgAck:
+            synchronousRelease(msg, next, 0);
+            upstreamReachedSource(msg, flit);
+            break;
+          default:
+            break;  // the fault machinery will kill this circuit
+        }
+        return;
+    }
+    flit.readyAt = std::max(flit.readyAt, now_ + 1);
+    auto &queue =
+        cfg_.hardwareAcks && isAckClass(flit.type) ? wire.ackQ
+                                                   : wire.ctrlQ;
+    queue.push_back(flit);
+    wire.maxCtrlDepth = std::max(wire.maxCtrlDepth, queue.size());
+}
+
+void
+Network::upstreamReachedSource(Message &msg, const Flit &flit)
+{
+    switch (flit.type) {
+      case FlitType::AckPos:
+        ++msg.srcCounter;
+        break;
+
+      case FlitType::AckNeg:
+        --msg.srcCounter;
+        break;
+
+      case FlitType::PathDone:
+        // PCS path setup complete: data may enter the network
+        // (Section 2.2, t_PCS = 3l + L - 1).
+        msg.srcCounter = std::max(msg.srcCounter, msg.srcK);
+        msg.srcHold = false;
+        break;
+
+      case FlitType::Release:
+        msg.srcHold = false;
+        msg.hdr.holdIdx = -2;
+        break;
+
+      case FlitType::MsgAck:
+        // Reliable delivery confirmed end-to-end (Fig. 17).
+        if (msg.state == MsgState::Delivered) {
+            msg.state = MsgState::Complete;
+            retired_.push_back(msg.id);
+        }
+        break;
+
+      case FlitType::KillUp:
+        finalizeKillWalk(msg);
+        break;
+
+      default:
+        tpnet_panic("unexpected flit at source gate");
+    }
+}
+
+void
+Network::handleKillDown(Message &msg, Flit flit)
+{
+    const int j = flit.hopIdx;
+    releaseHop(msg, j, true);
+    ++counters_.killFlits;
+
+    const int last = static_cast<int>(msg.path.size()) - 1;
+    if (j >= last) {
+        finalizeKillWalk(msg);
+        return;
+    }
+    Link &next = link(msg.path[static_cast<std::size_t>(j + 1)].link);
+    if (next.faulty || nodeFaulty(next.dst)) {
+        synchronousRelease(msg, j + 1, last);
+        finalizeKillWalk(msg);
+        return;
+    }
+    flit.hopIdx = j + 1;
+    flit.readyAt = now_ + 1;
+    next.ctrlQ.push_back(flit);
+}
+
+} // namespace tpnet

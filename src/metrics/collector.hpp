@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simulation counters and derived run-level metrics.
+ *
+ * Counters accumulate raw event counts over a run; measurement-window
+ * statistics (latency of messages created in the window, data flits
+ * delivered during the window) implement the paper's reporting units:
+ * average message latency in clock cycles vs. network throughput in
+ * flits/cycle/node (Section 6.0).
+ */
+
+#ifndef TPNET_METRICS_COLLECTOR_HPP
+#define TPNET_METRICS_COLLECTOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+/** Raw event counters for one simulation run. */
+struct Counters
+{
+    // Message lifecycle
+    std::uint64_t generated = 0;     ///< creation attempts accepted
+    std::uint64_t notAccepted = 0;   ///< rejected: injection queue full
+    std::uint64_t delivered = 0;     ///< tails ejected at destinations
+    std::uint64_t dropped = 0;       ///< undeliverable after retries
+    std::uint64_t lost = 0;          ///< killed by a dynamic fault, no TAck
+    std::uint64_t retransmits = 0;   ///< re-queued after a kill (TAck mode)
+    std::uint64_t retriesScheduled = 0;
+
+    // Probe activity
+    std::uint64_t headerMoves = 0;
+    std::uint64_t backtracks = 0;
+    std::uint64_t misroutes = 0;
+    std::uint64_t detoursBuilt = 0;
+    std::uint64_t setupAborts = 0;
+
+    // Flit traffic
+    std::uint64_t dataCrossings = 0;  ///< data-lane link traversals
+    std::uint64_t ctrlCrossings = 0;  ///< control-lane link traversals
+    std::uint64_t posAcks = 0;
+    std::uint64_t negAcks = 0;
+    std::uint64_t killFlits = 0;
+    std::uint64_t msgAcks = 0;
+    std::uint64_t dataFlitsDelivered = 0;
+
+    // Faults
+    std::uint64_t dynamicFaults = 0;
+    std::uint64_t messagesKilled = 0;
+
+    // Measurement window
+    std::uint64_t measuredGenerated = 0;
+    std::uint64_t measuredDelivered = 0;
+    std::uint64_t measuredDropped = 0;
+    std::uint64_t windowDataFlits = 0;  ///< delivered during the window
+    RunningStat latency;                ///< measured messages only
+    Histogram latencyHist{8.0, 256};
+};
+
+/** Derived, reportable result of one run. */
+struct RunResult
+{
+    double offeredLoad = 0.0;   ///< configured, flits/node/cycle
+    double throughput = 0.0;    ///< delivered data flits/node/cycle
+    double avgLatency = 0.0;    ///< cycles, measured messages
+    double p95Latency = 0.0;
+    double deliveredFraction = 1.0;  ///< of measured generated messages
+    std::uint64_t undeliverable = 0; ///< dropped + lost over the whole run
+    Counters counters;
+
+    /** Tab-separated summary row. */
+    std::string row() const;
+
+    /** Column header matching row(). */
+    static std::string header();
+};
+
+/** Compute derived metrics from counters and the window geometry. */
+RunResult deriveResult(const Counters &c, double offered_load, int nodes,
+                       Cycle window);
+
+} // namespace tpnet
+
+#endif // TPNET_METRICS_COLLECTOR_HPP

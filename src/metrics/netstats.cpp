@@ -1,0 +1,96 @@
+#include "metrics/netstats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/network.hpp"
+
+namespace tpnet {
+
+NetworkStats
+collectStats(const Network &net)
+{
+    NetworkStats s;
+    const Counters &c = net.counters();
+    s.dataCrossings = c.dataCrossings;
+    s.ctrlCrossings = c.ctrlCrossings;
+    const double total =
+        static_cast<double>(s.dataCrossings + s.ctrlCrossings);
+    s.ctrlShare = total > 0
+        ? static_cast<double>(s.ctrlCrossings) / total
+        : 0.0;
+
+    const TorusTopology &topo = net.topo();
+    int healthy_links = 0;
+    std::uint64_t link_sum = 0;
+    for (LinkId id = 0; id < topo.links(); ++id) {
+        const Link &lk = net.link(id);
+        if (lk.absent)
+            continue;  // mesh wraparounds: structurally nonexistent
+        if (lk.faulty) {
+            ++s.faultyLinks;
+            continue;
+        }
+        ++healthy_links;
+        link_sum += lk.dataCrossings;
+        s.maxLinkCrossings = std::max(s.maxLinkCrossings,
+                                      lk.dataCrossings);
+        s.maxCtrlQueueDepth = std::max(s.maxCtrlQueueDepth,
+                                       lk.maxCtrlDepth);
+        if (lk.unsafe)
+            ++s.unsafeLinks;
+        for (const VcState &vc : lk.vcs) {
+            ++s.totalVcs;
+            if (!vc.free())
+                ++s.busyVcs;
+            s.bufferedFlits += static_cast<int>(vc.data.size());
+        }
+    }
+    if (healthy_links > 0) {
+        s.meanLinkCrossings = static_cast<double>(link_sum) /
+            static_cast<double>(healthy_links);
+    }
+    if (s.meanLinkCrossings > 0.0) {
+        s.linkLoadImbalance =
+            static_cast<double>(s.maxLinkCrossings) / s.meanLinkCrossings;
+    }
+    s.vcOccupancy = s.totalVcs > 0
+        ? static_cast<double>(s.busyVcs) / static_cast<double>(s.totalVcs)
+        : 0.0;
+
+    for (NodeId id = 0; id < topo.nodes(); ++id) {
+        const Router &rt = net.router(id);
+        if (rt.faulty) {
+            ++s.faultyNodes;
+            continue;
+        }
+        s.maxRcuQueueDepth = std::max(s.maxRcuQueueDepth, rt.maxRcuDepth);
+        s.headersRouted += rt.headersRouted;
+    }
+    return s;
+}
+
+std::string
+NetworkStats::report() const
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "traffic: data crossings " << dataCrossings
+       << ", control crossings " << ctrlCrossings << " (share "
+       << ctrlShare * 100.0 << "%)\n";
+    os << "links:   mean crossings/link " << meanLinkCrossings
+       << ", max " << maxLinkCrossings << " (imbalance "
+       << linkLoadImbalance << "x)\n";
+    os << "vcs:     " << busyVcs << "/" << totalVcs << " busy ("
+       << vcOccupancy * 100.0 << "%), " << bufferedFlits
+       << " flits buffered\n";
+    os << "control: max COBU depth " << maxCtrlQueueDepth
+       << ", max RCU queue " << maxRcuQueueDepth << ", headers routed "
+       << headersRouted << "\n";
+    os << "faults:  " << faultyNodes << " nodes, " << faultyLinks
+       << " wires, " << unsafeLinks << " unsafe wires\n";
+    return os.str();
+}
+
+} // namespace tpnet

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Network-wide structural statistics: link utilization, control-lane
+ * share, virtual-channel occupancy, and RCU queue depths. Snapshots are
+ * cheap, read-only views used by examples, ablation benches, and tests
+ * to reason about *where* bandwidth goes (e.g. Fig. 15's acknowledgment
+ * traffic, the Section 2.3 claim that control traffic is a small
+ * fraction of flit traffic).
+ */
+
+#ifndef TPNET_METRICS_NETSTATS_HPP
+#define TPNET_METRICS_NETSTATS_HPP
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Network;
+
+/** Aggregated structural statistics of a network at one instant. */
+struct NetworkStats
+{
+    // Cumulative traffic
+    std::uint64_t dataCrossings = 0;   ///< data-lane link traversals
+    std::uint64_t ctrlCrossings = 0;   ///< control-lane link traversals
+    double ctrlShare = 0.0;            ///< ctrl / (ctrl + data)
+
+    // Link utilization (data crossings per link, over healthy links)
+    double meanLinkCrossings = 0.0;
+    std::uint64_t maxLinkCrossings = 0;
+    double linkLoadImbalance = 0.0;    ///< max / mean (1.0 = perfect)
+
+    // Instantaneous occupancy
+    int busyVcs = 0;                   ///< trios currently reserved
+    int totalVcs = 0;
+    int bufferedFlits = 0;             ///< flits resident in DIBUs
+    double vcOccupancy = 0.0;          ///< busy / total (healthy links)
+
+    // Control plane
+    std::size_t maxCtrlQueueDepth = 0; ///< deepest COBU ever
+    std::size_t maxRcuQueueDepth = 0;  ///< deepest RCU arbitration queue
+    std::uint64_t headersRouted = 0;
+
+    // Fault state
+    int faultyNodes = 0;
+    int faultyLinks = 0;               ///< unidirectional wires
+    int unsafeLinks = 0;
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+/** Collect a snapshot from @p net. */
+NetworkStats collectStats(const Network &net);
+
+} // namespace tpnet
+
+#endif // TPNET_METRICS_NETSTATS_HPP

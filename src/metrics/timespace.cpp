@@ -1,0 +1,150 @@
+#include "metrics/timespace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/message.hpp"
+#include "router/link.hpp"
+
+namespace tpnet {
+
+void
+TimeSpaceTrace::add(Cycle t, int row, char sym)
+{
+    events_.push_back({t, row, sym});
+    first_ = std::min(first_, t);
+    last_ = std::max(last_, t);
+    rows_ = std::max(rows_, row + 1);
+}
+
+void
+TimeSpaceTrace::flitCrossed(Cycle now, const Link &link, const Flit &flit,
+                            bool control_lane)
+{
+    (void)link;
+    if (flit.msg != target_)
+        return;
+
+    if (!control_lane) {
+        if (flit.type == FlitType::Header) {
+            add(now, flit.hopIdx, 'H');
+            headerAt_.emplace_back(now, flit.hopIdx);
+        } else {
+            const char sym = flit.type == FlitType::Tail
+                ? 'T'
+                : static_cast<char>('0' + flit.seq % 10);
+            add(now, flit.hopIdx, sym);
+            if (flit.seq == 1)
+                leadDataAt_.emplace_back(now, flit.hopIdx);
+        }
+        return;
+    }
+
+    switch (flit.type) {
+      case FlitType::Header:
+        // Forward header crosses hop flit.hopIdx; a backtracking header
+        // recrosses hop flit.hopIdx + 1 in reverse.
+        if (backtracking_) {
+            add(now, flit.hopIdx + 1, 'B');
+            headerAt_.emplace_back(now, flit.hopIdx);
+            backtracking_ = false;
+        } else {
+            add(now, flit.hopIdx, 'H');
+            headerAt_.emplace_back(now, flit.hopIdx);
+        }
+        break;
+      case FlitType::AckPos:
+      case FlitType::AckNeg:
+        add(now, flit.hopIdx + 1, '<');
+        break;
+      case FlitType::PathDone:
+        add(now, flit.hopIdx + 1, 'D');
+        break;
+      case FlitType::Release:
+        add(now, flit.hopIdx + 1, 'R');
+        break;
+      case FlitType::KillUp:
+      case FlitType::KillDown:
+        add(now, flit.hopIdx, 'K');
+        break;
+      case FlitType::MsgAck:
+        add(now, flit.hopIdx + 1, 'A');
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TimeSpaceTrace::flitDelivered(Cycle now, NodeId node, const Flit &flit)
+{
+    (void)node;
+    if (flit.msg != target_)
+        return;
+    if (flit.seq == 1)
+        leadDataAt_.emplace_back(now, flit.hopIdx + 1);
+}
+
+void
+TimeSpaceTrace::probeEvent(Cycle now, const Message &msg, ProbeEvent event)
+{
+    (void)now;
+    if (msg.id != target_)
+        return;
+    if (event == ProbeEvent::Backtracked)
+        backtracking_ = true;
+}
+
+int
+TimeSpaceTrace::maxHeaderLead() const
+{
+    // Walk both position series in time order; the lead at any instant
+    // is header frontier minus leading-data frontier (0 before data
+    // enters the network counts from the source gate).
+    int lead = 0;
+    std::size_t di = 0;
+    int data_pos = 0;
+    for (const auto &[t, hpos] : headerAt_) {
+        while (di < leadDataAt_.size() && leadDataAt_[di].first <= t) {
+            data_pos = std::max(data_pos, leadDataAt_[di].second + 1);
+            ++di;
+        }
+        lead = std::max(lead, hpos + 1 - data_pos);
+    }
+    return lead;
+}
+
+std::string
+TimeSpaceTrace::render(std::size_t max_cols) const
+{
+    if (events_.empty())
+        return "(no events)\n";
+
+    const Cycle t0 = first_;
+    const std::size_t cols =
+        std::min<std::size_t>(last_ - t0 + 1, max_cols);
+    std::vector<std::string> grid(
+        static_cast<std::size_t>(rows_), std::string(cols, '.'));
+
+    for (const Event &e : events_) {
+        const Cycle col = e.t - t0;
+        if (col >= cols)
+            continue;
+        char &cell = grid[static_cast<std::size_t>(e.row)][col];
+        // Headers and kills dominate; data overwrite dots and acks.
+        if (cell == '.' || e.sym == 'H' || e.sym == 'B' || e.sym == 'K')
+            cell = e.sym;
+    }
+
+    std::ostringstream os;
+    os << "time ->  (cycle " << t0 << " .. " << t0 + cols - 1 << ")\n";
+    for (int r = 0; r < rows_; ++r) {
+        os << "link " << (r < 10 ? " " : "") << r << " |"
+           << grid[static_cast<std::size_t>(r)] << "|\n";
+    }
+    os << "H=header B=backtrack digits/T=data flits  <=ack  D=path-done"
+          "  R=release  K=kill  A=msg-ack\n";
+    return os.str();
+}
+
+} // namespace tpnet

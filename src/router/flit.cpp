@@ -1,0 +1,23 @@
+#include "router/flit.hpp"
+
+namespace tpnet {
+
+const char *
+flitTypeName(FlitType t)
+{
+    switch (t) {
+      case FlitType::Header:   return "HDR";
+      case FlitType::Data:     return "DAT";
+      case FlitType::Tail:     return "TAIL";
+      case FlitType::AckPos:   return "ACK+";
+      case FlitType::AckNeg:   return "ACK-";
+      case FlitType::PathDone: return "DONE";
+      case FlitType::Release:  return "REL";
+      case FlitType::KillUp:   return "KILL^";
+      case FlitType::KillDown: return "KILLv";
+      case FlitType::MsgAck:   return "TACK";
+    }
+    return "?";
+}
+
+} // namespace tpnet

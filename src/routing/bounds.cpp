@@ -1,0 +1,76 @@
+#include "routing/bounds.hpp"
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+namespace bounds {
+
+int
+maxConsecutiveBacktracks(int faults, int n)
+{
+    if (n < 2)
+        tpnet_fatal("theorem bounds need n >= 2");
+    if (faults < 2 * n - 1)
+        return 0;
+    return (faults - 1) / (2 * n - 2);
+}
+
+int
+maxConsecutiveBacktracksTurn(int faults, int n)
+{
+    if (n < 2)
+        tpnet_fatal("theorem bounds need n >= 2");
+    if (faults < 2 * n - 1)
+        return 0;
+    return faults / (2 * n - 2);
+}
+
+int
+faultsForBacktracks(int b, int n)
+{
+    if (b <= 0)
+        return 0;
+    return 2 * n - 1 + (b - 1) * (2 * n - 2);
+}
+
+std::vector<NodeId>
+alleyFaults(const TorusTopology &topo, NodeId entry, int depth)
+{
+    if (depth < 1 || depth + 2 >= topo.k())
+        tpnet_fatal("alley depth ", depth, " does not fit a ", topo.k(),
+                    "-ary ring");
+    std::vector<NodeId> failed;
+    // Corridor nodes one..depth hops along +dim0 from the entry; every
+    // exit except the corridor itself fails, and the far end is capped.
+    NodeId walk = entry;
+    for (int i = 0; i < depth; ++i) {
+        walk = topo.neighbor(walk, portOf(0, Dir::Plus));
+        for (int d = 1; d < topo.n(); ++d) {
+            failed.push_back(topo.neighbor(walk, portOf(d, Dir::Plus)));
+            failed.push_back(topo.neighbor(walk, portOf(d, Dir::Minus)));
+        }
+    }
+    failed.push_back(topo.neighbor(walk, portOf(0, Dir::Plus)));
+    return failed;
+}
+
+std::vector<NodeId>
+blockedDestinationFaults(const TorusTopology &topo, NodeId dst,
+                         int open_port)
+{
+    if (topo.n() < 2)
+        tpnet_fatal("blocked-destination configuration needs n >= 2");
+    std::vector<NodeId> failed;
+    for (int d = 0; d < 2; ++d) {
+        for (Dir dir : {Dir::Plus, Dir::Minus}) {
+            const int port = portOf(d, dir);
+            if (port == open_port)
+                continue;
+            failed.push_back(topo.neighbor(dst, port));
+        }
+    }
+    return failed;
+}
+
+} // namespace bounds
+} // namespace tpnet

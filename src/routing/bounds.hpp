@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Theorem machinery of paper Section 3.0: closed-form backtracking and
+ * misrouting bounds, plus builders for the adversarial fault
+ * configurations of Figs. 4 and 5 (dead-end alleys and a destination
+ * whose in-plane neighborhood has failed). Tests and ablation benches
+ * use these to exercise the worst-case search behavior of the
+ * backtracking protocols.
+ */
+
+#ifndef TPNET_ROUTING_BOUNDS_HPP
+#define TPNET_ROUTING_BOUNDS_HPP
+
+#include <vector>
+
+#include "sim/types.hpp"
+#include "topology/torus.hpp"
+
+namespace tpnet {
+
+class Network;
+
+namespace bounds {
+
+/**
+ * Theorem 1 (straight alley): maximum consecutive backtracking steps a
+ * header performs given @p faults faulty components, with no previous
+ * misrouting: b = (f - 1) div (2n - 2).
+ */
+int maxConsecutiveBacktracks(int faults, int n);
+
+/**
+ * Theorem 1 (alley ending in a turn): b = f div (2n - 2).
+ */
+int maxConsecutiveBacktracksTurn(int faults, int n);
+
+/**
+ * Faults needed to force @p b consecutive backtracks in a straight
+ * alley: f = 2n - 1 + (b - 1)(2n - 2) — the inverse of Theorem 1.
+ */
+int faultsForBacktracks(int b, int n);
+
+/**
+ * Build the Fig. 4 dead-end alley: a straight corridor of @p depth
+ * nodes along dimension 0 starting one hop (+dim0) from @p entry, with
+ * every side exit failed, so that a probe entering the alley must
+ * backtrack @p depth times. Returns the failed node ids (the caller
+ * applies them via Network::failNode).
+ */
+std::vector<NodeId> alleyFaults(const TorusTopology &topo, NodeId entry,
+                                int depth);
+
+/**
+ * Build the Fig. 5 configuration: fail the four in-plane (dims 0/1)
+ * neighbors of @p dst except the one reached through @p open_port.
+ * A 2-D network then requires detour construction; in higher dimensions
+ * the probe can leave the plane.
+ */
+std::vector<NodeId> blockedDestinationFaults(const TorusTopology &topo,
+                                             NodeId dst, int open_port);
+
+} // namespace bounds
+
+} // namespace tpnet
+
+#endif // TPNET_ROUTING_BOUNDS_HPP

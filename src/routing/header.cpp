@@ -1,0 +1,87 @@
+#include "routing/header.hpp"
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+namespace {
+
+/** ceil(log2(x)) for x >= 1. */
+int
+ceilLog2(int x)
+{
+    int bits = 0;
+    int v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+} // namespace
+
+HeaderCodec::HeaderCodec(int k, int n)
+    : k_(k), n_(n)
+{
+    if (n < 1 || n > maxDims)
+        tpnet_fatal("HeaderCodec: bad n=", n);
+    // Sign bit + magnitude covering 0..k/2.
+    offBits_ = 1 + ceilLog2(k / 2 + 1);
+    // header(1) + backtrack(1) + misroute(3) + detour(1) + SR(1) + offsets.
+    bits_ = 1 + 1 + 3 + 1 + 1 + n_ * offBits_;
+    if (bits_ > 64)
+        tpnet_fatal("HeaderCodec: header exceeds 64 bits for k=", k,
+                    " n=", n);
+}
+
+std::uint64_t
+HeaderCodec::pack(const HeaderState &hdr) const
+{
+    std::uint64_t raw = 0;
+    int pos = 0;
+    auto put = [&raw, &pos](std::uint64_t v, int width) {
+        raw |= (v & ((1ull << width) - 1)) << pos;
+        pos += width;
+    };
+    put(1, 1);  // header bit: identifies the flit as a routing header
+    put(hdr.backtrack ? 1 : 0, 1);
+    put(static_cast<std::uint64_t>(hdr.misroutes), 3);
+    put(hdr.detour ? 1 : 0, 1);
+    put(hdr.sr ? 1 : 0, 1);
+    for (int d = 0; d < n_; ++d) {
+        const int off = hdr.offset[d];
+        const std::uint64_t sign = off < 0 ? 1 : 0;
+        const std::uint64_t mag =
+            static_cast<std::uint64_t>(off < 0 ? -off : off);
+        put(sign | (mag << 1), offBits_);
+    }
+    return raw;
+}
+
+HeaderState
+HeaderCodec::unpack(std::uint64_t raw) const
+{
+    HeaderState hdr;
+    int pos = 0;
+    auto get = [&raw, &pos](int width) {
+        const std::uint64_t v = (raw >> pos) & ((1ull << width) - 1);
+        pos += width;
+        return v;
+    };
+    if (get(1) != 1)
+        tpnet_panic("HeaderCodec: header bit not set");
+    hdr.backtrack = get(1) != 0;
+    hdr.misroutes = static_cast<int>(get(3));
+    hdr.detour = get(1) != 0;
+    hdr.sr = get(1) != 0;
+    for (int d = 0; d < n_; ++d) {
+        const std::uint64_t field = get(offBits_);
+        const bool neg = (field & 1) != 0;
+        const int mag = static_cast<int>(field >> 1);
+        hdr.offset[d] = neg ? -mag : mag;
+    }
+    return hdr;
+}
+
+} // namespace tpnet

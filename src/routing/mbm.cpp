@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MB-m: misrouting backtracking protocol with m misroutes [17], the
+ * paper's conservative (PCS) baseline.
+ *
+ * The probe performs a depth-first search: profitable channels are
+ * preferred; when none is available (faulty or busy) the probe misroutes
+ * as long as fewer than m misroutes are outstanding, preferring the
+ * dimension it arrived on; otherwise it backtracks, releasing the last
+ * trio and sending a negative acknowledgment. Since data is held at the
+ * source until the path is completely established (PCS), the probe can
+ * always backtrack, making the protocol deadlock-free and extremely
+ * robust at the price of the 3l setup latency (Section 2.2).
+ */
+
+#include "routing/protocols.hpp"
+
+#include "core/network.hpp"
+#include "routing/selection.hpp"
+
+namespace tpnet {
+
+Decision
+MbmRouting::route(Network &net, Message &msg)
+{
+    // 1. Profitable, untried, healthy channel with a free VC.
+    if (auto c = select::anyVcProfitableUntried(net, msg))
+        return Decision::forward(c->port, c->vc);
+
+    // 2. Misroute while the outstanding-misroute budget allows; the
+    //    search may use every virtual channel (PCS needs no escape
+    //    structure) and may not U-turn (backtracking covers retreat).
+    if (msg.hdr.misroutes < limit_) {
+        if (auto c = select::misrouteUntried(net, msg, false, false))
+            return Decision::forward(c->port, c->vc);
+    }
+
+    // 3. Backtrack (always possible under PCS: no data in the network).
+    if (net.canBacktrack(msg))
+        return Decision::backtrack();
+
+    // 4. Stuck at the source. If untried healthy channels remain they
+    //    are merely busy: wait for one to free. Otherwise the search is
+    //    exhausted — tear down and re-try later.
+    if (msg.path.empty()) {
+        const std::uint32_t tried = net.triedHere(msg);
+        for (int port = 0; port < net.topo().radix(); ++port) {
+            if (!(tried & (1u << port)) &&
+                !net.channelFaulty(msg.hdr.cur, port)) {
+                return Decision::block();
+            }
+        }
+        return Decision::abort();
+    }
+
+    // Backtracking transiently impossible; wait for the stall limit.
+    return Decision::block();
+}
+
+} // namespace tpnet

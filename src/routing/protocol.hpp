@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Routing protocol interface.
+ *
+ * The RCU consults the configured RoutingAlgorithm once per serviced
+ * header. The algorithm inspects the network (channel status, unsafe
+ * bits, VC occupancy) and the probe's header state, possibly flips the
+ * header's mode bits (SR, detour — Section 4.0), and returns a decision.
+ * The Network applies the decision: it reserves/releases trios, moves the
+ * probe, spawns acknowledgment flits, and maintains the Theorem 2
+ * misroute bookkeeping.
+ */
+
+#ifndef TPNET_ROUTING_PROTOCOL_HPP
+#define TPNET_ROUTING_PROTOCOL_HPP
+
+#include "core/message.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Network;
+
+/** Outcome of one RCU routing-service slot for one header. */
+struct Decision
+{
+    enum class Kind : std::uint8_t {
+        Forward,   ///< reserve (port, vc) and advance the probe
+        Eject,     ///< probe is at the destination; complete the path
+        Block,     ///< wait in place; re-try next service slot
+        Backtrack, ///< release the last hop and retreat one node
+        Abort,     ///< give up this setup attempt (tear down, re-try)
+    };
+
+    Kind kind = Kind::Block;
+    int port = -1;  ///< output port for Forward
+    int vc = -1;    ///< output VC for Forward
+
+    static Decision
+    forward(int port, int vc)
+    {
+        return {Kind::Forward, port, vc};
+    }
+
+    static Decision eject() { return {Kind::Eject, -1, -1}; }
+    static Decision block() { return {Kind::Block, -1, -1}; }
+    static Decision backtrack() { return {Kind::Backtrack, -1, -1}; }
+    static Decision abort() { return {Kind::Abort, -1, -1}; }
+};
+
+/** A routing protocol: decision function plus flow control policy. */
+class RoutingAlgorithm
+{
+  public:
+    virtual ~RoutingAlgorithm() = default;
+
+    /** Protocol name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Flow control mode a fresh message starts under. */
+    virtual FlowMode initialFlow() const = 0;
+
+    /** Headers travel inline on the data lanes (pure wormhole)? */
+    virtual bool inlineHeader() const = 0;
+
+    /**
+     * Decide the next action for @p msg whose probe sits at
+     * msg.hdr.cur. May mutate msg.hdr mode bits.
+     */
+    virtual Decision route(Network &net, Message &msg) = 0;
+
+    /**
+     * Scouting distance to program into the next reserved trio for
+     * @p msg (the dynamically configurable K of Section 4.0).
+     */
+    virtual int kRegFor(const Network &net, const Message &msg) const = 0;
+
+    /**
+     * Whether the probe's advance over a newly reserved channel emits a
+     * positive acknowledgment (suppressed in detour mode and in WR-like
+     * operation, Section 4.0).
+     */
+    virtual bool emitsPosAck(const Message &msg) const = 0;
+
+    /**
+     * Whether a probe of @p msg that has been blocked for the configured
+     * stall limit should abandon the setup attempt (tear down and re-try
+     * from the source) instead of waiting forever. Wormhole protocols
+     * must return false — a blocked WR header simply waits.
+     */
+    virtual bool
+    abortsOnStall(const Message &msg) const
+    {
+        (void)msg;
+        return false;
+    }
+
+    /** Hook invoked after the Network applied a Forward decision. */
+    virtual void postMove(Network &net, Message &msg) { (void)net;
+                                                        (void)msg; }
+};
+
+} // namespace tpnet
+
+#endif // TPNET_ROUTING_PROTOCOL_HPP

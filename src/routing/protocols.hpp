@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Concrete routing protocols of the paper's evaluation (Section 6.0):
+ *
+ *  - DimOrderRouting — deterministic e-cube wormhole routing on the
+ *    escape (dateline-class) channels; validation baseline.
+ *  - DuatoRouting — DP [12]: fully adaptive minimal wormhole routing on
+ *    the adaptive partition with dimension-order escape channels.
+ *  - ScoutingRouting — SR [13] with a fixed scouting distance K on every
+ *    channel; DP-style candidate selection over the control lane.
+ *  - PcsRouting — plain pipelined circuit switching [18]: profitable
+ *    path setup, data held at the source until the setup acknowledgment.
+ *  - MbmRouting — MB-m [17]: misrouting backtracking protocol with m
+ *    misroutes over PCS flow control; the conservative baseline.
+ *  - TwoPhaseRouting — the paper's TP protocol (Fig. 6): DP restrictions
+ *    on safe channels, SR mode across unsafe channels, detour
+ *    construction (depth-first backtracking search, <= m misroutes) when
+ *    the probe can no longer advance.
+ */
+
+#ifndef TPNET_ROUTING_PROTOCOLS_HPP
+#define TPNET_ROUTING_PROTOCOLS_HPP
+
+#include "routing/protocol.hpp"
+
+namespace tpnet {
+
+/** Deterministic dimension-order (e-cube) wormhole routing. */
+class DimOrderRouting : public RoutingAlgorithm
+{
+  public:
+    const char *name() const override { return "DOR"; }
+    FlowMode initialFlow() const override { return FlowMode::Wormhole; }
+    bool inlineHeader() const override { return true; }
+    Decision route(Network &net, Message &msg) override;
+    int
+    kRegFor(const Network &, const Message &) const override
+    {
+        return 0;
+    }
+    bool emitsPosAck(const Message &) const override { return false; }
+};
+
+/** Duato's Protocol: fully adaptive minimal wormhole routing. */
+class DuatoRouting : public RoutingAlgorithm
+{
+  public:
+    const char *name() const override { return "DP"; }
+    FlowMode initialFlow() const override { return FlowMode::Wormhole; }
+    bool inlineHeader() const override { return true; }
+    Decision route(Network &net, Message &msg) override;
+    int
+    kRegFor(const Network &, const Message &) const override
+    {
+        return 0;
+    }
+    bool emitsPosAck(const Message &) const override { return false; }
+};
+
+/** Scouting routing with a fixed scouting distance K. */
+class ScoutingRouting : public RoutingAlgorithm
+{
+  public:
+    explicit ScoutingRouting(int k) : scoutK_(k) {}
+    const char *name() const override { return "SR"; }
+    FlowMode initialFlow() const override { return FlowMode::Scout; }
+    bool inlineHeader() const override { return false; }
+    Decision route(Network &net, Message &msg) override;
+    int
+    kRegFor(const Network &, const Message &) const override
+    {
+        return scoutK_;
+    }
+    bool
+    emitsPosAck(const Message &msg) const override
+    {
+        return scoutK_ > 0 && !msg.hdr.detour;
+    }
+    bool abortsOnStall(const Message &) const override { return true; }
+
+  private:
+    int scoutK_;
+};
+
+/** Plain pipelined circuit switching (profitable-only setup). */
+class PcsRouting : public RoutingAlgorithm
+{
+  public:
+    const char *name() const override { return "PCS"; }
+    FlowMode initialFlow() const override { return FlowMode::PcsSetup; }
+    bool inlineHeader() const override { return false; }
+    Decision route(Network &net, Message &msg) override;
+    int
+    kRegFor(const Network &, const Message &) const override
+    {
+        return 0;
+    }
+    bool emitsPosAck(const Message &) const override { return false; }
+    bool abortsOnStall(const Message &) const override { return true; }
+};
+
+/** Misrouting backtracking with m misroutes over PCS (MB-m). */
+class MbmRouting : public RoutingAlgorithm
+{
+  public:
+    explicit MbmRouting(int m) : limit_(m) {}
+    const char *name() const override { return "MB-m"; }
+    FlowMode initialFlow() const override { return FlowMode::PcsSetup; }
+    bool inlineHeader() const override { return false; }
+    Decision route(Network &net, Message &msg) override;
+    int
+    kRegFor(const Network &, const Message &) const override
+    {
+        return 0;
+    }
+    bool emitsPosAck(const Message &) const override { return false; }
+    bool abortsOnStall(const Message &) const override { return true; }
+
+  private:
+    int limit_;
+};
+
+/** The Two-Phase fault-tolerant protocol (Fig. 6). */
+class TwoPhaseRouting : public RoutingAlgorithm
+{
+  public:
+    TwoPhaseRouting(int scout_k, int m) : scoutK_(scout_k), limit_(m) {}
+    const char *name() const override { return "TP"; }
+    FlowMode initialFlow() const override { return FlowMode::Wormhole; }
+    bool inlineHeader() const override { return false; }
+    Decision route(Network &net, Message &msg) override;
+    int
+    kRegFor(const Network &, const Message &msg) const override
+    {
+        return msg.hdr.sr ? scoutK_ : 0;
+    }
+    bool
+    emitsPosAck(const Message &msg) const override
+    {
+        return scoutK_ > 0 && msg.hdr.sr && !msg.hdr.detour;
+    }
+    bool
+    abortsOnStall(const Message &msg) const override
+    {
+        return msg.hdr.sr || msg.hdr.detour;
+    }
+    void postMove(Network &net, Message &msg) override;
+
+  private:
+    /** Detour-mode depth-first search step (shared with MB-m's shape). */
+    Decision detourStep(Network &net, Message &msg);
+
+    int scoutK_;
+    int limit_;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_ROUTING_PROTOCOLS_HPP

@@ -1,0 +1,143 @@
+#include "routing/selection.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/network.hpp"
+#include "routing/protocols.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+namespace select {
+
+std::vector<int>
+profitableByOffset(const Network &net, const Message &msg)
+{
+    const OffsetVec &off = msg.hdr.offset;
+    std::vector<int> ports = net.topo().profitablePorts(off);
+    std::stable_sort(ports.begin(), ports.end(), [&off](int a, int b) {
+        return std::abs(off[dimOf(a)]) > std::abs(off[dimOf(b)]);
+    });
+    return ports;
+}
+
+std::optional<Candidate>
+adaptiveProfitable(const Network &net, const Message &msg, Safety safety)
+{
+    const NodeId cur = msg.hdr.cur;
+    for (int port : profitableByOffset(net, msg)) {
+        if (net.channelFaulty(cur, port))
+            continue;
+        if (safety == Safety::SafeOnly && net.channelUnsafe(cur, port))
+            continue;
+        const int vc = net.freeAdaptiveVc(cur, port);
+        if (vc >= 0)
+            return Candidate{port, vc};
+    }
+    return std::nullopt;
+}
+
+std::optional<Candidate>
+anyVcProfitableUntried(Network &net, Message &msg)
+{
+    const NodeId cur = msg.hdr.cur;
+    const std::uint32_t tried = net.triedHere(msg);
+    for (int port : profitableByOffset(net, msg)) {
+        if (tried & (1u << port))
+            continue;
+        if (net.channelFaulty(cur, port))
+            continue;
+        const int vc =
+            net.linkAt(cur, port).firstFreeVc(0, net.vcCount());
+        if (vc >= 0)
+            return Candidate{port, vc};
+    }
+    return std::nullopt;
+}
+
+std::optional<Candidate>
+anyAdaptiveProfitableUntried(Network &net, Message &msg)
+{
+    const NodeId cur = msg.hdr.cur;
+    const std::uint32_t tried = net.triedHere(msg);
+    for (int port : profitableByOffset(net, msg)) {
+        if (tried & (1u << port))
+            continue;
+        if (net.channelFaulty(cur, port))
+            continue;
+        const int vc = net.freeAdaptiveVc(cur, port);
+        if (vc >= 0)
+            return Candidate{port, vc};
+    }
+    return std::nullopt;
+}
+
+std::optional<Candidate>
+misrouteUntried(Network &net, Message &msg, bool adaptive_only,
+                bool allow_uturn)
+{
+    const NodeId cur = msg.hdr.cur;
+    const std::uint32_t tried = net.triedHere(msg);
+    const int in_port = net.arrivalPort(msg);
+    const int radix = net.topo().radix();
+
+    // Candidate order: same dimension as the arrival channel first
+    // (Theorem 2 condition iii, continuing straight through), then the
+    // rest; the reverse of the arrival channel (a U-turn) last, and
+    // only when U-turns are permitted.
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(radix));
+    if (in_port >= 0)
+        order.push_back(oppositePort(in_port));
+    for (int port = 0; port < radix; ++port) {
+        if (std::find(order.begin(), order.end(), port) == order.end() &&
+            (in_port < 0 || port != in_port)) {
+            order.push_back(port);
+        }
+    }
+    if (in_port >= 0)
+        order.push_back(in_port);  // U-turn candidate, lowest priority
+
+    for (int port : order) {
+        if (in_port >= 0 && port == in_port && !allow_uturn)
+            continue;
+        if (tried & (1u << port))
+            continue;
+        if (net.topo().portProfitable(msg.hdr.offset, port))
+            continue;  // handled by the profitable step
+        if (net.channelFaulty(cur, port))
+            continue;
+        const int lo = adaptive_only ? net.escapeVcCount() : 0;
+        const int vc = net.linkAt(cur, port).firstFreeVc(lo,
+                                                         net.vcCount());
+        if (vc >= 0)
+            return Candidate{port, vc};
+    }
+    return std::nullopt;
+}
+
+} // namespace select
+
+std::unique_ptr<RoutingAlgorithm>
+makeProtocol(const SimConfig &cfg)
+{
+    switch (cfg.protocol) {
+      case Protocol::DimOrder:
+        return std::make_unique<DimOrderRouting>();
+      case Protocol::Duato:
+        return std::make_unique<DuatoRouting>();
+      case Protocol::Scouting:
+        return std::make_unique<ScoutingRouting>(cfg.scoutK);
+      case Protocol::Pcs:
+        return std::make_unique<PcsRouting>();
+      case Protocol::MBm:
+        return std::make_unique<MbmRouting>(cfg.misrouteLimit);
+      case Protocol::TwoPhase:
+        return std::make_unique<TwoPhaseRouting>(cfg.scoutK,
+                                                 cfg.misrouteLimit);
+    }
+    tpnet_panic("unknown protocol");
+}
+
+} // namespace tpnet

@@ -1,0 +1,131 @@
+#include "sim/config.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+int
+SimConfig::nodes() const
+{
+    int total = 1;
+    for (int d = 0; d < n; ++d)
+        total *= k;
+    return total;
+}
+
+int
+SimConfig::diameter() const
+{
+    return wrap ? n * (k / 2) : n * (k - 1);
+}
+
+double
+SimConfig::avgMinDistance() const
+{
+    if (!wrap) {
+        // Mesh: mean |a - b| over a uniform pair per dimension is
+        // (k^2 - 1) / (3k).
+        const double kd = static_cast<double>(k);
+        return static_cast<double>(n) * (kd * kd - 1.0) / (3.0 * kd);
+    }
+    // Mean minimal distance along one ring of k nodes, uniform over all
+    // destinations including the source, times n dimensions. For even k
+    // the per-ring mean is k/4; computed exactly here for any k.
+    double ring = 0.0;
+    for (int d = 1; d < k; ++d) {
+        int fwd = d;
+        int bwd = k - d;
+        ring += std::min(fwd, bwd);
+    }
+    ring /= static_cast<double>(k);
+    return ring * static_cast<double>(n);
+}
+
+double
+SimConfig::msgRate() const
+{
+    return load / static_cast<double>(msgLength);
+}
+
+void
+SimConfig::validate() const
+{
+    if (k < 2)
+        tpnet_fatal("k must be >= 2 (got ", k, ")");
+    if (n < 1 || n > maxDims)
+        tpnet_fatal("n must be in [1, ", maxDims, "] (got ", n, ")");
+    if (adaptiveVcs < 0 || escapeVcs < 1)
+        tpnet_fatal("need at least one escape VC per link");
+    if (wrap && escapeVcs < 2 && k > 2)
+        tpnet_fatal("torus deadlock freedom requires 2 escape (dateline) "
+                    "VC classes; got ", escapeVcs);
+    if ((protocol == Protocol::Duato || protocol == Protocol::TwoPhase) &&
+        adaptiveVcs < 1) {
+        tpnet_fatal("DP/TP require at least one adaptive VC");
+    }
+    if (bufDepth < 1)
+        tpnet_fatal("bufDepth must be >= 1");
+    if (msgLength < 1)
+        tpnet_fatal("msgLength must be >= 1");
+    if (scoutK < 0)
+        tpnet_fatal("scoutK must be >= 0");
+    if (misrouteLimit < 0)
+        tpnet_fatal("misrouteLimit must be >= 0");
+    if (load < 0.0 || load > static_cast<double>(radix()))
+        tpnet_fatal("offered load ", load, " out of range");
+    if (injQueueLimit < 1)
+        tpnet_fatal("injQueueLimit must be >= 1");
+    if (staticNodeFaults < 0 || staticNodeFaults >= nodes())
+        tpnet_fatal("staticNodeFaults out of range");
+    if (staticLinkFaults < 0)
+        tpnet_fatal("staticLinkFaults out of range");
+}
+
+const char *
+protocolName(Protocol p)
+{
+    switch (p) {
+      case Protocol::DimOrder: return "DOR";
+      case Protocol::Duato:    return "DP";
+      case Protocol::Scouting: return "SR";
+      case Protocol::Pcs:      return "PCS";
+      case Protocol::MBm:      return "MB-m";
+      case Protocol::TwoPhase: return "TP";
+    }
+    return "?";
+}
+
+const char *
+patternName(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::Uniform:       return "uniform";
+      case TrafficPattern::BitComplement: return "bit-complement";
+      case TrafficPattern::Transpose:     return "transpose";
+      case TrafficPattern::NeighborPlus:  return "neighbor+1";
+      case TrafficPattern::Tornado:       return "tornado";
+    }
+    return "?";
+}
+
+std::string
+SimConfig::summary() const
+{
+    std::ostringstream os;
+    os << protocolName(protocol) << " " << k << "-ary " << n
+       << (wrap ? "-cube, " : "-mesh, ")
+       << adaptiveVcs << "a+" << escapeVcs << "e VCs, L=" << msgLength
+       << ", K=" << scoutK << ", m=" << misrouteLimit
+       << ", load=" << load << " (" << patternName(pattern) << ")"
+       << ", faults=" << staticNodeFaults << "n+" << staticLinkFaults << "l";
+    if (dynamicNodeFaults > 0)
+        os << "+" << dynamicNodeFaults << "dyn";
+    if (tailAck)
+        os << ", TAck";
+    return os.str();
+}
+
+} // namespace tpnet

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Simulation configuration: network geometry, virtual-channel layout, flow
+ * control and routing protocol selection, traffic, faults, and measurement
+ * windows. Defaults reproduce the paper's evaluation setup (Section 6.0):
+ * 16-ary 2-cube, 32-flit messages, 1-flit header, uniform traffic, and an
+ * 8-message injection-queue congestion-control limit.
+ */
+
+#ifndef TPNET_SIM_CONFIG_HPP
+#define TPNET_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+/**
+ * Routing protocol under test.
+ *
+ * DimOrder and Scouting exist for validation and for the Figure 1
+ * time-space/latency-formula experiments; the paper's evaluation compares
+ * Duato (DP, a WR protocol), MBm (a PCS protocol), and TwoPhase.
+ */
+enum class Protocol : std::uint8_t {
+    DimOrder,  ///< deterministic e-cube wormhole routing (validation)
+    Duato,     ///< DP: fully adaptive wormhole routing [12]
+    Scouting,  ///< SR with a fixed scouting distance K on every channel
+    Pcs,       ///< plain pipelined circuit switching, profitable-only setup
+    MBm,       ///< misrouting backtracking with m misroutes over PCS [17]
+    TwoPhase,  ///< the paper's TP protocol (Figure 6)
+};
+
+/** Flow control mechanism a circuit is currently operating under. */
+enum class FlowMode : std::uint8_t {
+    Wormhole,  ///< header inline with data on the data lane; K = 0
+    Scout,     ///< header on control lane, per-VC ack counters vs K
+    PcsSetup,  ///< data held at source until full path acknowledgment
+};
+
+/** Synthetic destination distribution. */
+enum class TrafficPattern : std::uint8_t {
+    Uniform,       ///< uniform over healthy nodes != source (paper)
+    BitComplement, ///< dst coordinate = k-1-src coordinate per dimension
+    Transpose,     ///< dst coords = reversed src coords (2D: (x,y)->(y,x))
+    NeighborPlus,  ///< dst = +1 in dimension 0 (deterministic validation)
+    Tornado,       ///< dst = src + floor((k-1)/2) in each dimension
+};
+
+/** Tunables of a single simulation run. See DESIGN.md Section 4. */
+struct SimConfig
+{
+    // --- Network geometry -------------------------------------------------
+    int k = 16;  ///< radix (nodes per dimension)
+    int n = 2;   ///< dimensions
+    /// Torus (true, the paper's network) or mesh (false): a mesh keeps
+    /// the same addressing but its wraparound channels are absent and
+    /// the deterministic channels need no dateline classes.
+    bool wrap = true;
+
+    // --- Virtual channel layout (per unidirectional physical link) --------
+    int adaptiveVcs = 2;  ///< Duato's unrestricted partition
+    int escapeVcs = 2;    ///< deterministic partition (dateline classes)
+    int bufDepth = 4;     ///< data FIFO (DIBU) depth per VC, in flits
+
+    // --- Messages ----------------------------------------------------------
+    int msgLength = 32;   ///< data flits per message (header is 1 extra)
+
+    // --- Protocol ----------------------------------------------------------
+    Protocol protocol = Protocol::TwoPhase;
+    int scoutK = 0;        ///< SR-mode scouting distance (TP: 0 = aggressive)
+    int misrouteLimit = 6; ///< m, maximum outstanding misroutes
+    int maxRetries = 3;    ///< source re-tries before declaring undeliverable
+    /// Header search budget in hops before a setup attempt is abandoned,
+    /// expressed as a multiple of the network diameter.
+    int searchBudgetDiameters = 8;
+    /// Consecutive blocked RCU service slots after which a backtracking
+    /// protocol abandons the attempt (recovery of last resort).
+    int stallLimit = 128;
+    /// Cycles a torn-down message waits before re-trying from the source.
+    int retryBackoff = 32;
+
+    // --- Traffic -----------------------------------------------------------
+    TrafficPattern pattern = TrafficPattern::Uniform;
+    double load = 0.1;     ///< offered load, data flits / node / cycle
+    int injQueueLimit = 8; ///< messages buffered per injection channel
+
+    // --- Faults ------------------------------------------------------------
+    int staticNodeFaults = 0;  ///< failed PEs present at power-on
+    int staticLinkFaults = 0;  ///< failed physical links at power-on
+    /// Dynamic node failures: expected number over the measurement window
+    /// (inserted as a Bernoulli process; 0 disables dynamic faults).
+    double dynamicNodeFaults = 0.0;
+    /// Dynamic physical-link failures, same process (Section 2.4: "a
+    /// communication channel may fail" during operation).
+    double dynamicLinkFaults = 0.0;
+    bool tailAck = false;      ///< hold path + message ack + retransmission
+    /// Hardware acknowledgment signalling (the paper's conclusion /
+    /// future work): SR acknowledgment flits travel on dedicated
+    /// control signals instead of sharing the multiplexed control lane,
+    /// removing their bandwidth cost (one ack per link per cycle on a
+    /// separate lane). Logical behavior is unchanged.
+    bool hardwareAcks = false;
+    /// Mark channels adjacent to failures as unsafe (Section 2.4). The
+    /// paper notes the aggressive transition "makes it not necessary
+    /// marking channels as unsafe": with false, TP stays in pure WR
+    /// until it is actually stuck and then constructs detours directly
+    /// (the deadlock-freedom proofs do not rely on unsafe channels).
+    bool markUnsafe = true;
+    /// Keep the source/destination region fault-free so that validation
+    /// traffic is always deliverable (tests only; evaluation uses false).
+    bool protectPerimeter = false;
+
+    // --- Measurement ---------------------------------------------------
+    std::uint64_t seed = 1;
+    Cycle warmup = 2000;     ///< cycles discarded before measuring
+    Cycle measure = 10000;   ///< measurement window
+    Cycle drain = 20000;     ///< max extra cycles to wait for tagged messages
+    /// Abort if no flit moves for this many cycles while work is pending
+    /// (deadlock watchdog, Theorem 3 check). 0 disables.
+    Cycle watchdog = 20000;
+
+    // --- Derived helpers ---------------------------------------------------
+    int nodes() const;            ///< k^n
+    int radix() const { return 2 * n; }
+    int vcsPerLink() const { return adaptiveVcs + escapeVcs; }
+    int diameter() const;         ///< n * floor(k/2)
+    double avgMinDistance() const;///< mean minimal hop count, uniform traffic
+    /// Messages per node per cycle for the configured flit load.
+    double msgRate() const;
+
+    /** Die with a helpful message if the configuration is inconsistent. */
+    void validate() const;
+
+    /** One-line summary for bench output. */
+    std::string summary() const;
+};
+
+/** Human-readable protocol name. */
+const char *protocolName(Protocol p);
+
+/** Human-readable traffic pattern name. */
+const char *patternName(TrafficPattern p);
+
+} // namespace tpnet
+
+#endif // TPNET_SIM_CONFIG_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bounded ring-buffer FIFO used for every flit buffer in the router model
+ * (DIBU, CIBU, DOBU, COBU). Capacity is fixed at construction; pushing into
+ * a full FIFO is a simulator bug (the flow control layers must check
+ * freeSlots() first — that check is the credit mechanism).
+ */
+
+#ifndef TPNET_SIM_FIFO_HPP
+#define TPNET_SIM_FIFO_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+/**
+ * Fixed-capacity FIFO of trivially copyable elements.
+ *
+ * @tparam T element type (Flit in practice).
+ */
+template <typename T>
+class Fifo
+{
+  public:
+    Fifo() = default;
+
+    explicit Fifo(std::size_t capacity)
+        : buf_(capacity), cap_(capacity)
+    {}
+
+    /** Re-initialize with a new capacity, dropping all contents. */
+    void
+    reset(std::size_t capacity)
+    {
+        buf_.assign(capacity, T{});
+        cap_ = capacity;
+        head_ = 0;
+        size_ = 0;
+    }
+
+    std::size_t capacity() const { return cap_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == cap_; }
+    std::size_t freeSlots() const { return cap_ - size_; }
+
+    /** Append an element; the FIFO must not be full. */
+    void
+    push(const T &v)
+    {
+        if (full())
+            tpnet_panic("push into full FIFO (capacity ", cap_, ")");
+        buf_[(head_ + size_) % cap_] = v;
+        ++size_;
+    }
+
+    /** @return the oldest element; the FIFO must not be empty. */
+    T &
+    front()
+    {
+        if (empty())
+            tpnet_panic("front of empty FIFO");
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        if (empty())
+            tpnet_panic("front of empty FIFO");
+        return buf_[head_];
+    }
+
+    /** Remove and return the oldest element. */
+    T
+    pop()
+    {
+        T v = front();
+        head_ = (head_ + 1) % cap_;
+        --size_;
+        return v;
+    }
+
+    /** Drop every element. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Element @p i positions behind the head (0 == front). */
+    const T &
+    at(std::size_t i) const
+    {
+        if (i >= size_)
+            tpnet_panic("FIFO index ", i, " out of range ", size_);
+        return buf_[(head_ + i) % cap_];
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t cap_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_SIM_FIFO_HPP

@@ -1,0 +1,157 @@
+#include "sim/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace tpnet {
+
+OptionParser::OptionParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{}
+
+void
+OptionParser::addFlag(const std::string &name, const std::string &help,
+                      bool *target)
+{
+    options_.push_back({name, help, Kind::Flag, target});
+}
+
+void
+OptionParser::addInt(const std::string &name, const std::string &help,
+                     int *target)
+{
+    options_.push_back({name, help, Kind::Int, target});
+}
+
+void
+OptionParser::addUint64(const std::string &name, const std::string &help,
+                        std::uint64_t *target)
+{
+    options_.push_back({name, help, Kind::Uint64, target});
+}
+
+void
+OptionParser::addDouble(const std::string &name, const std::string &help,
+                        double *target)
+{
+    options_.push_back({name, help, Kind::Double, target});
+}
+
+void
+OptionParser::addString(const std::string &name, const std::string &help,
+                        std::string *target)
+{
+    options_.push_back({name, help, Kind::String, target});
+}
+
+const OptionParser::Option *
+OptionParser::find(const std::string &name) const
+{
+    for (const Option &opt : options_) {
+        if (opt.name == name)
+            return &opt;
+    }
+    return nullptr;
+}
+
+bool
+OptionParser::apply(const Option &opt, const std::string &value,
+                    std::string *error)
+{
+    std::istringstream is(value);
+    bool ok = true;
+    switch (opt.kind) {
+      case Kind::Flag: {
+        if (value.empty() || value == "1" || value == "true") {
+            *static_cast<bool *>(opt.target) = true;
+        } else if (value == "0" || value == "false") {
+            *static_cast<bool *>(opt.target) = false;
+        } else {
+            ok = false;
+        }
+        break;
+      }
+      case Kind::Int:
+        ok = static_cast<bool>(is >> *static_cast<int *>(opt.target));
+        break;
+      case Kind::Uint64:
+        ok = static_cast<bool>(
+            is >> *static_cast<std::uint64_t *>(opt.target));
+        break;
+      case Kind::Double:
+        ok = static_cast<bool>(is >> *static_cast<double *>(opt.target));
+        break;
+      case Kind::String:
+        *static_cast<std::string *>(opt.target) = value;
+        break;
+    }
+    if (!ok && error)
+        *error = "bad value '" + value + "' for --" + opt.name;
+    return ok;
+}
+
+bool
+OptionParser::parse(int argc, const char *const *argv, std::string *error)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            helpRequested_ = true;
+            return true;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            if (error)
+                *error = "unexpected argument '" + arg + "'";
+            return false;
+        }
+        arg = arg.substr(2);
+
+        std::string value;
+        bool has_value = false;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+
+        const Option *opt = find(arg);
+        if (!opt) {
+            if (error)
+                *error = "unknown option --" + arg;
+            return false;
+        }
+        if (!has_value && opt->kind != Kind::Flag) {
+            if (i + 1 >= argc) {
+                if (error)
+                    *error = "missing value for --" + arg;
+                return false;
+            }
+            value = argv[++i];
+        }
+        if (!apply(*opt, value, error))
+            return false;
+    }
+    return true;
+}
+
+std::string
+OptionParser::usage() const
+{
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\noptions:\n";
+    for (const Option &opt : options_) {
+        os << "  --" << opt.name;
+        switch (opt.kind) {
+          case Kind::Flag:   os << "[=0|1]"; break;
+          case Kind::Int:    os << " <int>"; break;
+          case Kind::Uint64: os << " <u64>"; break;
+          case Kind::Double: os << " <float>"; break;
+          case Kind::String: os << " <str>"; break;
+        }
+        os << "\n      " << opt.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tpnet

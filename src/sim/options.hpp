@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal command-line option parser for the tools and benches.
+ *
+ * Supports `--name value`, `--name=value`, boolean flags (`--flag` /
+ * `--flag=0`), and generated `--help` text. No external dependencies;
+ * targets are plain pointers so a SimConfig can be wired up directly.
+ */
+
+#ifndef TPNET_SIM_OPTIONS_HPP
+#define TPNET_SIM_OPTIONS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpnet {
+
+/** Declarative command-line parser. */
+class OptionParser
+{
+  public:
+    OptionParser(std::string program, std::string description);
+
+    void addFlag(const std::string &name, const std::string &help,
+                 bool *target);
+    void addInt(const std::string &name, const std::string &help,
+                int *target);
+    void addUint64(const std::string &name, const std::string &help,
+                   std::uint64_t *target);
+    void addDouble(const std::string &name, const std::string &help,
+                   double *target);
+    void addString(const std::string &name, const std::string &help,
+                   std::string *target);
+
+    /**
+     * Parse argv. On failure, @p error (if non-null) receives a
+     * message. `--help` sets helpRequested() and returns true.
+     */
+    bool parse(int argc, const char *const *argv,
+               std::string *error = nullptr);
+
+    bool helpRequested() const { return helpRequested_; }
+
+    /** Generated usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind : std::uint8_t { Flag, Int, Uint64, Double, String };
+
+    struct Option
+    {
+        std::string name;
+        std::string help;
+        Kind kind;
+        void *target;
+    };
+
+    const Option *find(const std::string &name) const;
+    bool apply(const Option &opt, const std::string &value,
+               std::string *error);
+
+    std::string program_;
+    std::string description_;
+    std::vector<Option> options_;
+    bool helpRequested_ = false;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_SIM_OPTIONS_HPP

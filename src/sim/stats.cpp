@@ -1,0 +1,136 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tpnet {
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+tCritical95(std::size_t df)
+{
+    // Two-sided 95% critical values of the Student-t distribution.
+    static const double table[] = {
+        0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+        2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+        2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+        2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042,
+    };
+    constexpr std::size_t tableMax = sizeof(table) / sizeof(table[0]) - 1;
+    if (df == 0)
+        return std::numeric_limits<double>::infinity();
+    if (df <= tableMax)
+        return table[df];
+    if (df <= 40)
+        return 2.021;
+    if (df <= 60)
+        return 2.000;
+    if (df <= 120)
+        return 1.980;
+    return 1.960;
+}
+
+double
+ReplicationStat::halfWidth95() const
+{
+    if (stat_.count() < 2)
+        return std::numeric_limits<double>::infinity();
+    const double se = stat_.stddev() /
+        std::sqrt(static_cast<double>(stat_.count()));
+    return tCritical95(stat_.count() - 1) * se;
+}
+
+bool
+ReplicationStat::acceptable(std::size_t min_reps) const
+{
+    if (stat_.count() < min_reps || stat_.count() < 2)
+        return false;
+    const double mean = stat_.mean();
+    if (mean == 0.0)
+        return halfWidth95() == 0.0;
+    return halfWidth95() <= relBound_ * std::abs(mean);
+}
+
+BatchMeans::BatchMeans(std::size_t batch_size)
+    : batchSize_(batch_size ? batch_size : 1)
+{}
+
+void
+BatchMeans::add(double x)
+{
+    batchSum_ += x;
+    if (++inBatch_ == batchSize_) {
+        stat_.add(batchSum_ / static_cast<double>(batchSize_));
+        inBatch_ = 0;
+        batchSum_ = 0.0;
+    }
+}
+
+double
+BatchMeans::halfWidth95() const
+{
+    if (stat_.count() < 2)
+        return std::numeric_limits<double>::infinity();
+    const double se = stat_.stddev() /
+        std::sqrt(static_cast<double>(stat_.count()));
+    return tCritical95(stat_.count() - 1) * se;
+}
+
+bool
+BatchMeans::acceptable(double rel_bound, std::size_t min_batches) const
+{
+    if (stat_.count() < min_batches || stat_.count() < 2)
+        return false;
+    const double m = stat_.mean();
+    if (m == 0.0)
+        return halfWidth95() == 0.0;
+    return halfWidth95() <= rel_bound * std::abs(m);
+}
+
+void
+BatchMeans::clear()
+{
+    inBatch_ = 0;
+    batchSum_ = 0.0;
+    stat_.clear();
+}
+
+void
+Histogram::add(double x)
+{
+    if (counts_.empty())
+        return;
+    std::size_t bin = x < 0 ? 0 : static_cast<std::size_t>(x / width_);
+    if (bin >= counts_.size() - 1)
+        bin = counts_.size() - 1;
+    ++counts_[bin];
+    ++total_;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (total_ == 0 || counts_.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cum += static_cast<double>(counts_[i]);
+        if (cum >= target) {
+            // Midpoint of the bin as the representative value.
+            return (static_cast<double>(i) + 0.5) * width_;
+        }
+    }
+    return static_cast<double>(counts_.size()) * width_;
+}
+
+} // namespace tpnet

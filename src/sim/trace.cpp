@@ -1,0 +1,20 @@
+#include "sim/trace.hpp"
+
+namespace tpnet {
+
+const char *
+probeEventName(ProbeEvent e)
+{
+    switch (e) {
+      case ProbeEvent::Routed:          return "routed";
+      case ProbeEvent::Backtracked:     return "backtracked";
+      case ProbeEvent::Ejected:         return "ejected";
+      case ProbeEvent::EnteredSrMode:   return "sr-mode";
+      case ProbeEvent::EnteredDetour:   return "detour";
+      case ProbeEvent::CompletedDetour: return "detour-done";
+      case ProbeEvent::Aborted:         return "aborted";
+    }
+    return "?";
+}
+
+} // namespace tpnet

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Simulation event tracing.
+ *
+ * A TraceSink attached to a Network observes flit-level and probe-level
+ * events as they happen. Sinks power the time-space diagram renderer
+ * (Fig. 1), debugging, and tests that assert *dynamic* properties (e.g.
+ * the header/first-data-flit gap bound of Section 2.2).
+ */
+
+#ifndef TPNET_SIM_TRACE_HPP
+#define TPNET_SIM_TRACE_HPP
+
+#include "router/flit.hpp"
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Link;
+struct Message;
+
+/** Probe-level events reported to trace sinks. */
+enum class ProbeEvent : std::uint8_t {
+    Routed,          ///< RCU reserved the next trio (Forward)
+    Backtracked,     ///< probe retreated one hop
+    Ejected,         ///< probe reached the destination
+    EnteredSrMode,   ///< crossed an unsafe channel, SR bit set
+    EnteredDetour,   ///< detour bit set, data frozen
+    CompletedDetour, ///< detour accepted, release sweeping
+    Aborted,         ///< setup abandoned (tear down + re-try)
+};
+
+/** Observer interface; default implementations ignore everything. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** A flit crossed a link (data lane or control lane). */
+    virtual void
+    flitCrossed(Cycle now, const Link &link, const Flit &flit,
+                bool control_lane)
+    {
+        (void)now;
+        (void)link;
+        (void)flit;
+        (void)control_lane;
+    }
+
+    /** A flit entered the network at its source PE. */
+    virtual void
+    flitInjected(Cycle now, NodeId node, const Flit &flit)
+    {
+        (void)now;
+        (void)node;
+        (void)flit;
+    }
+
+    /** A flit was delivered to the destination PE. */
+    virtual void
+    flitDelivered(Cycle now, NodeId node, const Flit &flit)
+    {
+        (void)now;
+        (void)node;
+        (void)flit;
+    }
+
+    /** The routing probe of @p msg did something noteworthy. */
+    virtual void
+    probeEvent(Cycle now, const Message &msg, ProbeEvent event)
+    {
+        (void)now;
+        (void)msg;
+        (void)event;
+    }
+};
+
+/** Short name for a probe event (tracing, tests). */
+const char *probeEventName(ProbeEvent e);
+
+} // namespace tpnet
+
+#endif // TPNET_SIM_TRACE_HPP

@@ -1,0 +1,151 @@
+#include "topology/torus.hpp"
+
+#include <cstdlib>
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+TorusTopology::TorusTopology(int k, int n, bool wrap)
+    : k_(k), n_(n), radix_(2 * n), wrap_(wrap)
+{
+    if (k < 2 || n < 1 || n > maxDims)
+        tpnet_fatal("bad torus geometry k=", k, " n=", n);
+    stride_[0] = 1;
+    for (int d = 0; d < n_; ++d)
+        stride_[d + 1] = stride_[d] * k_;
+    nodes_ = stride_[n_];
+}
+
+int
+TorusTopology::coord(NodeId node, int dim) const
+{
+    return (node / stride_[dim]) % k_;
+}
+
+NodeId
+TorusTopology::nodeAt(const OffsetVec &coords) const
+{
+    NodeId id = 0;
+    for (int d = 0; d < n_; ++d) {
+        int c = coords[d] % k_;
+        if (c < 0)
+            c += k_;
+        id += c * stride_[d];
+    }
+    return id;
+}
+
+NodeId
+TorusTopology::neighbor(NodeId node, int port) const
+{
+    const int dim = dimOf(port);
+    const int step = stepOf(dirOf(port));
+    int c = coord(node, dim) + step;
+    if (c < 0)
+        c += k_;
+    else if (c >= k_)
+        c -= k_;
+    return node + (c - coord(node, dim)) * stride_[dim];
+}
+
+OffsetVec
+TorusTopology::offsets(NodeId from, NodeId to) const
+{
+    OffsetVec off{};
+    if (!wrap_) {
+        // Mesh: the minimal path never leaves the grid.
+        for (int d = 0; d < n_; ++d)
+            off[d] = coord(to, d) - coord(from, d);
+        return off;
+    }
+    for (int d = 0; d < n_; ++d) {
+        int delta = coord(to, d) - coord(from, d);
+        if (delta > k_ / 2)
+            delta -= k_;
+        else if (delta < -(k_ - 1) / 2)
+            delta += k_;
+        // For even k a distance of exactly k/2 can be reached either way;
+        // normalize ties to the positive direction.
+        if (2 * delta == -k_)
+            delta = k_ / 2;
+        off[d] = delta;
+    }
+    return off;
+}
+
+int
+TorusTopology::distance(NodeId from, NodeId to) const
+{
+    const OffsetVec off = offsets(from, to);
+    int dist = 0;
+    for (int d = 0; d < n_; ++d)
+        dist += std::abs(off[d]);
+    return dist;
+}
+
+std::vector<int>
+TorusTopology::profitablePorts(const OffsetVec &off) const
+{
+    std::vector<int> ports;
+    ports.reserve(static_cast<std::size_t>(2 * n_));
+    for (int d = 0; d < n_; ++d) {
+        for (Dir dir : {Dir::Plus, Dir::Minus}) {
+            if (portProfitable(off, portOf(d, dir)))
+                ports.push_back(portOf(d, dir));
+        }
+    }
+    return ports;
+}
+
+bool
+TorusTopology::portProfitable(const OffsetVec &off, int port) const
+{
+    // A hop is profitable when it reduces the remaining ring distance.
+    // When the offset is exactly k/2 both torus directions are minimal.
+    const int d = dimOf(port);
+    if (off[d] == 0)
+        return false;
+    if (wrap_ && 2 * std::abs(off[d]) == k_)
+        return true;
+    return (off[d] > 0 && dirOf(port) == Dir::Plus) ||
+           (off[d] < 0 && dirOf(port) == Dir::Minus);
+}
+
+OffsetVec
+TorusTopology::advance(const OffsetVec &off, int port) const
+{
+    OffsetVec next = off;
+    const int d = dimOf(port);
+    // Moving in + reduces a positive offset by one; moving against the
+    // offset increases the remaining distance, wrapping around the ring
+    // when the magnitude would exceed the minimal representation.
+    next[d] -= stepOf(dirOf(port));
+    if (wrap_) {
+        if (next[d] > k_ / 2)
+            next[d] -= k_;
+        else if (next[d] < -(k_ - 1) / 2)
+            next[d] += k_;
+        if (2 * next[d] == -k_)
+            next[d] = k_ / 2;
+    }
+    return next;
+}
+
+bool
+TorusTopology::wrapsAround(NodeId node, int port) const
+{
+    const int d = dimOf(port);
+    const int c = coord(node, d);
+    if (dirOf(port) == Dir::Plus)
+        return c == k_ - 1;
+    return c == 0;
+}
+
+bool
+TorusTopology::crossesDateline(NodeId node, int port) const
+{
+    return wrap_ && wrapsAround(node, port);
+}
+
+} // namespace tpnet

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Torus-connected k-ary n-cube topology (paper Section 2.1).
+ *
+ * Nodes are numbered in mixed-radix order: node id = sum coord[d] * k^d.
+ * Each node has 2n network ports (portOf(dim, dir)) plus the PE connection
+ * which the router model treats separately. A unidirectional physical link
+ * is identified by LinkId = node * 2n + port and runs from `node` out of
+ * `port` into `neighbor(node, port)`, arriving on the opposite port.
+ */
+
+#ifndef TPNET_TOPOLOGY_TORUS_HPP
+#define TPNET_TOPOLOGY_TORUS_HPP
+
+#include <array>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+/** Signed per-dimension offsets from a node to a destination. */
+using OffsetVec = std::array<int, maxDims>;
+
+/**
+ * Geometry and addressing of a k-ary n-cube, torus-connected by default
+ * (paper Section 2.1). With @p wrap = false the same node/port/link
+ * addressing describes a mesh: the wraparound channels still have ids
+ * (so link numbering is uniform) but the Network marks them absent,
+ * offsets never point across the edge, and no dateline classes are
+ * needed.
+ */
+class TorusTopology
+{
+  public:
+    TorusTopology(int k, int n, bool wrap = true);
+
+    int k() const { return k_; }
+    int n() const { return n_; }
+    bool wrap() const { return wrap_; }
+    int nodes() const { return nodes_; }
+    int radix() const { return radix_; }
+    int links() const { return nodes_ * radix_; }
+    int
+    diameter() const
+    {
+        return wrap_ ? n_ * (k_ / 2) : n_ * (k_ - 1);
+    }
+
+    /** Coordinate of @p node along @p dim. */
+    int coord(NodeId node, int dim) const;
+
+    /** Node at the given coordinates (first n entries used). */
+    NodeId nodeAt(const OffsetVec &coords) const;
+
+    /** Neighbor reached through @p port (torus wraparound). */
+    NodeId neighbor(NodeId node, int port) const;
+
+    /** Global id of the unidirectional link out of @p node via @p port. */
+    LinkId
+    linkId(NodeId node, int port) const
+    {
+        return node * radix_ + port;
+    }
+
+    /** Source node of link @p link. */
+    NodeId linkSrc(LinkId link) const { return link / radix_; }
+
+    /** Output port of link @p link at its source node. */
+    int linkPort(LinkId link) const { return link % radix_; }
+
+    /** Destination node of link @p link. */
+    NodeId
+    linkDst(LinkId link) const
+    {
+        return neighbor(linkSrc(link), linkPort(link));
+    }
+
+    /** Link running in the opposite direction over the same physical wire. */
+    LinkId
+    reverseLink(LinkId link) const
+    {
+        return linkId(linkDst(link), oppositePort(linkPort(link)));
+    }
+
+    /**
+     * Minimal signed offset from @p from to @p to in each dimension.
+     * |offset| <= k/2; ties (distance exactly k/2) resolve to +.
+     */
+    OffsetVec offsets(NodeId from, NodeId to) const;
+
+    /** Minimal hop distance between two nodes. */
+    int distance(NodeId from, NodeId to) const;
+
+    /**
+     * Ports that make minimal progress from a node whose offset vector to
+     * the destination is @p off (profitable links, paper Section 2.1).
+     */
+    std::vector<int> profitablePorts(const OffsetVec &off) const;
+
+    /** True when moving through @p port reduces |offset| in its dimension. */
+    bool portProfitable(const OffsetVec &off, int port) const;
+
+    /**
+     * Offset vector after moving through @p port: the port's dimension
+     * component moves one step toward zero (profitable) or away from it
+     * (misroute), wrapping so |offset| stays within the ring.
+     */
+    OffsetVec advance(const OffsetVec &off, int port) const;
+
+    /**
+     * True when a hop through @p port out of @p node crosses the dateline
+     * of the port's dimension (the wrap edge between coords k-1 and 0).
+     * Used for the two-class escape-channel (deterministic channel)
+     * deadlock-avoidance scheme on each torus ring. Always false on a
+     * mesh (no ring, no dateline needed).
+     */
+    bool crossesDateline(NodeId node, int port) const;
+
+    /**
+     * True when the hop through @p port out of @p node is a wraparound
+     * channel (coords k-1 -> 0 or 0 -> k-1), regardless of wrap mode —
+     * these are the links a mesh marks absent.
+     */
+    bool wrapsAround(NodeId node, int port) const;
+
+  private:
+    int k_;
+    int n_;
+    int nodes_;
+    int radix_;
+    bool wrap_;
+    std::array<int, maxDims + 1> stride_;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_TOPOLOGY_TORUS_HPP

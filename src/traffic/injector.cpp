@@ -1,0 +1,33 @@
+#include "traffic/injector.hpp"
+
+#include "core/network.hpp"
+
+namespace tpnet {
+
+Injector::Injector(Network &net)
+    : net_(net),
+      source_(net.config().pattern, net.topo()),
+      msgProb_(net.config().msgRate())
+{}
+
+void
+Injector::step()
+{
+    if (stopped_ || msgProb_ <= 0.0)
+        return;
+    Rng &rng = net_.rng();
+    const int nodes = net_.topo().nodes();
+    for (NodeId src = 0; src < nodes; ++src) {
+        if (net_.nodeFaulty(src))
+            continue;
+        if (!rng.chance(msgProb_))
+            continue;
+        const NodeId dst = source_.pick(net_, src, rng);
+        if (dst == invalidNode)
+            continue;
+        ++offered_;
+        net_.offerMessage(src, dst);
+    }
+}
+
+} // namespace tpnet

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Open-loop message generator with injection-side congestion control.
+ *
+ * Every healthy node generates a new message each cycle with probability
+ * load / L (a Bernoulli process whose mean offered load is the
+ * configured flits/node/cycle). Generation that finds the 8-message
+ * injection queue full is rejected and counted — the paper's congestion
+ * control: "If the input buffers are filled, messages cannot be injected
+ * into the network until a message in the buffer has been routed"
+ * (Section 6.0).
+ */
+
+#ifndef TPNET_TRAFFIC_INJECTOR_HPP
+#define TPNET_TRAFFIC_INJECTOR_HPP
+
+#include "traffic/pattern.hpp"
+
+namespace tpnet {
+
+/** Drives traffic generation for a Network, one call per cycle. */
+class Injector
+{
+  public:
+    explicit Injector(Network &net);
+
+    /** Generate this cycle's messages (call before Network::step()). */
+    void step();
+
+    /** Stop generating (drain phases). */
+    void stop() { stopped_ = true; }
+
+    std::uint64_t offered() const { return offered_; }
+
+  private:
+    Network &net_;
+    TrafficSource source_;
+    double msgProb_;
+    bool stopped_ = false;
+    std::uint64_t offered_ = 0;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_TRAFFIC_INJECTOR_HPP

@@ -1,0 +1,67 @@
+#include "traffic/pattern.hpp"
+
+#include "core/network.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+TrafficSource::TrafficSource(TrafficPattern pattern,
+                             const TorusTopology &topo)
+    : pattern_(pattern), topo_(topo)
+{}
+
+NodeId
+TrafficSource::mapped(NodeId src) const
+{
+    const int n = topo_.n();
+    const int k = topo_.k();
+    OffsetVec coords{};
+    switch (pattern_) {
+      case TrafficPattern::Uniform:
+        tpnet_panic("uniform traffic has no deterministic mapping");
+
+      case TrafficPattern::BitComplement:
+        for (int d = 0; d < n; ++d)
+            coords[d] = k - 1 - topo_.coord(src, d);
+        return topo_.nodeAt(coords);
+
+      case TrafficPattern::Transpose:
+        for (int d = 0; d < n; ++d)
+            coords[d] = topo_.coord(src, n - 1 - d);
+        return topo_.nodeAt(coords);
+
+      case TrafficPattern::NeighborPlus:
+        for (int d = 0; d < n; ++d)
+            coords[d] = topo_.coord(src, d);
+        coords[0] = (coords[0] + 1) % k;
+        return topo_.nodeAt(coords);
+
+      case TrafficPattern::Tornado:
+        for (int d = 0; d < n; ++d)
+            coords[d] = (topo_.coord(src, d) + (k - 1) / 2) % k;
+        return topo_.nodeAt(coords);
+    }
+    tpnet_panic("unknown traffic pattern");
+}
+
+NodeId
+TrafficSource::pick(Network &net, NodeId src, Rng &rng) const
+{
+    if (pattern_ == TrafficPattern::Uniform) {
+        // Uniform over healthy nodes, destination != source.
+        const int nodes = topo_.nodes();
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            const NodeId dst = static_cast<NodeId>(
+                rng.below(static_cast<std::uint64_t>(nodes)));
+            if (dst != src && !net.nodeFaulty(dst))
+                return dst;
+        }
+        return invalidNode;  // nearly everything failed
+    }
+    const NodeId dst = mapped(src);
+    if (dst == src || net.nodeFaulty(dst))
+        return invalidNode;
+    return dst;
+}
+
+} // namespace tpnet

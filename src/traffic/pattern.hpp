@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic traffic patterns. The paper's evaluation uses uniformly
+ * distributed destinations (Section 6.0); the deterministic permutation
+ * patterns are used to validate the simulator against closed-form
+ * behavior, mirroring the paper's validation methodology [14].
+ */
+
+#ifndef TPNET_TRAFFIC_PATTERN_HPP
+#define TPNET_TRAFFIC_PATTERN_HPP
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "topology/torus.hpp"
+
+namespace tpnet {
+
+class Network;
+
+/** Chooses destinations for newly generated messages. */
+class TrafficSource
+{
+  public:
+    TrafficSource(TrafficPattern pattern, const TorusTopology &topo);
+
+    /**
+     * Destination for a message from @p src, or invalidNode when the
+     * pattern maps src to itself or to a failed node (the message is
+     * then not generated — failed PEs are removed from the traffic,
+     * Section 2.4).
+     */
+    NodeId pick(Network &net, NodeId src, Rng &rng) const;
+
+    /** The deterministic mapping for non-uniform patterns (tests). */
+    NodeId mapped(NodeId src) const;
+
+  private:
+    TrafficPattern pattern_;
+    const TorusTopology &topo_;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_TRAFFIC_PATTERN_HPP

@@ -1,0 +1,90 @@
+/** @file CSV export of experiment series. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace tpnet {
+namespace {
+
+Series
+fakeSeries(const std::string &label, double base)
+{
+    Series s;
+    s.label = label;
+    for (int i = 0; i < 3; ++i) {
+        SeriesPoint pt;
+        pt.x = 0.1 * (i + 1);
+        pt.result.mean.throughput = base + 0.01 * i;
+        pt.result.mean.avgLatency = 50.0 + 10.0 * i;
+        pt.result.mean.p95Latency = 80.0;
+        pt.result.mean.deliveredFraction = 1.0;
+        pt.result.replications = 2;
+        pt.result.latencyHw95 = 1.5;
+        s.points.push_back(pt);
+    }
+    return s;
+}
+
+TEST(Csv, WritesTidyRows)
+{
+    const std::string path = "/tmp/tpnet_test_series.csv";
+    ASSERT_TRUE(writeSeriesCsv(path, {fakeSeries("TP", 0.1),
+                                      fakeSeries("MB-m", 0.05)},
+                               "offered"));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line,
+              "series,offered,throughput,latency,p95,delivered_frac,"
+              "undeliverable,replications,lat_ci95");
+    int rows = 0;
+    int tp_rows = 0;
+    while (std::getline(in, line)) {
+        ++rows;
+        if (line.rfind("\"TP\"", 0) == 0)
+            ++tp_rows;
+        // Nine comma-separated fields per row.
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8);
+    }
+    EXPECT_EQ(rows, 6);
+    EXPECT_EQ(tp_rows, 3);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, FailsOnBadPath)
+{
+    EXPECT_FALSE(writeSeriesCsv("/nonexistent-dir/foo.csv", {}, "x"));
+}
+
+TEST(Csv, EmptySeriesListIsHeaderOnly)
+{
+    const std::string path = "/tmp/tpnet_test_empty.csv";
+    ASSERT_TRUE(writeSeriesCsv(path, {}, "x"));
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 1);
+    std::remove(path.c_str());
+}
+
+TEST(PrintSeries, FormatsBlock)
+{
+    std::ostringstream os;
+    printSeries(os, fakeSeries("DP", 0.2), "offered");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("# DP"), std::string::npos);
+    EXPECT_NE(out.find("offered\t"), std::string::npos);
+    // Three data rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2 + 3 + 1);
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Validation of the simulator against the closed-form minimum latencies
+ * of Section 2.2 (Fig. 1) — the same style of validation the paper
+ * performed with deterministic communication patterns [14].
+ *
+ * Measured single-message latencies on an idle network:
+ *   - WR (DOR / DP):       exactly l + L
+ *   - TP in WR mode (K=0): l + L - 1 (the control-lane header lets the
+ *                          first data flit enter one cycle earlier)
+ *   - PCS / MB-m:          exactly 3l + L - 1
+ *   - SR(K):               l + (2K-1) + L, up to 2 cycles shaved when
+ *                          the destination-reached acknowledgment opens
+ *                          trailing gates early (short paths).
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::oneShotLatency;
+using test::smallConfig;
+
+/** Destination exactly @p hops away along dimension 0 (hops < k/2). */
+NodeId
+dstAtHops(int hops)
+{
+    return hops;
+}
+
+class WrLatency : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(WrLatency, DorMatchesFormulaExactly)
+{
+    const int l = GetParam();
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    EXPECT_EQ(oneShotLatency(cfg, 0, dstAtHops(l)),
+              analytic::wrLatency(l, cfg.msgLength));
+}
+
+TEST_P(WrLatency, DuatoMatchesFormulaExactly)
+{
+    const int l = GetParam();
+    SimConfig cfg = smallConfig(Protocol::Duato, 16, 2);
+    EXPECT_EQ(oneShotLatency(cfg, 0, dstAtHops(l)),
+              analytic::wrLatency(l, cfg.msgLength));
+}
+
+TEST_P(WrLatency, TwoPhaseIsWormholeLike)
+{
+    // Fault-free TP ~ WR (Section 6.1): identical up to the one-cycle
+    // control-lane head start.
+    const int l = GetParam();
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);
+    const double lat = oneShotLatency(cfg, 0, dstAtHops(l));
+    EXPECT_GE(lat, analytic::wrLatency(l, cfg.msgLength) - 1);
+    EXPECT_LE(lat, analytic::wrLatency(l, cfg.msgLength));
+}
+
+TEST_P(WrLatency, PcsMatchesFormulaExactly)
+{
+    const int l = GetParam();
+    SimConfig cfg = smallConfig(Protocol::Pcs, 16, 2);
+    EXPECT_EQ(oneShotLatency(cfg, 0, dstAtHops(l)),
+              analytic::pcsLatency(l, cfg.msgLength));
+}
+
+TEST_P(WrLatency, MbmEqualsPcsOnFaultFreePath)
+{
+    const int l = GetParam();
+    SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
+    EXPECT_EQ(oneShotLatency(cfg, 0, dstAtHops(l)),
+              analytic::pcsLatency(l, cfg.msgLength));
+}
+
+INSTANTIATE_TEST_SUITE_P(PathLengths, WrLatency,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+class ScoutLatency
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(ScoutLatency, WithinTwoCyclesOfFormula)
+{
+    const auto [l, k] = GetParam();
+    SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+    cfg.scoutK = k;
+    const double lat = oneShotLatency(cfg, 0, dstAtHops(l));
+    const int formula = analytic::scoutingLatency(l, cfg.msgLength, k);
+    EXPECT_GE(lat, formula - 2);
+    EXPECT_LE(lat, formula);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PathAndK, ScoutLatency,
+    ::testing::Combine(::testing::Values(3, 5, 7),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(ScoutLatency, MonotoneInK)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+    double prev = 0;
+    for (int k = 0; k <= 4; ++k) {
+        cfg.scoutK = k;
+        const double lat = oneShotLatency(cfg, 0, dstAtHops(6));
+        EXPECT_GE(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(ScoutLatency, SlopeIsTwoPerK)
+{
+    // Each unit of scouting distance delays the first data flit by two
+    // cycles (one probe hop + one ack hop), Section 2.2.
+    SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+    cfg.scoutK = 1;
+    const double k1 = oneShotLatency(cfg, 0, dstAtHops(7));
+    cfg.scoutK = 3;
+    const double k3 = oneShotLatency(cfg, 0, dstAtHops(7));
+    EXPECT_EQ(k3 - k1, 4.0);
+}
+
+TEST(PcsVsWr, SetupPenaltyIsTwoL)
+{
+    // t_PCS - t_WR = 2l - 1: the decoupled path setup costs two extra
+    // traversals of the path (header out, ack back).
+    for (int l : {2, 4, 6}) {
+        SimConfig wr = smallConfig(Protocol::DimOrder, 16, 2);
+        SimConfig pcs = smallConfig(Protocol::Pcs, 16, 2);
+        const double d = oneShotLatency(pcs, 0, dstAtHops(l)) -
+                         oneShotLatency(wr, 0, dstAtHops(l));
+        EXPECT_EQ(d, 2.0 * l - 1.0);
+    }
+}
+
+TEST(LatencyModel, MessageLengthAddsLinearly)
+{
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    cfg.msgLength = 8;
+    const double short_msg = oneShotLatency(cfg, 0, dstAtHops(4));
+    cfg.msgLength = 64;
+    const double long_msg = oneShotLatency(cfg, 0, dstAtHops(4));
+    EXPECT_EQ(long_msg - short_msg, 56.0);
+}
+
+TEST(LatencyModel, MultiDimensionalPath)
+{
+    // l = |dx| + |dy| regardless of the turn.
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    const NodeId dst = 3 + 16 * 4;  // offsets (+3, +4), l = 7
+    EXPECT_EQ(oneShotLatency(cfg, 0, dst),
+              analytic::wrLatency(7, cfg.msgLength));
+}
+
+TEST(LatencyModel, WraparoundUsesMinimalRoute)
+{
+    // Destination 13 on a 16-ring is 3 hops the short way.
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    EXPECT_EQ(oneShotLatency(cfg, 0, 13),
+              analytic::wrLatency(3, cfg.msgLength));
+}
+
+TEST(LatencyModel, SingleFlitMessages)
+{
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    cfg.msgLength = 1;
+    EXPECT_EQ(oneShotLatency(cfg, 0, dstAtHops(5)),
+              analytic::wrLatency(5, 1));
+}
+
+TEST(LatencyModel, ScoutGapBound)
+{
+    // The header/first-data-flit separation is bounded by 2K - 1.
+    EXPECT_EQ(analytic::maxScoutGap(3), 5);
+    EXPECT_EQ(analytic::maxScoutGap(0), 0);
+}
+
+} // namespace
+} // namespace tpnet

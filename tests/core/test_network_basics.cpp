@@ -1,0 +1,184 @@
+/** @file Network mechanics: injection queues, delivery, accounting. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+TEST(NetworkBasics, StartsQuiescent)
+{
+    Network net(smallConfig());
+    EXPECT_TRUE(net.quiescent());
+    EXPECT_EQ(net.activeMessages(), 0u);
+    net.step();
+    EXPECT_EQ(net.now(), 1u);
+}
+
+TEST(NetworkBasics, SingleMessageDelivered)
+{
+    Network net(smallConfig());
+    net.setMeasuring(true);
+    EXPECT_TRUE(net.offerMessage(0, 5));
+    EXPECT_TRUE(runToQuiescent(net));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.generated, 1u);
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_EQ(c.dropped + c.lost, 0u);
+    EXPECT_EQ(c.dataFlitsDelivered,
+              static_cast<std::uint64_t>(net.config().msgLength));
+}
+
+TEST(NetworkBasics, InjectionQueueCongestionControl)
+{
+    // Section 6.0: eight buffers per injection channel; the ninth offer
+    // is not accepted.
+    Network net(smallConfig());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(net.offerMessage(0, 12));
+    EXPECT_FALSE(net.offerMessage(0, 12));
+    EXPECT_EQ(net.counters().notAccepted, 1u);
+    EXPECT_EQ(net.injQueueLen(0), 8u);
+    // Once the queue drains, offers are accepted again.
+    EXPECT_TRUE(runToQuiescent(net));
+    EXPECT_TRUE(net.offerMessage(0, 12));
+}
+
+TEST(NetworkBasics, QueuedMessagesDeliverInOrder)
+{
+    Network net(smallConfig());
+    net.setMeasuring(true);
+    for (int i = 0; i < 5; ++i)
+        net.offerMessage(0, 9);
+    EXPECT_TRUE(runToQuiescent(net));
+    EXPECT_EQ(net.counters().delivered, 5u);
+}
+
+TEST(NetworkBasics, ManySourcesManyDestinations)
+{
+    Network net(smallConfig());
+    net.setMeasuring(true);
+    const int nodes = net.topo().nodes();
+    int offered = 0;
+    for (NodeId src = 0; src < nodes; src += 3) {
+        const NodeId dst = (src + 17) % nodes;
+        if (dst != src && net.offerMessage(src, dst))
+            ++offered;
+    }
+    EXPECT_TRUE(runToQuiescent(net));
+    EXPECT_EQ(net.counters().delivered,
+              static_cast<std::uint64_t>(offered));
+}
+
+TEST(NetworkBasics, MeasurementTagging)
+{
+    Network net(smallConfig());
+    net.offerMessage(0, 3);          // untagged
+    net.setMeasuring(true);
+    net.offerMessage(1, 4);          // tagged
+    net.setMeasuring(false);
+    EXPECT_TRUE(runToQuiescent(net));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 2u);
+    EXPECT_EQ(c.measuredGenerated, 1u);
+    EXPECT_EQ(c.measuredDelivered, 1u);
+    EXPECT_EQ(c.latency.count(), 1u);
+}
+
+TEST(NetworkBasics, LatencyIncludesQueueing)
+{
+    // Two messages to the same destination from one source: the second
+    // waits for the injection channel, so its latency is strictly
+    // larger.
+    Network net(smallConfig(Protocol::DimOrder));
+    net.setMeasuring(true);
+    net.offerMessage(0, 4);
+    net.offerMessage(0, 4);
+    EXPECT_TRUE(runToQuiescent(net));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 2u);
+    EXPECT_GT(c.latency.max(), c.latency.min());
+}
+
+TEST(NetworkBasics, ThroughputCountsOnlyWindowFlits)
+{
+    Network net(smallConfig());
+    net.offerMessage(0, 2);
+    EXPECT_TRUE(runToQuiescent(net));
+    EXPECT_EQ(net.counters().windowDataFlits, 0u);  // never measured
+    EXPECT_GT(net.counters().dataFlitsDelivered, 0u);
+}
+
+TEST(NetworkBasics, WormholeHoldsMultipleChannels)
+{
+    // A 32-flit wormhole message spans several links at once: peak
+    // data-lane occupancy shows pipelining (more crossings than cycles
+    // implies overlap is impossible to avoid checking directly; instead
+    // verify total crossings == flits * hops + header hops).
+    SimConfig cfg = smallConfig(Protocol::DimOrder);
+    Network net(cfg);
+    net.setMeasuring(true);
+    net.offerMessage(0, 4);  // l = 4
+    EXPECT_TRUE(runToQuiescent(net));
+    // 32 data flits + 1 inline header flit each cross all 4 links of
+    // the path (the injection push is the first link's crossing).
+    const std::uint64_t expected = 33u * 4u;
+    EXPECT_EQ(net.counters().dataCrossings, expected);
+}
+
+TEST(NetworkBasics, ControlLaneUnusedByPureWormhole)
+{
+    SimConfig cfg = smallConfig(Protocol::DimOrder);
+    Network net(cfg);
+    net.offerMessage(0, 4);
+    EXPECT_TRUE(runToQuiescent(net));
+    EXPECT_EQ(net.counters().ctrlCrossings, 0u);
+}
+
+TEST(NetworkBasics, ControlLaneCarriesTpHeader)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase);
+    Network net(cfg);
+    net.offerMessage(0, 4);
+    EXPECT_TRUE(runToQuiescent(net));
+    // The TP probe crosses l = 4 links on the control lane; with K = 0
+    // and no faults there are no acknowledgments (Section 6.1).
+    EXPECT_EQ(net.counters().ctrlCrossings, 4u);
+    EXPECT_EQ(net.counters().posAcks, 0u);
+}
+
+TEST(NetworkBasics, ScoutingAckAccounting)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting);
+    cfg.scoutK = 3;
+    Network net(cfg);
+    net.offerMessage(0, 4);  // l = 4
+    EXPECT_TRUE(runToQuiescent(net));
+    // One positive ack per probe advance (Section 2.2).
+    EXPECT_EQ(net.counters().posAcks, 4u);
+    EXPECT_EQ(net.counters().negAcks, 0u);
+}
+
+TEST(NetworkBasics, SelfTrafficRejectedByCaller)
+{
+    // offerMessage(src == dst) is a caller bug the traffic layer
+    // prevents; the network delivers between distinct nodes only.
+    Network net(smallConfig());
+    EXPECT_TRUE(net.offerMessage(3, 4));
+    EXPECT_TRUE(runToQuiescent(net));
+}
+
+TEST(NetworkBasicsDeath, OfferAtFaultyNodePanics)
+{
+    SimConfig cfg = smallConfig();
+    Network net(cfg);
+    net.failNode(7);
+    EXPECT_DEATH(net.offerMessage(7, 3), "failed node");
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Figure-shape regression tests: the qualitative relationships of the
+ * paper's evaluation (Section 6), checked on the real 16-ary 2-cube
+ * with shortened measurement windows so the whole suite stays fast.
+ * The bench binaries produce the full curves; these tests pin the
+ * *orderings* so a regression that flips a conclusion fails CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+RunResult
+runPoint(Protocol p, double load, int faults, int scout_k = 0,
+         bool tack = false, double dyn = 0.0)
+{
+    SimConfig cfg;
+    cfg.k = 16;
+    cfg.n = 2;
+    cfg.protocol = p;
+    cfg.msgLength = 32;
+    cfg.load = load;
+    cfg.staticNodeFaults = faults;
+    cfg.scoutK = scout_k;
+    cfg.tailAck = tack;
+    cfg.dynamicNodeFaults = dyn;
+    cfg.warmup = 800;
+    cfg.measure = 2500;
+    cfg.seed = 424242;
+    Simulator sim(cfg);
+    return sim.run();
+}
+
+// --- Figure 12: fault-free latency-throughput --------------------------
+
+TEST(PaperShapes, Fig12_TpTracksDpClosely)
+{
+    // "TP performance is virtually identical to WR": within ~10% at a
+    // moderate load.
+    const RunResult tp = runPoint(Protocol::TwoPhase, 0.15, 0);
+    const RunResult dp = runPoint(Protocol::Duato, 0.15, 0);
+    EXPECT_LT(std::abs(tp.avgLatency - dp.avgLatency),
+              0.10 * dp.avgLatency);
+}
+
+TEST(PaperShapes, Fig12_MbmPaysSetupLatency)
+{
+    // MB-m's base latency carries the PCS setup (~3l vs l).
+    const RunResult mbm = runPoint(Protocol::MBm, 0.05, 0);
+    const RunResult dp = runPoint(Protocol::Duato, 0.05, 0);
+    EXPECT_GT(mbm.avgLatency, 1.2 * dp.avgLatency);
+    EXPECT_LT(mbm.avgLatency, 2.0 * dp.avgLatency);
+}
+
+TEST(PaperShapes, Fig12_MbmSaturatesFirst)
+{
+    // At 0.25 flits/node/cycle DP and TP still accept the load while
+    // MB-m is far beyond its saturation point.
+    const RunResult tp = runPoint(Protocol::TwoPhase, 0.25, 0);
+    const RunResult mbm = runPoint(Protocol::MBm, 0.25, 0);
+    EXPECT_GT(tp.throughput, 0.22);
+    EXPECT_LT(mbm.throughput, 0.15);
+}
+
+// --- Figure 13: static faults -----------------------------------------
+
+TEST(PaperShapes, Fig13_TpBeatsMbmAtFewFaults)
+{
+    const RunResult tp = runPoint(Protocol::TwoPhase, 0.10, 10);
+    const RunResult mbm = runPoint(Protocol::MBm, 0.10, 10);
+    EXPECT_LT(tp.avgLatency, mbm.avgLatency);
+}
+
+TEST(PaperShapes, Fig13_TpCollapsesAtTwentyFaults)
+{
+    // TP's saturation throughput with 20 faults is a small fraction of
+    // its fault-free 0.30+ (the paper reports ~17%; we require < 50%).
+    const RunResult clean = runPoint(Protocol::TwoPhase, 0.30, 0);
+    const RunResult faulty = runPoint(Protocol::TwoPhase, 0.30, 20);
+    EXPECT_LT(faulty.throughput, 0.5 * clean.throughput);
+}
+
+TEST(PaperShapes, Fig13_MbmDegradesGracefully)
+{
+    // MB-m's low-load latency stays nearly flat as faults grow.
+    const RunResult f1 = runPoint(Protocol::MBm, 0.05, 1);
+    const RunResult f20 = runPoint(Protocol::MBm, 0.05, 20);
+    EXPECT_LT(f20.avgLatency, 1.35 * f1.avgLatency);
+}
+
+// --- Figure 14: latency/throughput vs fault count -----------------------
+
+TEST(PaperShapes, Fig14_LowLoadLatencyFlatInFaults)
+{
+    // 10 messages/node/5000 cycles (0.064 flits/node/cycle).
+    const RunResult f0 = runPoint(Protocol::TwoPhase, 0.064, 0);
+    const RunResult f20 = runPoint(Protocol::TwoPhase, 0.064, 20);
+    EXPECT_LT(f20.avgLatency, 1.35 * f0.avgLatency);
+}
+
+TEST(PaperShapes, Fig14_HighLoadThroughputFallsWithFaults)
+{
+    // 50 messages/node/5000 cycles (0.32): TP's accepted throughput
+    // drops steeply between 0 and 20 faults.
+    const RunResult f0 = runPoint(Protocol::TwoPhase, 0.32, 0);
+    const RunResult f20 = runPoint(Protocol::TwoPhase, 0.32, 20);
+    EXPECT_LT(f20.throughput, 0.6 * f0.throughput);
+}
+
+// --- Figure 15: aggressive vs conservative ------------------------------
+
+TEST(PaperShapes, Fig15_EquivalentAtOneFaultLowLoad)
+{
+    const RunResult aggr = runPoint(Protocol::TwoPhase, 0.05, 1, 0);
+    const RunResult cons = runPoint(Protocol::TwoPhase, 0.05, 1, 3);
+    EXPECT_LT(std::abs(aggr.avgLatency - cons.avgLatency),
+              0.10 * aggr.avgLatency);
+}
+
+TEST(PaperShapes, Fig15_ConservativeGeneratesAckTraffic)
+{
+    const RunResult aggr = runPoint(Protocol::TwoPhase, 0.15, 10, 0);
+    const RunResult cons = runPoint(Protocol::TwoPhase, 0.15, 10, 3);
+    EXPECT_EQ(aggr.counters.posAcks, 0u);
+    EXPECT_GT(cons.counters.posAcks, 1000u);
+}
+
+// --- Figure 17: dynamic faults and tail acknowledgments -----------------
+
+TEST(PaperShapes, Fig17_TackCostSmallAtLowLoad)
+{
+    const RunResult plain =
+        runPoint(Protocol::TwoPhase, 0.05, 0, 0, false, 10.0);
+    const RunResult tack =
+        runPoint(Protocol::TwoPhase, 0.05, 0, 0, true, 10.0);
+    EXPECT_LT(std::abs(tack.avgLatency - plain.avgLatency),
+              0.10 * plain.avgLatency);
+}
+
+TEST(PaperShapes, Fig17_TackThrottlesNearSaturation)
+{
+    const RunResult plain =
+        runPoint(Protocol::TwoPhase, 0.25, 0, 0, false, 10.0);
+    const RunResult tack =
+        runPoint(Protocol::TwoPhase, 0.25, 0, 0, true, 10.0);
+    EXPECT_GT(tack.avgLatency, plain.avgLatency);
+}
+
+TEST(PaperShapes, Fig17_NoLossWithTack)
+{
+    const RunResult tack =
+        runPoint(Protocol::TwoPhase, 0.10, 0, 0, true, 8.0);
+    // With retransmission, interrupted messages are not lost; only
+    // messages whose endpoints died may be dropped.
+    EXPECT_GT(tack.counters.retransmits, 0u);
+    EXPECT_EQ(tack.counters.lost, 0u);
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cross-protocol property sweeps: conservation laws, deadlock freedom,
+ * and sanity invariants that must hold for every protocol under every
+ * fault load (the Theorem 3 robustness claims).
+ */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+
+class ProtocolFaultSweep
+    : public ::testing::TestWithParam<std::tuple<Protocol, int, int>>
+{};
+
+TEST_P(ProtocolFaultSweep, ConservationAndTermination)
+{
+    const auto [proto, faults, scout_k] = GetParam();
+    SimConfig cfg;
+    cfg.k = 8;
+    cfg.n = 2;
+    cfg.protocol = proto;
+    cfg.scoutK = scout_k;
+    cfg.msgLength = 16;
+    cfg.load = 0.12;
+    cfg.staticNodeFaults = faults;
+    cfg.protectPerimeter = true;
+    cfg.warmup = 0;
+    cfg.measure = 2500;
+    cfg.seed = 1000 + static_cast<std::uint64_t>(faults);
+    cfg.watchdog = 30000;
+
+    Network net(cfg);
+    Injector inj(net);
+    net.setMeasuring(true);
+    for (Cycle c = 0; c < 2500; ++c) {
+        inj.step();
+        net.step();
+    }
+    inj.stop();
+    ASSERT_TRUE(runToQuiescent(net, 400000));
+
+    const Counters &c = net.counters();
+    // Message conservation: every accepted message reaches a terminal
+    // state.
+    EXPECT_EQ(c.delivered + c.dropped + c.lost, c.generated);
+    // Flit conservation: every delivered message delivers exactly L
+    // data flits (partial deliveries are discarded, not counted as
+    // messages).
+    EXPECT_GE(c.dataFlitsDelivered, c.delivered * 16u);
+    // Without dynamic faults nothing may be "lost", only undeliverable.
+    EXPECT_EQ(c.lost, 0u);
+    // The paper's robustness claim: with <= 2n - 1 = 3 faults the
+    // fault-tolerant protocols deliver everything.
+    if (faults <= 3 && (cfg.protocol == Protocol::MBm ||
+                        cfg.protocol == Protocol::TwoPhase)) {
+        EXPECT_EQ(c.dropped, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultTolerant, ProtocolFaultSweep,
+    ::testing::Combine(::testing::Values(Protocol::MBm,
+                                         Protocol::TwoPhase),
+                       ::testing::Values(0, 1, 3, 6, 10),
+                       ::testing::Values(0, 3)));
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultFreeBaselines, ProtocolFaultSweep,
+    ::testing::Combine(::testing::Values(Protocol::DimOrder,
+                                         Protocol::Duato,
+                                         Protocol::Scouting,
+                                         Protocol::Pcs),
+                       ::testing::Values(0),
+                       ::testing::Values(2)));
+
+class GeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(GeometrySweep, TwoPhaseWorksAcrossGeometries)
+{
+    const auto [k, n] = GetParam();
+    SimConfig cfg;
+    cfg.k = k;
+    cfg.n = n;
+    cfg.protocol = Protocol::TwoPhase;
+    cfg.msgLength = 8;
+    cfg.load = 0.08;
+    cfg.warmup = 0;
+    cfg.measure = 1200;
+    cfg.seed = 5;
+    cfg.watchdog = 30000;
+
+    Network net(cfg);
+    Injector inj(net);
+    net.setMeasuring(true);
+    for (Cycle c = 0; c < 1200; ++c) {
+        inj.step();
+        net.step();
+    }
+    inj.stop();
+    ASSERT_TRUE(runToQuiescent(net, 200000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, c.generated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeometrySweep,
+                         ::testing::Values(std::make_tuple(4, 2),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(16, 2),
+                                           std::make_tuple(4, 3),
+                                           std::make_tuple(3, 3)));
+
+TEST(Properties, MeasuredLatencyNeverBelowMinimal)
+{
+    // Every measured message's latency is at least distance + L; check
+    // via the minimum of the latency distribution against the network
+    // minimum (1 hop).
+    SimConfig cfg;
+    cfg.k = 8;
+    cfg.n = 2;
+    cfg.protocol = Protocol::Duato;
+    cfg.msgLength = 16;
+    cfg.load = 0.2;
+    cfg.warmup = 100;
+    cfg.measure = 2000;
+    cfg.seed = 17;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    EXPECT_GE(r.counters.latency.min(),
+              static_cast<double>(analytic::wrLatency(1, 16)) - 1.0);
+}
+
+TEST(Properties, ControlTrafficSmallForAggressiveTp)
+{
+    // Aggressive TP (K = 0) in a fault-free network: control traffic is
+    // exactly one header crossing per hop — a small fraction of data
+    // traffic for 16-flit messages (Section 2.3's premise).
+    SimConfig cfg;
+    cfg.k = 8;
+    cfg.n = 2;
+    cfg.protocol = Protocol::TwoPhase;
+    cfg.msgLength = 16;
+    cfg.load = 0.15;
+    cfg.warmup = 0;
+    cfg.measure = 2000;
+    cfg.seed = 23;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    EXPECT_LT(r.counters.ctrlCrossings * 10, r.counters.dataCrossings);
+}
+
+TEST(Properties, ConservativeTpGeneratesMoreControlTraffic)
+{
+    // K = 3 near faults must produce strictly more control flits than
+    // K = 0 on the same faulty configuration (Fig. 15's mechanism).
+    SimConfig cfg;
+    cfg.k = 8;
+    cfg.n = 2;
+    cfg.protocol = Protocol::TwoPhase;
+    cfg.msgLength = 16;
+    cfg.load = 0.1;
+    cfg.staticNodeFaults = 5;
+    cfg.protectPerimeter = true;
+    cfg.warmup = 0;
+    cfg.measure = 3000;
+    cfg.seed = 29;
+
+    cfg.scoutK = 0;
+    const RunResult aggressive = Simulator(cfg).run();
+    cfg.scoutK = 3;
+    const RunResult conservative = Simulator(cfg).run();
+    EXPECT_GT(conservative.counters.posAcks,
+              aggressive.counters.posAcks);
+    EXPECT_GT(conservative.counters.ctrlCrossings,
+              aggressive.counters.ctrlCrossings);
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,163 @@
+/** @file Structural invariant checker: clean runs stay consistent at
+ *  every sampled instant; seeded corruptions are detected. */
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/validator.hpp"
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::smallConfig;
+
+TEST(Validator, FreshNetworkConsistent)
+{
+    Network net(smallConfig());
+    EXPECT_TRUE(validateNetwork(net).empty());
+}
+
+TEST(Validator, SingleMessageLifecycleConsistent)
+{
+    Network net(smallConfig(Protocol::TwoPhase));
+    net.offerMessage(0, 27);
+    for (int c = 0; c < 200; ++c) {
+        net.step();
+        ASSERT_TRUE(validateNetwork(net).empty()) << "cycle " << c;
+        if (net.quiescent())
+            break;
+    }
+    EXPECT_TRUE(net.quiescent());
+}
+
+/** Consistency under load, faults, and recovery, for every protocol. */
+class ValidatorSweep
+    : public ::testing::TestWithParam<std::tuple<Protocol, int, bool>>
+{};
+
+TEST_P(ValidatorSweep, PeriodicallyConsistentUnderLoad)
+{
+    const auto [proto, faults, tack] = GetParam();
+    SimConfig cfg = smallConfig(proto, 8, 2);
+    cfg.msgLength = 16;
+    cfg.load = 0.15;
+    cfg.staticNodeFaults = faults;
+    cfg.tailAck = tack;
+    cfg.protectPerimeter = true;
+    cfg.seed = 314;
+    cfg.watchdog = 30000;
+
+    Network net(cfg);
+    Injector inj(net);
+    for (int c = 0; c < 2000; ++c) {
+        inj.step();
+        net.step();
+        if (c % 97 == 0) {
+            const auto violations = validateNetwork(net);
+            ASSERT_TRUE(violations.empty())
+                << "cycle " << c << ": " << violations.front().what;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ValidatorSweep,
+    ::testing::Combine(::testing::Values(Protocol::Duato, Protocol::MBm,
+                                         Protocol::TwoPhase,
+                                         Protocol::Scouting),
+                       ::testing::Values(0, 6),
+                       ::testing::Values(false, true)));
+
+TEST(Validator, ConsistentThroughDynamicFaults)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    cfg.load = 0.12;
+    cfg.tailAck = true;
+    cfg.seed = 7;
+    cfg.watchdog = 30000;
+    Network net(cfg);
+    Injector inj(net);
+    net.setDynamicFaultProcess(0.003, 5);
+    for (int c = 0; c < 2500; ++c) {
+        inj.step();
+        net.step();
+        if (c % 53 == 0) {
+            const auto violations = validateNetwork(net);
+            ASSERT_TRUE(violations.empty())
+                << "cycle " << c << ": " << violations.front().what;
+        }
+    }
+}
+
+TEST(Validator, DetectsForeignFlit)
+{
+    Network net(smallConfig(Protocol::DimOrder));
+    net.offerMessage(0, 4);
+    for (int c = 0; c < 6 && !net.quiescent(); ++c)
+        net.step();
+    // Corrupt: drop a foreign flit into a reserved trio's DIBU.
+    bool corrupted = false;
+    for (LinkId id = 0; id < net.topo().links() && !corrupted; ++id) {
+        Link &lk = net.link(id);
+        for (auto &vc : lk.vcs) {
+            if (!vc.free() && !vc.data.full()) {
+                Flit alien;
+                alien.msg = 4242;
+                vc.data.push(alien);
+                corrupted = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(corrupted);
+    const auto violations = validateNetwork(net);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations.front().what.find("foreign flit"),
+              std::string::npos);
+}
+
+TEST(Validator, DetectsOrphanOwnership)
+{
+    Network net(smallConfig());
+    Link &lk = net.link(0);
+    lk.vcs[0].reserve(999, 0, false);  // message 999 does not exist
+    const auto violations = validateNetwork(net);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations.front().what.find("retired msg"),
+              std::string::npos);
+}
+
+TEST(Validator, DetectsNegativeCounter)
+{
+    Network net(smallConfig());
+    net.offerMessage(0, 5);
+    net.step();
+    net.step();
+    // Find the reserved trio and corrupt its CMU counter.
+    bool corrupted = false;
+    for (LinkId id = 0; id < net.topo().links() && !corrupted; ++id) {
+        for (auto &vc : net.link(id).vcs) {
+            if (!vc.free()) {
+                vc.counter = -2;
+                corrupted = true;
+                break;
+            }
+        }
+    }
+    ASSERT_TRUE(corrupted);
+    const auto violations = validateNetwork(net);
+    ASSERT_FALSE(violations.empty());
+}
+
+TEST(ValidatorDeath, AssertConsistentPanics)
+{
+    Network net(smallConfig());
+    net.link(0).vcs[0].reserve(999, 0, false);
+    EXPECT_DEATH(assertConsistent(net), "inconsistent");
+}
+
+} // namespace
+} // namespace tpnet

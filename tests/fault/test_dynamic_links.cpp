@@ -1,0 +1,148 @@
+/** @file Dynamic channel failures (Section 2.4: "a communication
+ *  channel may fail" during operation) and SR's fault tolerance. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+TEST(DynamicLinks, ProcessInjectsLinkFaults)
+{
+    SimConfig cfg = smallConfig();
+    cfg.watchdog = 0;
+    Network net(cfg);
+    net.setDynamicLinkFaultProcess(0.05, 3);
+    for (int c = 0; c < 2000; ++c)
+        net.step();
+    EXPECT_EQ(net.counters().dynamicFaults, 3u);
+    int faulty_wires = 0;
+    for (LinkId id = 0; id < net.topo().links(); ++id)
+        faulty_wires += net.link(id).faulty ? 1 : 0;
+    EXPECT_EQ(faulty_wires, 6);  // 3 full-duplex links
+    // Nodes stay healthy; channels around the breaks become unsafe.
+    EXPECT_EQ(net.healthyNodes().size(),
+              static_cast<std::size_t>(net.topo().nodes()));
+}
+
+TEST(DynamicLinks, TrafficSurvivesLinkFailures)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    cfg.load = 0.12;
+    cfg.tailAck = true;
+    cfg.seed = 97;
+    cfg.watchdog = 30000;
+    Network net(cfg);
+    Injector inj(net);
+    net.setDynamicLinkFaultProcess(0.003, 6);
+    net.setMeasuring(true);
+    for (Cycle c = 0; c < 4000; ++c) {
+        inj.step();
+        net.step();
+    }
+    inj.stop();
+    ASSERT_TRUE(runToQuiescent(net, 300000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered + c.dropped + c.lost, c.generated);
+    // Link failures never kill endpoints, so with retransmission
+    // everything interrupted is eventually delivered.
+    EXPECT_EQ(c.lost, 0u);
+    EXPECT_EQ(c.delivered, c.generated);
+}
+
+TEST(DynamicLinks, SimulatorWiresLinkFaultProcess)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    cfg.load = 0.05;
+    cfg.warmup = 200;
+    cfg.measure = 1500;
+    cfg.dynamicLinkFaults = 2.0;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    EXPECT_LE(r.counters.dynamicFaults, 2u);
+}
+
+TEST(ScoutingFaults, RoutesAroundFaultyChannel)
+{
+    // SR with K = 3 retreats (up to the leading data flit) and searches
+    // an alternative minimal path around a failed link.
+    SimConfig cfg = smallConfig(Protocol::Scouting, 8, 2);
+    cfg.scoutK = 3;
+    Network net(cfg);
+    net.failLink(1, portOf(0, Dir::Plus));  // break 1 -> 2
+    net.setMeasuring(true);
+    net.offerMessage(0, 2 + 8 * 2);  // minimal paths exist via dim 1
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(ScoutingFaults, BacktracksOutOfFaultPocket)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting, 8, 2);
+    cfg.scoutK = 3;
+    Network net(cfg);
+    // Straight-line destination with the direct corridor broken; the
+    // probe must back out and take the other dimension first.
+    net.failNode(2);
+    net.setMeasuring(true);
+    net.offerMessage(0, 3 + 8 * 1);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+}
+
+TEST(ScoutingFaults, NegativeAcksAccompanyBacktracks)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting, 8, 2);
+    cfg.scoutK = 3;
+    Network net(cfg);
+    // Destination (2, 3). The probe prefers the larger offset (dim 1)
+    // and reaches (0, 1), where both minimal continuations are failed:
+    // it must backtrack (emitting negative acks) and restart through
+    // (1, 0), from where a healthy minimal path exists.
+    net.failNode(0 + 8 * 2);  // (0, 2)
+    net.failNode(1 + 8 * 1);  // (1, 1)
+    net.setMeasuring(true);
+    net.offerMessage(0, 2 + 8 * 3);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_GT(c.backtracks, 0u);
+    EXPECT_GT(c.negAcks, 0u);
+}
+
+TEST(ScoutingFaults, FaultFreeBehaviorUnchanged)
+{
+    // The fault-tolerant SR still matches the Section 2.2 latency model
+    // on a healthy network.
+    SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+    cfg.scoutK = 2;
+    const double lat = test::oneShotLatency(cfg, 0, 6);
+    const int formula = analytic::scoutingLatency(6, cfg.msgLength, 2);
+    EXPECT_GE(lat, formula - 2);
+    EXPECT_LE(lat, formula);
+}
+
+TEST(ScoutingFaults, UndeliverableEventuallyDropped)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting, 8, 2);
+    cfg.scoutK = 3;
+    cfg.maxRetries = 2;
+    Network net(cfg);
+    const NodeId dst = 3 + 8 * 3;
+    for (int port = 0; port < net.topo().radix(); ++port)
+        net.failNode(net.topo().neighbor(dst, port));
+    net.setMeasuring(true);
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 300000));
+    EXPECT_EQ(net.counters().dropped, 1u);
+}
+
+} // namespace
+} // namespace tpnet

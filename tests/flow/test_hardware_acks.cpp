@@ -1,0 +1,93 @@
+/** @file The hardware-acknowledgment design of the paper's conclusion:
+ *  dedicated ack signals remove the acknowledgments' bandwidth cost from
+ *  the multiplexed control lane while leaving logical behavior intact. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+TEST(HardwareAcks, LatencyFormulaUnchanged)
+{
+    // The logical behavior (Section 2.2 timing) must be identical on an
+    // idle network: the ack lane only matters under contention.
+    for (int k : {1, 3}) {
+        SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+        cfg.scoutK = k;
+        const double sw = test::oneShotLatency(cfg, 0, 6);
+        cfg.hardwareAcks = true;
+        const double hw = test::oneShotLatency(cfg, 0, 6);
+        EXPECT_EQ(sw, hw) << "K=" << k;
+    }
+}
+
+TEST(HardwareAcks, DeliveryAndAckCountsUnchanged)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting, 8, 2);
+    cfg.scoutK = 3;
+    cfg.hardwareAcks = true;
+    Network net(cfg);
+    net.setMeasuring(true);
+    net.offerMessage(0, 4 + 8 * 2);
+    EXPECT_TRUE(runToQuiescent(net));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_EQ(c.posAcks, 6u);  // one per probe advance, l = 6
+}
+
+TEST(HardwareAcks, LoadedRunsConserveMessages)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.scoutK = 3;
+    cfg.msgLength = 16;
+    cfg.hardwareAcks = true;
+    cfg.staticNodeFaults = 5;
+    cfg.protectPerimeter = true;
+    cfg.load = 0.12;
+    cfg.seed = 31;
+    Network net(cfg);
+    Injector inj(net);
+    net.setMeasuring(true);
+    for (Cycle c = 0; c < 2500; ++c) {
+        inj.step();
+        net.step();
+    }
+    inj.stop();
+    ASSERT_TRUE(runToQuiescent(net, 300000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered + c.dropped + c.lost, c.generated);
+}
+
+TEST(HardwareAcks, RelievesControlLaneUnderLoad)
+{
+    // With dedicated ack signalling, the shared control lane carries
+    // only headers/kills, so its worst-case queueing must not exceed
+    // the software-ack configuration's.
+    auto maxCobu = [](bool hw) {
+        SimConfig cfg = smallConfig(Protocol::Scouting, 8, 2);
+        cfg.scoutK = 3;
+        cfg.msgLength = 16;
+        cfg.hardwareAcks = hw;
+        cfg.load = 0.25;
+        cfg.seed = 77;
+        Network net(cfg);
+        Injector inj(net);
+        for (Cycle c = 0; c < 3000; ++c) {
+            inj.step();
+            net.step();
+        }
+        std::size_t deepest = 0;
+        for (LinkId id = 0; id < net.topo().links(); ++id)
+            deepest = std::max(deepest, net.link(id).maxCtrlDepth);
+        return deepest;
+    };
+    EXPECT_LE(maxCobu(true), maxCobu(false));
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,60 @@
+/** @file Derived run metrics. */
+
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+
+namespace tpnet {
+namespace {
+
+TEST(Collector, DeriveThroughput)
+{
+    Counters c;
+    c.windowDataFlits = 6400;
+    const RunResult r = deriveResult(c, 0.2, 64, 1000);
+    EXPECT_NEAR(r.throughput, 0.1, 1e-12);
+    EXPECT_EQ(r.offeredLoad, 0.2);
+}
+
+TEST(Collector, DeriveLatencyAndDeliveredFraction)
+{
+    Counters c;
+    c.latency.add(40.0);
+    c.latency.add(60.0);
+    c.latencyHist.add(40.0);
+    c.latencyHist.add(60.0);
+    c.measuredGenerated = 4;
+    c.measuredDelivered = 3;
+    c.dropped = 1;
+    c.lost = 2;
+    const RunResult r = deriveResult(c, 0.1, 16, 100);
+    EXPECT_DOUBLE_EQ(r.avgLatency, 50.0);
+    EXPECT_DOUBLE_EQ(r.deliveredFraction, 0.75);
+    EXPECT_EQ(r.undeliverable, 3u);
+}
+
+TEST(Collector, EmptyWindowSafe)
+{
+    Counters c;
+    const RunResult r = deriveResult(c, 0.0, 16, 0);
+    EXPECT_EQ(r.throughput, 0.0);
+    EXPECT_EQ(r.avgLatency, 0.0);
+    EXPECT_EQ(r.deliveredFraction, 1.0);
+}
+
+TEST(Collector, RowAndHeaderAlign)
+{
+    Counters c;
+    c.windowDataFlits = 100;
+    const RunResult r = deriveResult(c, 0.1, 10, 100);
+    const std::string header = RunResult::header();
+    const std::string row = r.row();
+    // Same number of tab-separated fields.
+    const auto count = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), '\t');
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,168 @@
+/** @file Trace subsystem and Fig. 1 time-space diagrams, including the
+ *  dynamic header/first-data-flit separation bound of Section 2.2. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "metrics/timespace.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::smallConfig;
+
+/** Run one traced message to completion. */
+TimeSpaceTrace
+tracedRun(SimConfig cfg, NodeId src, NodeId dst)
+{
+    Network net(cfg);
+    TimeSpaceTrace trace(0);
+    net.attachTrace(&trace);
+    net.offerMessage(src, dst);
+    for (Cycle c = 0; c < 20000 && net.activeMessages() > 0; ++c)
+        net.step();
+    net.attachTrace(nullptr);
+    return trace;
+}
+
+TEST(TimeSpace, RecordsWormholePipeline)
+{
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    cfg.msgLength = 8;
+    const TimeSpaceTrace t = tracedRun(cfg, 0, 5);
+    EXPECT_GT(t.events(), 0u);
+    // 5 links x (1 header + 8 data) crossings recorded.
+    EXPECT_EQ(t.events(), 45u);
+    const std::string diagram = t.render();
+    EXPECT_NE(diagram.find("link  0"), std::string::npos);
+    EXPECT_NE(diagram.find("link  4"), std::string::npos);
+    EXPECT_NE(diagram.find('H'), std::string::npos);
+    EXPECT_NE(diagram.find('T'), std::string::npos);
+}
+
+TEST(TimeSpace, WormholeHeaderLeadIsOne)
+{
+    // In WR the data flits immediately follow the header.
+    SimConfig cfg = smallConfig(Protocol::DimOrder, 16, 2);
+    cfg.msgLength = 8;
+    EXPECT_EQ(tracedRun(cfg, 0, 5).maxHeaderLead(), 1);
+}
+
+TEST(TimeSpace, PcsHeaderLeadIsWholePath)
+{
+    // PCS decouples setup completely: the probe reaches the destination
+    // (lead = l) before any data enters the network.
+    SimConfig cfg = smallConfig(Protocol::Pcs, 16, 2);
+    cfg.msgLength = 8;
+    EXPECT_EQ(tracedRun(cfg, 0, 6).maxHeaderLead(), 6);
+}
+
+/** Section 2.2: the gap grows to at most 2K - 1 links plus the source
+ *  stage while the header advances. */
+class ScoutGap : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ScoutGap, LeadBoundedByScoutingDistance)
+{
+    const int k = GetParam();
+    SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+    cfg.scoutK = k;
+    cfg.msgLength = 32;
+    const TimeSpaceTrace t = tracedRun(cfg, 0, 7 + 16 * 7);  // l = 14
+    const int lead = t.maxHeaderLead();
+    EXPECT_LE(lead, 2 * k);  // 2K - 1 links + the source injection stage
+    EXPECT_GE(lead, std::max(1, 2 * k - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ScoutGap, ::testing::Values(1, 2, 3, 4));
+
+TEST(TimeSpace, ScoutingShowsAcks)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting, 16, 2);
+    cfg.scoutK = 3;
+    cfg.msgLength = 8;
+    const std::string diagram = tracedRun(cfg, 0, 5).render();
+    EXPECT_NE(diagram.find('<'), std::string::npos);  // acknowledgments
+    EXPECT_NE(diagram.find('D'), std::string::npos);  // path-done
+}
+
+TEST(TimeSpace, DetourShowsReleaseSweep)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);
+    cfg.msgLength = 8;
+    Network net(cfg);
+    net.failNode(5 + 16 * 0);
+    net.failNode(5 + 16 * 1);
+    net.failNode(6 + 16 * 1);
+    TimeSpaceTrace trace(0);
+    net.attachTrace(&trace);
+    net.offerMessage(0, 7);
+    for (Cycle c = 0; c < 20000 && net.activeMessages() > 0; ++c)
+        net.step();
+    const std::string diagram = trace.render();
+    EXPECT_NE(diagram.find('R'), std::string::npos);  // detour release
+}
+
+TEST(TimeSpace, EmptyTraceRenders)
+{
+    TimeSpaceTrace t(99);
+    EXPECT_EQ(t.render(), "(no events)\n");
+    EXPECT_EQ(t.maxHeaderLead(), 0);
+}
+
+TEST(Trace, ProbeEventNames)
+{
+    EXPECT_STREQ(probeEventName(ProbeEvent::Routed), "routed");
+    EXPECT_STREQ(probeEventName(ProbeEvent::EnteredDetour), "detour");
+    EXPECT_STREQ(probeEventName(ProbeEvent::Aborted), "aborted");
+}
+
+/** Counting sink used to verify hook coverage. */
+struct CountingSink : TraceSink
+{
+    int crossings = 0;
+    int ctrl = 0;
+    int injected = 0;
+    int delivered = 0;
+    int probe_events = 0;
+
+    void
+    flitCrossed(Cycle, const Link &, const Flit &, bool c) override
+    {
+        ++crossings;
+        ctrl += c ? 1 : 0;
+    }
+    void flitInjected(Cycle, NodeId, const Flit &) override
+    {
+        ++injected;
+    }
+    void flitDelivered(Cycle, NodeId, const Flit &) override
+    {
+        ++delivered;
+    }
+    void probeEvent(Cycle, const Message &, ProbeEvent) override
+    {
+        ++probe_events;
+    }
+};
+
+TEST(Trace, HookCoverageMatchesCounters)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 8;
+    Network net(cfg);
+    CountingSink sink;
+    net.attachTrace(&sink);
+    net.offerMessage(0, 3);
+    EXPECT_TRUE(test::runToQuiescent(net));
+    const Counters &c = net.counters();
+    EXPECT_EQ(static_cast<std::uint64_t>(sink.crossings),
+              c.dataCrossings + c.ctrlCrossings);
+    EXPECT_EQ(sink.injected, 8);
+    EXPECT_EQ(sink.delivered, 8);
+    // 3 Forward decisions + 1 ejection at minimum.
+    EXPECT_GE(sink.probe_events, 4);
+}
+
+} // namespace
+} // namespace tpnet

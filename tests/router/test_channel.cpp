@@ -1,0 +1,146 @@
+/** @file Unit tests for VC trio state, links, and router bookkeeping. */
+
+#include <gtest/gtest.h>
+
+#include "router/link.hpp"
+#include "router/router.hpp"
+
+namespace tpnet {
+namespace {
+
+TEST(VcState, StartsFree)
+{
+    VcState vc;
+    vc.data.reset(4);
+    EXPECT_TRUE(vc.free());
+    EXPECT_FALSE(vc.dataEnabled());  // unrouted
+}
+
+TEST(VcState, ReserveProgramsCmu)
+{
+    VcState vc;
+    vc.data.reset(4);
+    vc.reserve(7, 3, false);
+    EXPECT_FALSE(vc.free());
+    EXPECT_EQ(vc.owner, 7);
+    EXPECT_EQ(vc.kReg, 3);
+    EXPECT_EQ(vc.counter, 0);
+    EXPECT_FALSE(vc.dataEnabled());  // not routed, counter < K
+}
+
+TEST(VcState, DataEnableRequiresCounterAtK)
+{
+    // Section 5.0: "If the counter value is K, data flits must be
+    // allowed to flow. Otherwise they are blocked at the DIBU."
+    VcState vc;
+    vc.data.reset(4);
+    vc.reserve(1, 2, false);
+    vc.routed = true;
+    vc.outPort = 0;
+    vc.outVc = 0;
+    EXPECT_FALSE(vc.dataEnabled());
+    vc.counter = 1;
+    EXPECT_FALSE(vc.dataEnabled());
+    vc.counter = 2;
+    EXPECT_TRUE(vc.dataEnabled());
+    vc.counter = 3;
+    EXPECT_TRUE(vc.dataEnabled());
+}
+
+TEST(VcState, DetourHoldBlocksData)
+{
+    // Section 4.0: all channels of a detour are accepted before data
+    // resumes; the hold dominates the counter.
+    VcState vc;
+    vc.data.reset(4);
+    vc.reserve(1, 0, true);
+    vc.routed = true;
+    EXPECT_FALSE(vc.dataEnabled());
+    vc.hold = false;
+    EXPECT_TRUE(vc.dataEnabled());
+}
+
+TEST(VcState, ReleaseResetsEverything)
+{
+    VcState vc;
+    vc.data.reset(4);
+    vc.reserve(5, 3, true);
+    vc.routed = true;
+    vc.counter = 3;
+    vc.release();
+    EXPECT_TRUE(vc.free());
+    EXPECT_FALSE(vc.routed);
+    EXPECT_EQ(vc.counter, 0);
+    EXPECT_EQ(vc.kReg, 0);
+    EXPECT_FALSE(vc.hold);
+}
+
+TEST(Link, InitLaysOutTrios)
+{
+    Link lk;
+    lk.init(3, 0, 1, 7, 0, 4, 5);
+    EXPECT_EQ(lk.id, 3);
+    EXPECT_EQ(lk.src, 0);
+    EXPECT_EQ(lk.dst, 7);
+    EXPECT_EQ(lk.vcs.size(), 4u);
+    for (const auto &vc : lk.vcs) {
+        EXPECT_EQ(vc.data.capacity(), 5u);
+        EXPECT_TRUE(vc.free());
+    }
+    EXPECT_FALSE(lk.faulty);
+    EXPECT_FALSE(lk.unsafe);
+}
+
+TEST(Link, FirstFreeVcRespectsPartition)
+{
+    Link lk;
+    lk.init(0, 0, 0, 1, 1, 4, 2);
+    EXPECT_EQ(lk.firstFreeVc(0, 4), 0);
+    EXPECT_EQ(lk.firstFreeVc(2, 4), 2);  // adaptive partition
+    lk.vcs[2].reserve(9, 0, false);
+    EXPECT_EQ(lk.firstFreeVc(2, 4), 3);
+    lk.vcs[3].reserve(10, 0, false);
+    EXPECT_EQ(lk.firstFreeVc(2, 4), -1);
+    EXPECT_FALSE(lk.anyFreeVc(2, 4));
+    EXPECT_TRUE(lk.anyFreeVc(0, 2));
+}
+
+TEST(Router, MapUnmapInputs)
+{
+    Router rt;
+    rt.init(5, 4);
+    const InRef a{10, 0};
+    const InRef b{11, 1};
+    rt.mapInput(2, a);
+    rt.mapInput(2, b);
+    EXPECT_EQ(rt.mappedInputs[2].size(), 2u);
+    rt.unmapInput(2, a);
+    ASSERT_EQ(rt.mappedInputs[2].size(), 1u);
+    EXPECT_TRUE(rt.mappedInputs[2][0] == b);
+    rt.unmapInput(2, b);
+    EXPECT_TRUE(rt.mappedInputs[2].empty());
+}
+
+TEST(Router, EjectMappingSeparate)
+{
+    Router rt;
+    rt.init(0, 4);
+    const InRef a{3, 2};
+    rt.mapInput(ejectPort, a);
+    EXPECT_EQ(rt.ejectInputs.size(), 1u);
+    for (const auto &list : rt.mappedInputs)
+        EXPECT_TRUE(list.empty());
+    rt.unmapInput(ejectPort, a);
+    EXPECT_TRUE(rt.ejectInputs.empty());
+}
+
+TEST(Router, UnmapMissingIsNoop)
+{
+    Router rt;
+    rt.init(0, 4);
+    rt.unmapInput(1, InRef{9, 9});  // must not crash
+    EXPECT_TRUE(rt.mappedInputs[1].empty());
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,161 @@
+/** @file MB-m: backtracking search, misroute budget, fault tolerance. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "routing/bounds.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+/** One message across a network with the given failed nodes. */
+Counters
+faultyOneShot(SimConfig cfg, const std::vector<NodeId> &faults,
+              NodeId src, NodeId dst)
+{
+    Network net(cfg);
+    for (NodeId f : faults)
+        net.failNode(f);
+    net.setMeasuring(true);
+    net.offerMessage(src, dst);
+    runToQuiescent(net, 100000);
+    return net.counters();
+}
+
+TEST(Mbm, RoutesAroundSingleFaultOnPath)
+{
+    SimConfig cfg = smallConfig(Protocol::MBm);
+    // Straight-line path 0 -> 4 along dim 0 with node 2 failed.
+    const Counters c = faultyOneShot(cfg, {2}, 0, 4);
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_EQ(c.dropped + c.lost, 0u);
+    // The detour around one node costs at least two extra hops.
+    EXPECT_GE(c.headerMoves, 6u);
+}
+
+TEST(Mbm, BacktracksOutOfDeadEndAlley)
+{
+    // Fig. 4 configuration: the probe enters a dead-end corridor and
+    // must backtrack out of it.
+    SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
+    Network net(cfg);
+    const auto faults = bounds::alleyFaults(net.topo(), 0, 2);
+    for (NodeId f : faults)
+        net.failNode(f);
+    net.setMeasuring(true);
+    // Destination straight down the alley axis, beyond the cap: the
+    // corridor is a trap the probe may enter.
+    net.offerMessage(0, 6);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+}
+
+TEST(Mbm, DeliversWithTheoremFaultBudget)
+{
+    // Up to 2n - 1 = 3 random faults: MB-6 must always deliver.
+    SimConfig cfg = smallConfig(Protocol::MBm, 8, 2);
+    cfg.protectPerimeter = true;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        cfg.seed = seed;
+        cfg.staticNodeFaults = 3;
+        Network net(cfg);
+        net.setMeasuring(true);
+        // Pick a healthy far-away destination.
+        NodeId dst = invalidNode;
+        for (NodeId cand : {27, 36, 45, 54, 63, 20}) {
+            if (!net.nodeFaulty(cand)) {
+                dst = cand;
+                break;
+            }
+        }
+        ASSERT_NE(dst, invalidNode);
+        net.offerMessage(0, dst);
+        EXPECT_TRUE(runToQuiescent(net, 100000)) << "seed " << seed;
+        EXPECT_EQ(net.counters().delivered, 1u) << "seed " << seed;
+    }
+}
+
+TEST(Mbm, MisrouteBudgetBoundsOutstandingMisroutes)
+{
+    // m = 1 keeps the search nearly minimal; the message is still
+    // deliverable around a single fault.
+    SimConfig cfg = smallConfig(Protocol::MBm);
+    cfg.misrouteLimit = 1;
+    const Counters c = faultyOneShot(cfg, {2}, 0, 4);
+    EXPECT_EQ(c.delivered, 1u);
+}
+
+TEST(Mbm, ZeroMisrouteBudgetStillBacktracks)
+{
+    // m = 0: profitable-only search with backtracking. A single fault
+    // directly on the only profitable axis with an alternative minimal
+    // dimension available is still routable.
+    SimConfig cfg = smallConfig(Protocol::MBm);
+    cfg.misrouteLimit = 0;
+    const Counters c = faultyOneShot(cfg, {1}, 0, 1 + 8);  // dst (1,1)
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_EQ(c.misroutes, 0u);
+}
+
+TEST(Mbm, UndeliverableDestinationIsDropped)
+{
+    // Fully enclose the destination: after maxRetries the message is
+    // declared undeliverable instead of wedging the network.
+    SimConfig cfg = smallConfig(Protocol::MBm, 8, 2);
+    cfg.maxRetries = 2;
+    Network net(cfg);
+    const NodeId dst = 3 + 8 * 3;
+    for (int port = 0; port < net.topo().radix(); ++port)
+        net.failNode(net.topo().neighbor(dst, port));
+    net.setMeasuring(true);
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 200000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 0u);
+    EXPECT_EQ(c.dropped, 1u);
+    EXPECT_GE(c.setupAborts, 1u);
+    EXPECT_GE(c.backtracks, 1u);
+}
+
+TEST(Mbm, NegativeAcksNotUsedByPcsFlow)
+{
+    // PCS backtracking releases trios but has no SR counters to adjust.
+    SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
+    Network net(cfg);
+    const auto faults = bounds::alleyFaults(net.topo(), 0, 1);
+    for (NodeId f : faults)
+        net.failNode(f);
+    net.offerMessage(0, 5);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    EXPECT_EQ(net.counters().posAcks, 0u);
+    EXPECT_EQ(net.counters().negAcks, 0u);
+}
+
+TEST(Mbm, HistoryPreventsRevisitingChannels)
+{
+    // In a heavily faulted region the bounded search must terminate
+    // (deliver or drop) well within the hop budget.
+    SimConfig cfg = smallConfig(Protocol::MBm, 8, 2);
+    cfg.staticNodeFaults = 10;
+    cfg.protectPerimeter = true;
+    cfg.seed = 5;
+    Network net(cfg);
+    net.setMeasuring(true);
+    NodeId dst = 36;
+    if (net.nodeFaulty(dst))
+        dst = 35;
+    if (net.nodeFaulty(dst))
+        dst = 28;
+    ASSERT_FALSE(net.nodeFaulty(dst));
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 200000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered + c.dropped, 1u);
+}
+
+} // namespace
+} // namespace tpnet

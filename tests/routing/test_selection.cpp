@@ -1,0 +1,122 @@
+/** @file Selection-function toolkit tests. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "routing/selection.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::smallConfig;
+
+/** Fixture: a network plus one live message whose probe sits at src. */
+class SelectionTest : public ::testing::Test
+{
+  protected:
+    SelectionTest()
+        : net_(test::smallConfig(Protocol::TwoPhase))
+    {}
+
+    /** Offer and fetch a message (probe still at the source). */
+    Message &
+    makeMessage(NodeId src, NodeId dst)
+    {
+        EXPECT_TRUE(net_.offerMessage(src, dst));
+        // The message id is sequential from 0.
+        return net_.message(static_cast<MsgId>(counter_++));
+    }
+
+    Network net_;
+    int counter_ = 0;
+};
+
+TEST_F(SelectionTest, ProfitableByOffsetOrdersByMagnitude)
+{
+    Message &msg = makeMessage(0, 2 + 8 * 3);  // offsets (+2, +3)
+    const auto ports = select::profitableByOffset(net_, msg);
+    ASSERT_EQ(ports.size(), 2u);
+    EXPECT_EQ(ports[0], portOf(1, Dir::Plus));  // |+3| first
+    EXPECT_EQ(ports[1], portOf(0, Dir::Plus));
+}
+
+TEST_F(SelectionTest, AdaptiveProfitableFindsFreeVc)
+{
+    Message &msg = makeMessage(0, 3);
+    const auto c = select::adaptiveProfitable(net_, msg,
+                                              select::Safety::SafeOnly);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->port, portOf(0, Dir::Plus));
+    EXPECT_GE(c->vc, net_.escapeVcCount());  // adaptive partition
+}
+
+TEST_F(SelectionTest, SafeOnlySkipsUnsafeChannels)
+{
+    // Fail a node adjacent to the source: the source's channels become
+    // unsafe, so SafeOnly finds nothing while Healthy still does.
+    net_.failNode(8 * 7);  // neighbor of 0 in dim 1 minus
+    Message &msg = makeMessage(0, 3);
+    EXPECT_FALSE(select::adaptiveProfitable(net_, msg,
+                                            select::Safety::SafeOnly)
+                     .has_value());
+    EXPECT_TRUE(select::adaptiveProfitable(net_, msg,
+                                           select::Safety::Healthy)
+                    .has_value());
+}
+
+TEST_F(SelectionTest, FaultyChannelsNeverCandidates)
+{
+    net_.failNode(1);  // the profitable neighbor itself
+    Message &msg = makeMessage(0, 3);
+    const auto c = select::adaptiveProfitable(net_, msg,
+                                              select::Safety::Healthy);
+    EXPECT_FALSE(c.has_value());  // only dim-0 was profitable
+}
+
+TEST_F(SelectionTest, UntriedFilterHonorsHistory)
+{
+    Message &msg = makeMessage(0, 3);
+    net_.triedHere(msg) |= 1u << portOf(0, Dir::Plus);
+    EXPECT_FALSE(select::anyVcProfitableUntried(net_, msg).has_value());
+    EXPECT_FALSE(
+        select::anyAdaptiveProfitableUntried(net_, msg).has_value());
+}
+
+TEST_F(SelectionTest, MisrouteSkipsProfitablePorts)
+{
+    Message &msg = makeMessage(0, 3);  // profitable: dim0 plus
+    const auto c = select::misrouteUntried(net_, msg, true, false);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_NE(c->port, portOf(0, Dir::Plus));
+}
+
+TEST_F(SelectionTest, MisrouteRespectsHistoryAndFaults)
+{
+    Message &msg = makeMessage(0, 3);
+    // Exhaust every unprofitable option: mark two as tried, fail one.
+    net_.triedHere(msg) |= 1u << portOf(0, Dir::Minus);
+    net_.triedHere(msg) |= 1u << portOf(1, Dir::Plus);
+    net_.failNode(8 * 7);  // dim-1 minus neighbor
+    EXPECT_FALSE(
+        select::misrouteUntried(net_, msg, true, false).has_value());
+}
+
+TEST_F(SelectionTest, EscapeClassFollowsDateline)
+{
+    Message &msg = makeMessage(0, 3);
+    EXPECT_EQ(net_.escapeClass(msg, portOf(0, Dir::Plus)), 0);
+    msg.hdr.datelineCrossed |= 1u << 0;
+    EXPECT_EQ(net_.escapeClass(msg, portOf(0, Dir::Plus)), 1);
+    EXPECT_EQ(net_.escapeClass(msg, portOf(1, Dir::Plus)), 0);
+}
+
+TEST_F(SelectionTest, EcubePortLowestDimensionFirst)
+{
+    Message &msg = makeMessage(0, 2 + 8 * 3);
+    EXPECT_EQ(net_.ecubePort(msg), portOf(0, Dir::Plus));
+    Message &msg2 = makeMessage(1, 1 + 8 * 5);  // offset (0, -3)
+    EXPECT_EQ(net_.ecubePort(msg2), portOf(1, Dir::Minus));
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Dynamic verification of the Section 3.0 theorems: the simulated
+ * probes' worst-case backtracking in the adversarial fault
+ * configurations matches the closed-form bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "routing/bounds.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+/** Counts the longest run of consecutive probe backtracks. */
+struct BacktrackRunSink : TraceSink
+{
+    int current = 0;
+    int longest = 0;
+
+    void
+    probeEvent(Cycle, const Message &, ProbeEvent e) override
+    {
+        if (e == ProbeEvent::Backtracked) {
+            ++current;
+            longest = std::max(longest, current);
+        } else if (e == ProbeEvent::Routed) {
+            current = 0;
+        }
+    }
+};
+
+/** Drive one MB-m message into a Fig. 4 alley of @p depth. */
+BacktrackRunSink
+alleyRun(int depth)
+{
+    SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
+    Network net(cfg);
+    for (NodeId f : bounds::alleyFaults(net.topo(), 0, depth))
+        net.failNode(f);
+    BacktrackRunSink sink;
+    net.attachTrace(&sink);
+    net.setMeasuring(true);
+    // Destination on the alley axis, beyond the cap: the probe walks
+    // straight into the trap, then must back out of all `depth` hops.
+    net.offerMessage(0, depth + 3);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    EXPECT_EQ(net.counters().delivered, 1u);
+    return sink;
+}
+
+class AlleyDepth : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(AlleyDepth, ConsecutiveBacktracksEqualAlleyDepth)
+{
+    const int depth = GetParam();
+    const BacktrackRunSink sink = alleyRun(depth);
+    // Theorem 1 (inverse form): the alley builder places exactly
+    // faultsForBacktracks(depth) faults and forces `depth` consecutive
+    // backtracking steps — no more.
+    EXPECT_EQ(sink.longest, depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, AlleyDepth, ::testing::Values(1, 2, 3, 4));
+
+TEST(Theorem1Dynamic, FaultBudgetMatchesBound)
+{
+    // Cross-check the fault counts against the analytic relation.
+    TorusTopology topo(16, 2);
+    for (int depth = 1; depth <= 4; ++depth) {
+        const auto faults = bounds::alleyFaults(topo, 0, depth);
+        EXPECT_EQ(bounds::maxConsecutiveBacktracks(
+                      static_cast<int>(faults.size()), 2),
+                  depth);
+    }
+}
+
+TEST(Theorem2Dynamic, BlockedPlaneDeliveredWithinMisrouteBudget)
+{
+    // Fig. 5: the destination's in-plane neighborhood is failed except
+    // one input; with m = 6 (Theorem 2) TP must deliver, and the
+    // outstanding misroute count never needs to exceed 6 (3-bit field).
+    for (int open_port = 0; open_port < 4; ++open_port) {
+        SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);
+        cfg.misrouteLimit = 6;
+        Network net(cfg);
+        const NodeId dst = 5 + 16 * 5;
+        for (NodeId f : bounds::blockedDestinationFaults(
+                 net.topo(), dst, open_port)) {
+            net.failNode(f);
+        }
+        net.setMeasuring(true);
+        net.offerMessage(0, dst);
+        EXPECT_TRUE(runToQuiescent(net, 200000)) << "open " << open_port;
+        EXPECT_EQ(net.counters().delivered, 1u) << "open " << open_port;
+    }
+}
+
+TEST(Theorem2Dynamic, MbmAlsoSolvesBlockedPlane)
+{
+    for (int open_port : {0, 1, 2, 3}) {
+        SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
+        Network net(cfg);
+        const NodeId dst = 5 + 16 * 5;
+        for (NodeId f : bounds::blockedDestinationFaults(
+                 net.topo(), dst, open_port)) {
+            net.failNode(f);
+        }
+        net.setMeasuring(true);
+        net.offerMessage(0, dst);
+        EXPECT_TRUE(runToQuiescent(net, 200000)) << "open " << open_port;
+        EXPECT_EQ(net.counters().delivered, 1u) << "open " << open_port;
+    }
+}
+
+TEST(Theorem3Dynamic, DetourUsesOnlyAdaptiveChannels)
+{
+    // Theorem 3's key structural property: detours use only channels of
+    // C2. Trap the probe and verify every hop reserved while the detour
+    // bit was set sits in the adaptive partition.
+    struct DetourHopSink : TraceSink
+    {
+        const Network *net = nullptr;
+        bool ok = true;
+
+        void
+        probeEvent(Cycle, const Message &msg, ProbeEvent e) override
+        {
+            if (e != ProbeEvent::Routed || !msg.hdr.detour)
+                return;
+            const PathHop &hop = msg.path.back();
+            if (hop.vc < net->escapeVcCount())
+                ok = false;
+        }
+    };
+
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);
+    Network net(cfg);
+    // Wall across the minimal 0 -> (7, 0) corridor (no wrap shortcut).
+    net.failNode(5 + 16 * 0);
+    net.failNode(5 + 16 * 1);
+    net.failNode(5 + 16 * 15);
+    DetourHopSink sink;
+    sink.net = &net;
+    net.attachTrace(&sink);
+    net.setMeasuring(true);
+    net.offerMessage(0, 7);
+    EXPECT_TRUE(runToQuiescent(net, 200000));
+    EXPECT_EQ(net.counters().delivered, 1u);
+    EXPECT_GE(net.counters().detoursBuilt, 1u);
+    EXPECT_TRUE(sink.ok);
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,230 @@
+/** @file Two-Phase protocol: phase transitions, SR mode, detours. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "routing/bounds.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+TEST(TwoPhase, FaultFreeStaysOptimistic)
+{
+    // Section 6.1: in the fault-free network TP approximates WR; no SR
+    // acknowledgments, no detours, minimal paths.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase);
+    Network net(cfg);
+    net.setMeasuring(true);
+    net.offerMessage(0, 27);
+    net.offerMessage(14, 3);
+    EXPECT_TRUE(runToQuiescent(net));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 2u);
+    EXPECT_EQ(c.posAcks, 0u);
+    EXPECT_EQ(c.detoursBuilt, 0u);
+    EXPECT_EQ(c.misroutes, 0u);
+    EXPECT_EQ(c.backtracks, 0u);
+}
+
+TEST(TwoPhase, RoutesAroundSingleFault)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase);
+    Network net(cfg);
+    net.failNode(2);  // on the straight path 0 -> 4
+    net.setMeasuring(true);
+    net.offerMessage(0, 4);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(TwoPhase, FigureSevenScenario)
+{
+    // Fig. 7: four node failures; TP with m = 1 constructs a detour
+    // (misroute, backtrack, misroute the other way) and delivers.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);
+    cfg.misrouteLimit = 1;
+    Network net(cfg);
+    // A wall of failures across the path's dimension-0 corridor.
+    const NodeId wall0 = 5 + 16 * 1;
+    const NodeId wall1 = 5 + 16 * 0;
+    const NodeId wall2 = 5 + 16 * 15;
+    net.failNode(wall0);
+    net.failNode(wall1);
+    net.failNode(wall2);
+    net.setMeasuring(true);
+    net.offerMessage(0, 10);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+}
+
+TEST(TwoPhase, DeliversWithTheoremFaultBudget)
+{
+    // Up to 2n - 1 = 3 faults with m = 6 (Theorem 2): always delivered.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.protectPerimeter = true;
+    cfg.staticNodeFaults = 3;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        cfg.seed = seed;
+        Network net(cfg);
+        net.setMeasuring(true);
+        NodeId dst = invalidNode;
+        for (NodeId cand : {27, 36, 45, 54, 63, 20}) {
+            if (!net.nodeFaulty(cand)) {
+                dst = cand;
+                break;
+            }
+        }
+        ASSERT_NE(dst, invalidNode);
+        net.offerMessage(0, dst);
+        EXPECT_TRUE(runToQuiescent(net, 200000)) << "seed " << seed;
+        EXPECT_EQ(net.counters().delivered, 1u) << "seed " << seed;
+    }
+}
+
+TEST(TwoPhase, ConservativeModeEmitsAcksNearFaults)
+{
+    // K = 3: crossing an unsafe channel switches to SR flow control and
+    // positive acknowledgments start flowing (Section 4.0).
+    SimConfig cfg = smallConfig(Protocol::TwoPhase);
+    cfg.scoutK = 3;
+    Network net(cfg);
+    // Fail (2, 1): the corridor channels into (2, 0) become unsafe, so
+    // a 0 -> (3, 0) probe must cross unsafe channels (healthy ones) and
+    // switch to SR mode.
+    net.failNode(2 + 8 * 1);
+    net.setMeasuring(true);
+    net.offerMessage(0, 3);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_GT(c.posAcks, 0u);
+}
+
+TEST(TwoPhase, AggressiveModeSendsNoAcks)
+{
+    // K = 0 (the aggressive configuration of Section 6.2): no positive
+    // acknowledgments even near faults.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase);
+    cfg.scoutK = 0;
+    Network net(cfg);
+    net.failNode(2);
+    net.setMeasuring(true);
+    net.offerMessage(0, 4);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_EQ(c.posAcks, 0u);
+}
+
+TEST(TwoPhase, BlockedDestinationPlaneNeedsDetour)
+{
+    // Fig. 5-style configuration: three of the four in-plane neighbors
+    // of the destination failed; the probe must search around them.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    Network net(cfg);
+    const NodeId dst = 3 + 8 * 3;
+    const int open = portOf(1, Dir::Minus);
+    for (NodeId f :
+         bounds::blockedDestinationFaults(net.topo(), dst, open)) {
+        net.failNode(f);
+    }
+    net.setMeasuring(true);
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 200000));
+    EXPECT_EQ(net.counters().delivered, 1u);
+}
+
+TEST(TwoPhase, DetourCounterTracksConstruction)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);
+    Network net(cfg);
+    // Wall forcing a detour on the straight 0 -> 8 run.
+    for (int y : {15, 0, 1})
+        net.failNode(4 + 16 * y);
+    net.setMeasuring(true);
+    net.offerMessage(0, 8);
+    EXPECT_TRUE(runToQuiescent(net, 200000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_GE(c.detoursBuilt, 1u);
+    EXPECT_GE(c.misroutes, 1u);
+}
+
+TEST(TwoPhase, UndeliverableDroppedAfterRetries)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.maxRetries = 2;
+    Network net(cfg);
+    const NodeId dst = 3 + 8 * 3;
+    for (int port = 0; port < net.topo().radix(); ++port)
+        net.failNode(net.topo().neighbor(dst, port));
+    net.setMeasuring(true);
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 300000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 0u);
+    EXPECT_EQ(c.dropped, 1u);
+}
+
+TEST(TwoPhase, UnsafeChannelsPreferredOverDetour)
+{
+    // A fault adjacent to the path marks channels unsafe; the probe
+    // should cross them in SR mode rather than detour when they are
+    // healthy and profitable.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.scoutK = 3;
+    Network net(cfg);
+    net.failNode(2 + 8 * 1);  // adjacent to the 0 -> 3 corridor
+    net.setMeasuring(true);
+    net.offerMessage(0, 3);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    EXPECT_EQ(c.detoursBuilt, 0u);
+}
+
+TEST(TwoPhase, UnsafeMarkingOffStaysPurelyOptimistic)
+{
+    // "It [is] not necessary marking channels as unsafe" (Section 4.0):
+    // with the designation disabled, TP runs optimistically until the
+    // probe is actually stuck, then constructs a detour directly — and
+    // still delivers.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase);
+    cfg.markUnsafe = false;
+    cfg.scoutK = 3;  // would emit acks if SR mode were ever entered
+    Network net(cfg);
+    net.failNode(2);
+    net.setMeasuring(true);
+    net.offerMessage(0, 3);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 1u);
+    for (LinkId id = 0; id < net.topo().links(); ++id)
+        EXPECT_FALSE(net.link(id).unsafe);
+}
+
+TEST(TwoPhase, MisrouteLimitRespectedDuringDetour)
+{
+    // Even while detouring through a dense fault field the outstanding
+    // misroute count never exceeds m = 6 (3-bit header field, Fig. 9).
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.staticNodeFaults = 8;
+    cfg.protectPerimeter = true;
+    cfg.seed = 3;
+    Network net(cfg);
+    net.setMeasuring(true);
+    NodeId dst = 36;
+    while (net.nodeFaulty(dst))
+        ++dst;
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 300000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered + c.dropped, 1u);
+}
+
+} // namespace
+} // namespace tpnet

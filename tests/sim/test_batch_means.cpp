@@ -1,0 +1,91 @@
+/** @file Batch-means single-run confidence intervals. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace tpnet {
+namespace {
+
+TEST(BatchMeans, NoBatchesUntilFull)
+{
+    BatchMeans bm(10);
+    for (int i = 0; i < 9; ++i)
+        bm.add(1.0);
+    EXPECT_EQ(bm.batches(), 0u);
+    bm.add(1.0);
+    EXPECT_EQ(bm.batches(), 1u);
+    EXPECT_DOUBLE_EQ(bm.mean(), 1.0);
+}
+
+TEST(BatchMeans, MeanOfBatchMeans)
+{
+    BatchMeans bm(2);
+    bm.add(1.0);
+    bm.add(3.0);  // batch mean 2
+    bm.add(5.0);
+    bm.add(7.0);  // batch mean 6
+    EXPECT_EQ(bm.batches(), 2u);
+    EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+    EXPECT_TRUE(std::isfinite(bm.halfWidth95()));
+}
+
+TEST(BatchMeans, AcceptableNeedsMinBatches)
+{
+    BatchMeans bm(1);
+    for (int i = 0; i < 9; ++i)
+        bm.add(5.0);
+    EXPECT_FALSE(bm.acceptable(0.05, 10));
+    bm.add(5.0);
+    EXPECT_TRUE(bm.acceptable(0.05, 10));
+}
+
+TEST(BatchMeans, ConvergesOnNoisyStream)
+{
+    // iid noise around 100: the CI must tighten as batches accumulate.
+    BatchMeans bm(100);
+    Rng rng(5);
+    std::size_t needed = 0;
+    for (int i = 0; i < 200000; ++i) {
+        bm.add(100.0 + 20.0 * (rng.uniform() - 0.5));
+        if (bm.acceptable(0.01, 10)) {
+            needed = bm.batches();
+            break;
+        }
+    }
+    EXPECT_GT(needed, 0u);
+    EXPECT_NEAR(bm.mean(), 100.0, 1.0);
+}
+
+TEST(BatchMeans, WideVarianceRejected)
+{
+    BatchMeans bm(1);
+    bm.add(0.0);
+    bm.add(200.0);
+    bm.add(0.0);
+    bm.add(200.0);
+    EXPECT_FALSE(bm.acceptable(0.05, 2));
+}
+
+TEST(BatchMeans, ClearResets)
+{
+    BatchMeans bm(2);
+    bm.add(1.0);
+    bm.add(1.0);
+    bm.clear();
+    EXPECT_EQ(bm.batches(), 0u);
+    EXPECT_EQ(bm.mean(), 0.0);
+}
+
+TEST(BatchMeans, ZeroBatchSizeClamped)
+{
+    BatchMeans bm(0);
+    bm.add(7.0);
+    EXPECT_EQ(bm.batches(), 1u);
+}
+
+} // namespace
+} // namespace tpnet

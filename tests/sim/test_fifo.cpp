@@ -1,0 +1,123 @@
+/** @file Unit tests for the bounded flit FIFO. */
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.hpp"
+
+namespace tpnet {
+namespace {
+
+TEST(Fifo, StartsEmpty)
+{
+    Fifo<int> f(4);
+    EXPECT_TRUE(f.empty());
+    EXPECT_FALSE(f.full());
+    EXPECT_EQ(f.size(), 0u);
+    EXPECT_EQ(f.capacity(), 4u);
+    EXPECT_EQ(f.freeSlots(), 4u);
+}
+
+TEST(Fifo, PushPopOrder)
+{
+    Fifo<int> f(3);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, WrapsAroundRing)
+{
+    Fifo<int> f(2);
+    for (int i = 0; i < 100; ++i) {
+        f.push(i);
+        EXPECT_EQ(f.front(), i);
+        EXPECT_EQ(f.pop(), i);
+    }
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, InterleavedWrap)
+{
+    Fifo<int> f(3);
+    f.push(0);
+    f.push(1);
+    EXPECT_EQ(f.pop(), 0);
+    f.push(2);
+    f.push(3);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+}
+
+TEST(Fifo, FrontIsMutable)
+{
+    Fifo<int> f(2);
+    f.push(7);
+    f.front() = 9;
+    EXPECT_EQ(f.pop(), 9);
+}
+
+TEST(Fifo, AtIndexesBehindHead)
+{
+    Fifo<int> f(4);
+    f.push(10);
+    f.push(11);
+    f.push(12);
+    EXPECT_EQ(f.at(0), 10);
+    EXPECT_EQ(f.at(1), 11);
+    EXPECT_EQ(f.at(2), 12);
+    f.pop();
+    EXPECT_EQ(f.at(0), 11);
+}
+
+TEST(Fifo, ClearEmpties)
+{
+    Fifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    f.push(5);
+    EXPECT_EQ(f.front(), 5);
+}
+
+TEST(Fifo, ResetChangesCapacity)
+{
+    Fifo<int> f(2);
+    f.push(1);
+    f.reset(8);
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.capacity(), 8u);
+    for (int i = 0; i < 8; ++i)
+        f.push(i);
+    EXPECT_TRUE(f.full());
+}
+
+TEST(FifoDeath, PushIntoFullPanics)
+{
+    Fifo<int> f(1);
+    f.push(1);
+    EXPECT_DEATH(f.push(2), "full FIFO");
+}
+
+TEST(FifoDeath, PopEmptyPanics)
+{
+    Fifo<int> f(1);
+    EXPECT_DEATH(f.pop(), "empty FIFO");
+}
+
+TEST(FifoDeath, AtOutOfRangePanics)
+{
+    Fifo<int> f(2);
+    f.push(1);
+    EXPECT_DEATH(f.at(1), "out of range");
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,146 @@
+/** @file Unit tests for statistics: running stats, CIs, histograms. */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace tpnet {
+namespace {
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic example: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, ClearResets)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(TCritical, KnownValues)
+{
+    EXPECT_NEAR(tCritical95(1), 12.706, 1e-3);
+    EXPECT_NEAR(tCritical95(4), 2.776, 1e-3);
+    EXPECT_NEAR(tCritical95(30), 2.042, 1e-3);
+    EXPECT_NEAR(tCritical95(1000), 1.96, 1e-3);
+    EXPECT_TRUE(std::isinf(tCritical95(0)));
+}
+
+TEST(TCritical, MonotoneDecreasing)
+{
+    for (std::size_t df = 1; df < 40; ++df)
+        EXPECT_GE(tCritical95(df), tCritical95(df + 1));
+}
+
+TEST(ReplicationStat, NotAcceptableWithOneSample)
+{
+    ReplicationStat r(0.05);
+    r.add(100.0);
+    EXPECT_FALSE(r.acceptable());
+    EXPECT_TRUE(std::isinf(r.halfWidth95()));
+}
+
+TEST(ReplicationStat, TightSamplesAccept)
+{
+    // CI half-width must fall below 5% of the mean: nearly identical
+    // replications converge immediately.
+    ReplicationStat r(0.05);
+    r.add(100.0);
+    r.add(100.5);
+    r.add(99.5);
+    EXPECT_TRUE(r.acceptable(2));
+    EXPECT_NEAR(r.mean(), 100.0, 1e-9);
+}
+
+TEST(ReplicationStat, WideSamplesReject)
+{
+    ReplicationStat r(0.05);
+    r.add(50.0);
+    r.add(150.0);
+    EXPECT_FALSE(r.acceptable(2));
+}
+
+TEST(ReplicationStat, MinRepsEnforced)
+{
+    ReplicationStat r(0.05);
+    r.add(10.0);
+    r.add(10.0);
+    r.add(10.0);
+    EXPECT_FALSE(r.acceptable(5));
+    r.add(10.0);
+    r.add(10.0);
+    EXPECT_TRUE(r.acceptable(5));
+}
+
+TEST(ReplicationStat, ZeroMeanHandled)
+{
+    ReplicationStat r(0.05);
+    r.add(0.0);
+    r.add(0.0);
+    EXPECT_TRUE(r.acceptable(2));
+}
+
+TEST(Histogram, CountsAndPercentiles)
+{
+    Histogram h(10.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));  // one per unit, 0..99
+    EXPECT_EQ(h.total(), 100u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.binCount(b), 10u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_NEAR(h.percentile(0.5), 45.0, 10.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 10.0);
+}
+
+TEST(Histogram, OverflowBin)
+{
+    Histogram h(1.0, 4);
+    h.add(100.0);
+    h.add(-3.0);  // clamps to bin 0
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+}
+
+TEST(Histogram, EmptyPercentileIsZero)
+{
+    Histogram h(1.0, 4);
+    EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * tpnet_cli — command-line driver for the simulator.
+ *
+ * Run any configuration without writing code: pick the protocol,
+ * geometry, flow control parameters, fault load, and traffic, then run
+ * a single point, a replicated point (the paper's 95%-CI methodology),
+ * or an offered-load sweep. `--stats` appends a structural
+ * network-statistics report.
+ *
+ * Examples:
+ *   tpnet_cli --protocol TP --load 0.2 --faults 10
+ *   tpnet_cli --protocol MB-m --sweep "0.05,0.1,0.15,0.2" --reps 3
+ *   tpnet_cli --protocol TP --K 3 --faults 20 --load 0.25 --stats
+ *   tpnet_cli --protocol SR --K 3 --k 8 --n 3 --length 16 --dynamic 5
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/tpnet.hpp"
+#include "metrics/netstats.hpp"
+#include "sim/options.hpp"
+
+namespace {
+
+using namespace tpnet;
+
+bool
+parseProtocol(const std::string &name, Protocol *out)
+{
+    const struct
+    {
+        const char *name;
+        Protocol proto;
+    } table[] = {
+        {"DOR", Protocol::DimOrder}, {"DP", Protocol::Duato},
+        {"SR", Protocol::Scouting},  {"PCS", Protocol::Pcs},
+        {"MB-m", Protocol::MBm},     {"MBM", Protocol::MBm},
+        {"TP", Protocol::TwoPhase},
+    };
+    for (const auto &row : table) {
+        if (name == row.name) {
+            *out = row.proto;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parsePattern(const std::string &name, TrafficPattern *out)
+{
+    const struct
+    {
+        const char *name;
+        TrafficPattern pattern;
+    } table[] = {
+        {"uniform", TrafficPattern::Uniform},
+        {"bit-complement", TrafficPattern::BitComplement},
+        {"transpose", TrafficPattern::Transpose},
+        {"neighbor", TrafficPattern::NeighborPlus},
+        {"tornado", TrafficPattern::Tornado},
+    };
+    for (const auto &row : table) {
+        if (name == row.name) {
+            *out = row.pattern;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<double>
+parseLoads(const std::string &csv)
+{
+    std::vector<double> loads;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ','))
+        loads.push_back(std::atof(item.c_str()));
+    return loads;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpnet;
+
+    SimConfig cfg;
+    std::string protocol = "TP";
+    std::string pattern = "uniform";
+    std::string sweep;
+    int reps = 1;
+    double dynamic_faults = 0.0;
+    bool stats = false;
+    bool mesh = false;
+    bool no_unsafe = false;
+
+    OptionParser parser(
+        "tpnet_cli",
+        "flit-level simulator of fault-tolerant routing with "
+        "configurable flow control (Dao/Duato/Yalamanchili, ISCA'95)");
+    parser.addString("protocol", "DOR | DP | SR | PCS | MB-m | TP",
+                     &protocol);
+    parser.addInt("k", "radix (nodes per dimension)", &cfg.k);
+    parser.addInt("n", "dimensions", &cfg.n);
+    parser.addInt("length", "data flits per message", &cfg.msgLength);
+    parser.addInt("K", "scouting distance (SR mode)", &cfg.scoutK);
+    parser.addInt("m", "misroute limit", &cfg.misrouteLimit);
+    parser.addInt("adaptive-vcs", "adaptive VCs per link",
+                  &cfg.adaptiveVcs);
+    parser.addInt("escape-vcs", "escape (dateline) VCs per link",
+                  &cfg.escapeVcs);
+    parser.addInt("buffers", "DIBU depth in flits", &cfg.bufDepth);
+    parser.addDouble("load", "offered load, data flits/node/cycle",
+                     &cfg.load);
+    parser.addString("pattern",
+                     "uniform | bit-complement | transpose | neighbor "
+                     "| tornado",
+                     &pattern);
+    parser.addInt("faults", "static node faults", &cfg.staticNodeFaults);
+    parser.addInt("link-faults", "static link faults",
+                  &cfg.staticLinkFaults);
+    parser.addDouble("dynamic", "dynamic node faults over the run",
+                     &dynamic_faults);
+    parser.addDouble("dynamic-links", "dynamic link faults over the run",
+                     &cfg.dynamicLinkFaults);
+    parser.addFlag("mesh", "mesh instead of torus (no wraparound)",
+                   &mesh);
+    parser.addFlag("no-unsafe", "disable unsafe-channel marking",
+                   &no_unsafe);
+    parser.addFlag("tailack", "hold paths + message acks + retransmit",
+                   &cfg.tailAck);
+    parser.addFlag("hw-acks", "dedicated acknowledgment signalling",
+                   &cfg.hardwareAcks);
+    parser.addUint64("seed", "RNG seed", &cfg.seed);
+    parser.addUint64("warmup", "warmup cycles", &cfg.warmup);
+    parser.addUint64("measure", "measurement window cycles",
+                     &cfg.measure);
+    parser.addInt("reps", "max replications (95% CI rule when > 1)",
+                  &reps);
+    parser.addString("sweep", "comma-separated offered loads", &sweep);
+    parser.addFlag("stats", "print structural network statistics",
+                   &stats);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+    if (!parseProtocol(protocol, &cfg.protocol)) {
+        std::fprintf(stderr, "error: unknown protocol '%s'\n",
+                     protocol.c_str());
+        return 1;
+    }
+    if (!parsePattern(pattern, &cfg.pattern)) {
+        std::fprintf(stderr, "error: unknown pattern '%s'\n",
+                     pattern.c_str());
+        return 1;
+    }
+    cfg.dynamicNodeFaults = dynamic_faults;
+    cfg.wrap = !mesh;
+    cfg.markUnsafe = !no_unsafe;
+    cfg.validate();
+
+    std::printf("# %s\n", cfg.summary().c_str());
+
+    if (!sweep.empty()) {
+        SweepOptions opt;
+        opt.minReps = reps > 1 ? 2 : 1;
+        opt.maxReps = static_cast<std::size_t>(reps);
+        const Series s =
+            loadSweep(cfg, protocolName(cfg.protocol),
+                      parseLoads(sweep), opt);
+        printSeries(std::cout, s, "offered");
+        return 0;
+    }
+
+    Simulator sim(cfg);
+    if (reps > 1) {
+        const ReplicatedResult r =
+            sim.runToConfidence(2, static_cast<std::size_t>(reps));
+        std::printf("%s\n%s\n", RunResult::header().c_str(),
+                    r.mean.row().c_str());
+        std::printf("# %zu replications, latency CI95 +-%.2f, "
+                    "converged=%s\n",
+                    r.replications, r.latencyHw95,
+                    r.converged ? "yes" : "no");
+    } else {
+        const RunResult r = sim.run();
+        std::printf("%s\n%s\n", RunResult::header().c_str(),
+                    r.row().c_str());
+    }
+
+    if (stats) {
+        // Re-run a short window on a live network for the snapshot.
+        Network net(cfg);
+        Injector inj(net);
+        for (Cycle c = 0; c < cfg.warmup + cfg.measure; ++c) {
+            inj.step();
+            net.step();
+        }
+        std::printf("\n%s", collectStats(net).report().c_str());
+    }
+    return 0;
+}
