@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hw_acks.dir/ablation_hw_acks.cpp.o"
+  "CMakeFiles/ablation_hw_acks.dir/ablation_hw_acks.cpp.o.d"
+  "ablation_hw_acks"
+  "ablation_hw_acks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hw_acks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_conservative_tp.dir/ext_conservative_tp.cpp.o"
+  "CMakeFiles/ext_conservative_tp.dir/ext_conservative_tp.cpp.o.d"
+  "ext_conservative_tp"
+  "ext_conservative_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_conservative_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

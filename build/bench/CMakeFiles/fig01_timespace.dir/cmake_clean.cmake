@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_timespace.dir/fig01_timespace.cpp.o"
+  "CMakeFiles/fig01_timespace.dir/fig01_timespace.cpp.o.d"
+  "fig01_timespace"
+  "fig01_timespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_timespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_faultfree.dir/fig12_faultfree.cpp.o"
+  "CMakeFiles/fig12_faultfree.dir/fig12_faultfree.cpp.o.d"
+  "fig12_faultfree"
+  "fig12_faultfree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_faultfree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

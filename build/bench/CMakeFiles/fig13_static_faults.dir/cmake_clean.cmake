@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_static_faults.dir/fig13_static_faults.cpp.o"
+  "CMakeFiles/fig13_static_faults.dir/fig13_static_faults.cpp.o.d"
+  "fig13_static_faults"
+  "fig13_static_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_static_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_fault_sweep.dir/fig14_fault_sweep.cpp.o"
+  "CMakeFiles/fig14_fault_sweep.dir/fig14_fault_sweep.cpp.o.d"
+  "fig14_fault_sweep"
+  "fig14_fault_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

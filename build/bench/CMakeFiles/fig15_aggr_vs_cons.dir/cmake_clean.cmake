@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_aggr_vs_cons.dir/fig15_aggr_vs_cons.cpp.o"
+  "CMakeFiles/fig15_aggr_vs_cons.dir/fig15_aggr_vs_cons.cpp.o.d"
+  "fig15_aggr_vs_cons"
+  "fig15_aggr_vs_cons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_aggr_vs_cons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_aggr_vs_cons.
+# This may be replaced when dependencies are built.

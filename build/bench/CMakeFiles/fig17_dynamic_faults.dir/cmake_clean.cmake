@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dynamic_faults.dir/fig17_dynamic_faults.cpp.o"
+  "CMakeFiles/fig17_dynamic_faults.dir/fig17_dynamic_faults.cpp.o.d"
+  "fig17_dynamic_faults"
+  "fig17_dynamic_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dynamic_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

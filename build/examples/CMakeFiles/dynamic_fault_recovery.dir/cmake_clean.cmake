@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_fault_recovery.dir/dynamic_fault_recovery.cpp.o"
+  "CMakeFiles/dynamic_fault_recovery.dir/dynamic_fault_recovery.cpp.o.d"
+  "dynamic_fault_recovery"
+  "dynamic_fault_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_fault_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timespace_diagram.dir/timespace_diagram.cpp.o"
+  "CMakeFiles/timespace_diagram.dir/timespace_diagram.cpp.o.d"
+  "timespace_diagram"
+  "timespace_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timespace_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

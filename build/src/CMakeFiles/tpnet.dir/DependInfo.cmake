@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/CMakeFiles/tpnet.dir/core/analytic.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/core/analytic.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/tpnet.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/CMakeFiles/tpnet.dir/core/network.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/core/network.cpp.o.d"
+  "/root/repo/src/core/probe.cpp" "src/CMakeFiles/tpnet.dir/core/probe.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/core/probe.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/tpnet.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/CMakeFiles/tpnet.dir/core/validator.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/core/validator.cpp.o.d"
+  "/root/repo/src/fault/fault_model.cpp" "src/CMakeFiles/tpnet.dir/fault/fault_model.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/fault/fault_model.cpp.o.d"
+  "/root/repo/src/fault/recovery.cpp" "src/CMakeFiles/tpnet.dir/fault/recovery.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/fault/recovery.cpp.o.d"
+  "/root/repo/src/flow/flow_control.cpp" "src/CMakeFiles/tpnet.dir/flow/flow_control.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/flow/flow_control.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/tpnet.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/netstats.cpp" "src/CMakeFiles/tpnet.dir/metrics/netstats.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/metrics/netstats.cpp.o.d"
+  "/root/repo/src/metrics/timespace.cpp" "src/CMakeFiles/tpnet.dir/metrics/timespace.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/metrics/timespace.cpp.o.d"
+  "/root/repo/src/router/flit.cpp" "src/CMakeFiles/tpnet.dir/router/flit.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/router/flit.cpp.o.d"
+  "/root/repo/src/routing/bounds.cpp" "src/CMakeFiles/tpnet.dir/routing/bounds.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/bounds.cpp.o.d"
+  "/root/repo/src/routing/dor.cpp" "src/CMakeFiles/tpnet.dir/routing/dor.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/dor.cpp.o.d"
+  "/root/repo/src/routing/duato.cpp" "src/CMakeFiles/tpnet.dir/routing/duato.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/duato.cpp.o.d"
+  "/root/repo/src/routing/header.cpp" "src/CMakeFiles/tpnet.dir/routing/header.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/header.cpp.o.d"
+  "/root/repo/src/routing/mbm.cpp" "src/CMakeFiles/tpnet.dir/routing/mbm.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/mbm.cpp.o.d"
+  "/root/repo/src/routing/selection.cpp" "src/CMakeFiles/tpnet.dir/routing/selection.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/selection.cpp.o.d"
+  "/root/repo/src/routing/two_phase.cpp" "src/CMakeFiles/tpnet.dir/routing/two_phase.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/routing/two_phase.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/tpnet.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/tpnet.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/options.cpp" "src/CMakeFiles/tpnet.dir/sim/options.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/sim/options.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/tpnet.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/tpnet.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/CMakeFiles/tpnet.dir/topology/torus.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/topology/torus.cpp.o.d"
+  "/root/repo/src/traffic/injector.cpp" "src/CMakeFiles/tpnet.dir/traffic/injector.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/traffic/injector.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/CMakeFiles/tpnet.dir/traffic/pattern.cpp.o" "gcc" "src/CMakeFiles/tpnet.dir/traffic/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/tpnet.dir/core/analytic.cpp.o: \
+ /root/repo/src/core/analytic.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/analytic.hpp

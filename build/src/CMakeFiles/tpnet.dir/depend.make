@@ -1,0 +1,2 @@
+# Empty dependencies file for tpnet.
+# This may be replaced when dependencies are built.

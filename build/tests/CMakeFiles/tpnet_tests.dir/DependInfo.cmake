@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_csv.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_csv.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_csv.cpp.o.d"
+  "/root/repo/tests/core/test_latency_model.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_latency_model.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_latency_model.cpp.o.d"
+  "/root/repo/tests/core/test_network_basics.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_network_basics.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_network_basics.cpp.o.d"
+  "/root/repo/tests/core/test_paper_shapes.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_paper_shapes.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_paper_shapes.cpp.o.d"
+  "/root/repo/tests/core/test_properties.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_properties.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_properties.cpp.o.d"
+  "/root/repo/tests/core/test_simulator.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_simulator.cpp.o.d"
+  "/root/repo/tests/core/test_validator.cpp" "tests/CMakeFiles/tpnet_tests.dir/core/test_validator.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/core/test_validator.cpp.o.d"
+  "/root/repo/tests/fault/test_dynamic_links.cpp" "tests/CMakeFiles/tpnet_tests.dir/fault/test_dynamic_links.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/fault/test_dynamic_links.cpp.o.d"
+  "/root/repo/tests/fault/test_fault_model.cpp" "tests/CMakeFiles/tpnet_tests.dir/fault/test_fault_model.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/fault/test_fault_model.cpp.o.d"
+  "/root/repo/tests/fault/test_recovery.cpp" "tests/CMakeFiles/tpnet_tests.dir/fault/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/fault/test_recovery.cpp.o.d"
+  "/root/repo/tests/flow/test_flow_semantics.cpp" "tests/CMakeFiles/tpnet_tests.dir/flow/test_flow_semantics.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/flow/test_flow_semantics.cpp.o.d"
+  "/root/repo/tests/flow/test_hardware_acks.cpp" "tests/CMakeFiles/tpnet_tests.dir/flow/test_hardware_acks.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/flow/test_hardware_acks.cpp.o.d"
+  "/root/repo/tests/flow/test_multiplexing.cpp" "tests/CMakeFiles/tpnet_tests.dir/flow/test_multiplexing.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/flow/test_multiplexing.cpp.o.d"
+  "/root/repo/tests/metrics/test_collector.cpp" "tests/CMakeFiles/tpnet_tests.dir/metrics/test_collector.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/metrics/test_collector.cpp.o.d"
+  "/root/repo/tests/metrics/test_netstats.cpp" "tests/CMakeFiles/tpnet_tests.dir/metrics/test_netstats.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/metrics/test_netstats.cpp.o.d"
+  "/root/repo/tests/metrics/test_timespace.cpp" "tests/CMakeFiles/tpnet_tests.dir/metrics/test_timespace.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/metrics/test_timespace.cpp.o.d"
+  "/root/repo/tests/router/test_channel.cpp" "tests/CMakeFiles/tpnet_tests.dir/router/test_channel.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/router/test_channel.cpp.o.d"
+  "/root/repo/tests/routing/test_bounds.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_bounds.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_bounds.cpp.o.d"
+  "/root/repo/tests/routing/test_dor_dp.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_dor_dp.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_dor_dp.cpp.o.d"
+  "/root/repo/tests/routing/test_header_codec.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_header_codec.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_header_codec.cpp.o.d"
+  "/root/repo/tests/routing/test_mbm.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_mbm.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_mbm.cpp.o.d"
+  "/root/repo/tests/routing/test_selection.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_selection.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_selection.cpp.o.d"
+  "/root/repo/tests/routing/test_theorems.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_theorems.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_theorems.cpp.o.d"
+  "/root/repo/tests/routing/test_two_phase.cpp" "tests/CMakeFiles/tpnet_tests.dir/routing/test_two_phase.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/routing/test_two_phase.cpp.o.d"
+  "/root/repo/tests/sim/test_batch_means.cpp" "tests/CMakeFiles/tpnet_tests.dir/sim/test_batch_means.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/sim/test_batch_means.cpp.o.d"
+  "/root/repo/tests/sim/test_config.cpp" "tests/CMakeFiles/tpnet_tests.dir/sim/test_config.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/sim/test_config.cpp.o.d"
+  "/root/repo/tests/sim/test_fifo.cpp" "tests/CMakeFiles/tpnet_tests.dir/sim/test_fifo.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/sim/test_fifo.cpp.o.d"
+  "/root/repo/tests/sim/test_options.cpp" "tests/CMakeFiles/tpnet_tests.dir/sim/test_options.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/sim/test_options.cpp.o.d"
+  "/root/repo/tests/sim/test_rng.cpp" "tests/CMakeFiles/tpnet_tests.dir/sim/test_rng.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/sim/test_rng.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/tpnet_tests.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/topology/test_mesh.cpp" "tests/CMakeFiles/tpnet_tests.dir/topology/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/topology/test_mesh.cpp.o.d"
+  "/root/repo/tests/topology/test_torus.cpp" "tests/CMakeFiles/tpnet_tests.dir/topology/test_torus.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/topology/test_torus.cpp.o.d"
+  "/root/repo/tests/traffic/test_traffic.cpp" "tests/CMakeFiles/tpnet_tests.dir/traffic/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/tpnet_tests.dir/traffic/test_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tpnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

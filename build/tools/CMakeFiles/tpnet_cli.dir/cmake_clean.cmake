@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpnet_cli.dir/tpnet_cli.cpp.o"
+  "CMakeFiles/tpnet_cli.dir/tpnet_cli.cpp.o.d"
+  "tpnet_cli"
+  "tpnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

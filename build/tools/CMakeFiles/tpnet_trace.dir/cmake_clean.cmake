@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpnet_trace.dir/tpnet_trace.cpp.o"
+  "CMakeFiles/tpnet_trace.dir/tpnet_trace.cpp.o.d"
+  "tpnet_trace"
+  "tpnet_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpnet_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
