@@ -1,0 +1,102 @@
+#include "chaos/campaign.hpp"
+
+#include <sstream>
+
+#include "chaos/oracle.hpp"
+#include "core/network.hpp"
+#include "traffic/injector.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+std::string
+CampaignResult::summary() const
+{
+    std::ostringstream os;
+    os << "seed " << seed << ": " << (passed ? "PASS" : "FAIL") << ", "
+       << messages << " msgs in " << cycles << " cycles, "
+       << counters.delivered << " delivered / " << counters.dropped
+       << " undeliverable / " << counters.lost << " lost, "
+       << faultsFired << " faults (" << counters.intermittentFaults
+       << " intermittent, " << counters.linksRestored << " restored)";
+    if (!quiescent)
+        os << ", NOT QUIESCENT";
+    if (!violations.empty())
+        os << ", " << violations.size() << " violations";
+    return os.str();
+}
+
+CampaignResult
+runCampaign(const CampaignSpec &spec)
+{
+    SimConfig cfg = spec.cfg;
+    cfg.seed = spec.seed;
+    cfg.watchdog = 0;  // the chaos watchdog reports instead of panicking
+    cfg.validate();
+
+    CampaignResult result;
+    result.seed = spec.seed;
+
+    Network net(cfg);
+    if (spec.injectSkipKillBug)
+        net.testHookSkipKillSweep(true);
+
+    // The fault timeline gets its own stream, decorrelated from the
+    // traffic RNG but fully determined by the campaign seed.
+    Rng faultRng = Rng(spec.seed ^ 0xC4A0C4A0C4A0C4A0ull).split();
+    ScheduleSpec faults = spec.faults;
+    if (faults.horizon > spec.injectCycles)
+        faults.horizon = spec.injectCycles;
+    FaultSchedule schedule = FaultSchedule::randomized(faults, faultRng);
+
+    DeliveryOracle oracle(net);
+    net.attachTrace(&oracle);
+    Watchdog watchdog(net, spec.watchdog);
+    Injector injector(net);
+
+    for (Cycle c = 0; c < spec.injectCycles && !watchdog.deadlocked();
+         ++c) {
+        schedule.apply(net, faultRng);
+        injector.step();
+        net.step();
+        watchdog.observe();
+    }
+
+    injector.stop();
+    for (Cycle c = 0;
+         c < spec.drainCycles && !net.quiescent() &&
+         !watchdog.deadlocked();
+         ++c) {
+        schedule.apply(net, faultRng);  // scripted late events, if any
+        net.step();
+        watchdog.observe();
+    }
+
+    result.quiescent = net.quiescent();
+    result.cycles = net.now();
+    result.faultsFired = schedule.fired();
+    result.faultsSkipped = schedule.skipped();
+
+    watchdog.finalCheck();
+    oracle.finalCheck();
+
+    result.violations = watchdog.violations();
+    for (const std::string &v : oracle.violations())
+        result.violations.push_back(v);
+    if (!result.quiescent && !watchdog.deadlocked()) {
+        std::ostringstream os;
+        os << "drain budget (" << spec.drainCycles
+           << " cycles) exhausted with " << net.activeMessages()
+           << " messages still live";
+        result.violations.push_back(os.str());
+    }
+
+    net.attachTrace(nullptr);
+    result.messages = net.counters().generated;
+    result.counters = net.counters();
+    result.passed = result.violations.empty();
+    return result;
+}
+
+} // namespace chaos
+} // namespace tpnet

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chaos campaigns: one seeded adversarial run, end to end.
+ *
+ * A campaign wires together the full harness around one Network:
+ * randomized traffic (Injector), a randomized or scripted fault
+ * timeline (FaultSchedule), the progress watchdog, and the delivery
+ * oracle. It runs the injection window, stops traffic, drains to
+ * quiescence, then audits everything. The result carries every
+ * violation found; a campaign is reproducible from (spec, seed) alone,
+ * so any failure can be replayed with one command.
+ */
+
+#ifndef TPNET_CHAOS_CAMPAIGN_HPP
+#define TPNET_CHAOS_CAMPAIGN_HPP
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_schedule.hpp"
+#include "chaos/watchdog.hpp"
+#include "metrics/collector.hpp"
+#include "sim/config.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+/** Everything that defines one campaign (reproducible by value). */
+struct CampaignSpec
+{
+    /// Base simulation configuration: geometry, protocol, load,
+    /// K-policy, tail acknowledgments. The seed field is overridden by
+    /// `seed` below; the built-in panic watchdog is disabled (the
+    /// chaos watchdog reports stalls instead of aborting).
+    SimConfig cfg;
+
+    std::uint64_t seed = 1;
+
+    Cycle injectCycles = 20000;  ///< cycles of traffic generation
+    Cycle drainCycles = 100000;  ///< extra budget to reach quiescence
+
+    ScheduleSpec faults;         ///< randomized fault timeline shape
+    WatchdogConfig watchdog;
+
+    /// TEST ONLY: arm Network::testHookSkipKillSweep, deliberately
+    /// breaking fault recovery so the harness's detection can be
+    /// demonstrated (the campaign must then FAIL).
+    bool injectSkipKillBug = false;
+};
+
+/** Outcome of one campaign. */
+struct CampaignResult
+{
+    std::uint64_t seed = 0;
+    bool passed = false;
+    std::vector<std::string> violations;
+
+    Cycle cycles = 0;            ///< total cycles simulated
+    bool quiescent = false;      ///< network drained completely
+    std::uint64_t messages = 0;  ///< messages created
+    std::size_t faultsFired = 0;
+    std::size_t faultsSkipped = 0;
+    Counters counters;
+
+    /** One-line human summary. */
+    std::string summary() const;
+};
+
+/** Run one campaign to completion. */
+CampaignResult runCampaign(const CampaignSpec &spec);
+
+} // namespace chaos
+} // namespace tpnet
+
+#endif // TPNET_CHAOS_CAMPAIGN_HPP

@@ -1,0 +1,120 @@
+#include "chaos/fault_schedule.hpp"
+
+#include <algorithm>
+
+#include "core/network.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+void
+FaultSchedule::add(const FaultEvent &ev)
+{
+    events_.push_back(ev);
+    sorted_ = false;
+}
+
+FaultSchedule
+FaultSchedule::randomized(const ScheduleSpec &spec, Rng &rng)
+{
+    FaultSchedule sched;
+    auto fireTime = [&spec, &rng]() {
+        return spec.earliest >= spec.horizon
+                   ? spec.earliest
+                   : rng.between(spec.earliest, spec.horizon - 1);
+    };
+    for (int i = 0; i < spec.nodeKills; ++i)
+        sched.add({fireTime(), FaultKind::NodeKill, invalidNode, -1, 0});
+    for (int i = 0; i < spec.linkKills; ++i)
+        sched.add({fireTime(), FaultKind::LinkKill, invalidNode, -1, 0});
+    for (int i = 0; i < spec.intermittents; ++i) {
+        sched.add({fireTime(), FaultKind::LinkIntermittent, invalidNode,
+                   -1, rng.between(spec.downMin, spec.downMax)});
+    }
+    return sched;
+}
+
+void
+FaultSchedule::apply(Network &net, Rng &rng)
+{
+    if (!sorted_) {
+        std::stable_sort(events_.begin() + static_cast<std::ptrdiff_t>(next_),
+                         events_.end(),
+                         [](const FaultEvent &a, const FaultEvent &b) {
+                             return a.at < b.at;
+                         });
+        sorted_ = true;
+    }
+    while (next_ < events_.size() && events_[next_].at <= net.now()) {
+        if (fire(events_[next_], net, rng))
+            ++fired_;
+        else
+            ++skipped_;
+        ++next_;
+    }
+}
+
+bool
+FaultSchedule::fire(const FaultEvent &ev, Network &net, Rng &rng)
+{
+    const TorusTopology &topo = net.topo();
+
+    if (ev.kind == FaultKind::NodeKill) {
+        NodeId victim = ev.node;
+        if (victim == invalidNode) {
+            // Keep at least two healthy nodes so traffic stays definable
+            // (mirrors the built-in dynamic fault process).
+            const auto healthy = net.healthyNodes();
+            if (healthy.size() <= 2)
+                return false;
+            victim = healthy[rng.below(
+                static_cast<std::uint64_t>(healthy.size()))];
+        }
+        if (net.nodeFaulty(victim))
+            return false;
+        net.counters().dynamicFaults++;
+        net.failNode(victim);
+        return true;
+    }
+
+    // Link events: resolve an open victim to a random healthy
+    // full-duplex link between healthy endpoints.
+    NodeId node = ev.node;
+    int port = ev.port;
+    if (node == invalidNode) {
+        bool found = false;
+        for (int attempt = 0; attempt < 256 && !found; ++attempt) {
+            const LinkId id = static_cast<LinkId>(
+                rng.below(static_cast<std::uint64_t>(topo.links())));
+            const Link &lk = net.link(id);
+            if (lk.faulty || lk.absent || net.nodeFaulty(lk.src) ||
+                net.nodeFaulty(lk.dst)) {
+                continue;
+            }
+            node = lk.src;
+            port = lk.srcPort;
+            found = true;
+        }
+        if (!found)
+            return false;
+    } else {
+        const Link &lk = net.linkAt(node, port);
+        if (lk.faulty || lk.absent || net.nodeFaulty(lk.src) ||
+            net.nodeFaulty(lk.dst)) {
+            return false;
+        }
+    }
+
+    net.counters().dynamicFaults++;
+    if (ev.kind == FaultKind::LinkKill) {
+        net.failLink(node, port);
+    } else {
+        net.counters().intermittentFaults++;
+        net.failLinkIntermittent(node, port,
+                                 ev.downFor > 0 ? ev.downFor : 1);
+    }
+    return true;
+}
+
+} // namespace chaos
+} // namespace tpnet

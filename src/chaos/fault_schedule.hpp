@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault schedules: scripted and randomized fault timelines.
+ *
+ * The built-in dynamic fault machinery of Network is a memoryless
+ * Bernoulli process. A FaultSchedule generalizes it to an explicit
+ * timeline of fault events — node kills, permanent link kills, and
+ * intermittent link faults (down for N cycles, then restored) — that
+ * can be scripted hop-by-hop by a test or sampled up front from a seed.
+ * Because the timeline is materialized before the run, a failing chaos
+ * campaign is replayable from its seed alone.
+ *
+ * Victims may be pinned (explicit node/port) or left open
+ * (invalidNode), in which case a random healthy victim is drawn at
+ * fire time — adversarial timing with feasible placement.
+ */
+
+#ifndef TPNET_CHAOS_FAULT_SCHEDULE_HPP
+#define TPNET_CHAOS_FAULT_SCHEDULE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Network;
+
+namespace chaos {
+
+/** What a scheduled fault event does when it fires. */
+enum class FaultKind : std::uint8_t {
+    NodeKill,         ///< fail a PE + router permanently
+    LinkKill,         ///< fail a full-duplex link permanently
+    LinkIntermittent, ///< fail a link, restore it after downFor cycles
+};
+
+/** One entry of a fault timeline. */
+struct FaultEvent
+{
+    Cycle at = 0;            ///< cycle the fault strikes
+    FaultKind kind = FaultKind::NodeKill;
+    /// Pinned victim node (NodeKill) or link source (Link*);
+    /// invalidNode = draw a random healthy victim when the event fires.
+    NodeId node = invalidNode;
+    int port = -1;           ///< pinned output port for link events
+    Cycle downFor = 0;       ///< LinkIntermittent: outage duration
+};
+
+/** Parameters for randomized schedule generation. */
+struct ScheduleSpec
+{
+    Cycle horizon = 20000;   ///< faults strike in [earliest, horizon)
+    Cycle earliest = 100;    ///< let some traffic build up first
+    int nodeKills = 0;
+    int linkKills = 0;
+    int intermittents = 0;
+    Cycle downMin = 100;     ///< intermittent outage duration range
+    Cycle downMax = 1000;
+};
+
+/** An ordered fault timeline applied against a Network as it runs. */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /** Script one event (any order; the schedule sorts on first use). */
+    void add(const FaultEvent &ev);
+
+    /**
+     * Sample a randomized timeline: fire times uniform over
+     * [spec.earliest, spec.horizon), victims drawn at fire time,
+     * intermittent outages uniform in [downMin, downMax].
+     */
+    static FaultSchedule randomized(const ScheduleSpec &spec, Rng &rng);
+
+    /**
+     * Fire every event due at net.now(). Open victims are resolved
+     * against the network's current health with @p rng; events that
+     * find no feasible victim (nearly everything already failed) are
+     * skipped and counted.
+     */
+    void apply(Network &net, Rng &rng);
+
+    /** All events at or before @p cycle have fired (or been skipped). */
+    bool exhausted() const { return next_ >= events_.size(); }
+
+    std::size_t fired() const { return fired_; }
+    std::size_t skipped() const { return skipped_; }
+    std::size_t size() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+  private:
+    bool fire(const FaultEvent &ev, Network &net, Rng &rng);
+
+    std::vector<FaultEvent> events_;
+    std::size_t next_ = 0;
+    std::size_t fired_ = 0;
+    std::size_t skipped_ = 0;
+    bool sorted_ = false;
+};
+
+} // namespace chaos
+} // namespace tpnet
+
+#endif // TPNET_CHAOS_FAULT_SCHEDULE_HPP

@@ -1,0 +1,197 @@
+#include "chaos/watchdog.hpp"
+
+#include <sstream>
+
+#include "core/network.hpp"
+#include "core/validator.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+Watchdog::Watchdog(Network &net, const WatchdogConfig &cfg)
+    : net_(net), cfg_(cfg)
+{
+    lastComposite_ = activityComposite();
+    lastActivity_ = net_.now();
+}
+
+void
+Watchdog::report(const std::string &what)
+{
+    if (violations_.size() >= cfg_.maxViolations)
+        return;
+    std::ostringstream os;
+    os << "cycle " << net_.now() << ": " << what;
+    violations_.push_back(os.str());
+}
+
+std::uint64_t
+Watchdog::activityComposite() const
+{
+    const Counters &c = net_.counters();
+    return c.generated + c.delivered + c.dropped + c.lost +
+           c.retransmits + c.retriesScheduled + c.headerMoves +
+           c.backtracks + c.misroutes + c.detoursBuilt + c.setupAborts +
+           c.dataCrossings + c.ctrlCrossings + c.posAcks + c.negAcks +
+           c.killFlits + c.msgAcks + c.dataFlitsDelivered +
+           c.dynamicFaults + c.messagesKilled + c.linksRestored;
+}
+
+void
+Watchdog::observe()
+{
+    checkGlobalProgress();
+    checkPerMessageProgress();
+    if (cfg_.conserveEvery > 0 && net_.now() % cfg_.conserveEvery == 0)
+        checkConservation();
+    if (cfg_.validateEvery > 0 && net_.now() % cfg_.validateEvery == 0)
+        runValidator();
+}
+
+void
+Watchdog::finalCheck()
+{
+    checkConservation();
+    runValidator();
+}
+
+void
+Watchdog::checkGlobalProgress()
+{
+    const std::uint64_t composite = activityComposite();
+    if (composite != lastComposite_ || net_.activeMessages() == 0) {
+        lastComposite_ = composite;
+        lastActivity_ = net_.now();
+        return;
+    }
+    if (cfg_.globalStallBound > 0 && !deadlocked_ &&
+        net_.now() - lastActivity_ >= cfg_.globalStallBound) {
+        std::ostringstream os;
+        os << "deadlock: no token moved for "
+           << net_.now() - lastActivity_ << " cycles with "
+           << net_.activeMessages() << " live messages";
+        report(os.str());
+        deadlocked_ = true;
+    }
+}
+
+std::uint64_t
+Watchdog::signature(const Message &msg)
+{
+    // Any field that changes when the message makes progress of any
+    // kind — probe movement, data movement, teardown, retry — feeds
+    // the fingerprint.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(msg.state));
+    mix(static_cast<std::uint64_t>(msg.epoch));
+    mix(static_cast<std::uint64_t>(msg.hdr.hops));
+    mix(msg.path.size());
+    mix(static_cast<std::uint64_t>(msg.injectedFlits));
+    mix(static_cast<std::uint64_t>(msg.arrivedFlits));
+    mix(static_cast<std::uint64_t>(msg.retries));
+    mix(static_cast<std::uint64_t>(msg.srcCounter));
+    mix(static_cast<std::uint64_t>(msg.releasedHops));
+    mix(static_cast<std::uint64_t>(msg.killWalks));
+    mix(msg.beingKilled ? 1 : 0);
+    mix(static_cast<std::uint64_t>(
+        msg.leadHop < 0 ? 0u : static_cast<unsigned>(msg.leadHop)));
+    return h;
+}
+
+void
+Watchdog::checkPerMessageProgress()
+{
+    // Tracks grow with live messages and are pruned as they retire.
+    // Queued/WaitRetry messages are skipped: their progress is owned by
+    // whatever is ahead of them (which is tracked), and a healthy
+    // congested queue can legally hold a message for a long time.
+    std::unordered_map<MsgId, MsgTrack> fresh;
+    fresh.reserve(tracks_.size());
+    for (MsgId id : net_.liveMessageIds()) {
+        const Message *msg = net_.findMessage(id);
+        if (!msg || msg->terminal())
+            continue;
+        if (msg->state == MsgState::Queued ||
+            msg->state == MsgState::WaitRetry) {
+            continue;
+        }
+        const std::uint64_t sig = signature(*msg);
+        MsgTrack track;
+        auto it = tracks_.find(id);
+        if (it != tracks_.end() && it->second.sig == sig) {
+            track = it->second;
+        } else {
+            track.sig = sig;
+            track.lastChange = net_.now();
+        }
+        if (!track.flagged && cfg_.msgStallBound > 0 &&
+            net_.now() - track.lastChange >= cfg_.msgStallBound) {
+            std::ostringstream os;
+            os << "livelock: msg " << id << " (" << msg->src << "->"
+               << msg->dst << ", state "
+               << static_cast<int>(msg->state) << ", epoch "
+               << msg->epoch << ") made no progress for "
+               << net_.now() - track.lastChange
+               << " cycles while the network kept moving";
+            report(os.str());
+            track.flagged = true;
+        }
+        fresh.emplace(id, track);
+    }
+    tracks_ = std::move(fresh);
+}
+
+void
+Watchdog::checkConservation()
+{
+    // Every data flit a live message has injected must be delivered or
+    // resident in the FIFOs of its reserved path. Messages mid-teardown
+    // are exempt (kill walks purge flits by design); so are fresh
+    // retry states (their counters were reset with the purge).
+    for (MsgId id : net_.liveMessageIds()) {
+        const Message *msg = net_.findMessage(id);
+        if (!msg || msg->terminal() || msg->beingKilled)
+            continue;
+        if (msg->state != MsgState::Active &&
+            msg->state != MsgState::Delivered) {
+            continue;
+        }
+        int resident = 0;
+        for (const PathHop &hop : msg->path) {
+            const Link &lk = net_.link(hop.link);
+            const VcState &vc =
+                lk.vcs[static_cast<std::size_t>(hop.vc)];
+            if (vc.owner != msg->id)
+                continue;
+            for (std::size_t i = 0; i < vc.data.size(); ++i) {
+                const Flit &flit = vc.data.at(i);
+                if (flit.msg == msg->id && isDataLane(flit.type))
+                    ++resident;
+            }
+        }
+        const int inFlight = msg->injectedFlits - msg->arrivedFlits;
+        if (resident != inFlight) {
+            std::ostringstream os;
+            os << "flit conservation: msg " << id << " injected "
+               << msg->injectedFlits << ", delivered "
+               << msg->arrivedFlits << ", but " << resident
+               << " flits resident in its path (expected " << inFlight
+               << ")";
+            report(os.str());
+        }
+    }
+}
+
+void
+Watchdog::runValidator()
+{
+    for (const Violation &v : validateNetwork(net_))
+        report("validator: " + v.what);
+}
+
+} // namespace chaos
+} // namespace tpnet

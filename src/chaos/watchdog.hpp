@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Progress watchdog for chaos campaigns.
+ *
+ * Runs alongside a Network (one observe() per cycle) and turns silent
+ * wedges into reported violations:
+ *
+ *  - deadlock: no token of any kind moved network-wide for a bound
+ *    number of cycles while messages are live (Theorem 3 says this
+ *    must never happen);
+ *  - livelock/starvation: one message made no progress for a (much
+ *    larger) bound while the rest of the network kept moving —
+ *    "blocked but live" is legal only for bounded spans;
+ *  - flit-conservation: every data flit a live message has injected
+ *    is delivered or resident in exactly the FIFOs of its reserved
+ *    path (messages being torn down are exempt: their flits are
+ *    deliberately purged);
+ *  - structural: periodic validateNetwork() sweeps.
+ *
+ * Unlike the simulator's built-in watchdog (which panics), this one
+ * records violations and lets the campaign driver finish and report.
+ */
+
+#ifndef TPNET_CHAOS_WATCHDOG_HPP
+#define TPNET_CHAOS_WATCHDOG_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Network;
+struct Message;
+
+namespace chaos {
+
+/** Bounds and cadences for the watchdog's checks. */
+struct WatchdogConfig
+{
+    /// Deadlock bound: live messages but no token moved for W cycles.
+    Cycle globalStallBound = 3000;
+    /// Livelock bound: one message frozen for W cycles while the
+    /// network as a whole kept moving.
+    Cycle msgStallBound = 30000;
+    /// Cadence of full structural validateNetwork() sweeps (0 = off).
+    Cycle validateEvery = 512;
+    /// Cadence of per-message flit-conservation sweeps (0 = off).
+    Cycle conserveEvery = 256;
+    /// Stop collecting after this many violations (the run is doomed).
+    std::size_t maxViolations = 64;
+};
+
+/** Observes one Network; call observe() after every Network::step(). */
+class Watchdog
+{
+  public:
+    Watchdog(Network &net, const WatchdogConfig &cfg);
+
+    /** Run this cycle's checks. */
+    void observe();
+
+    /** End-of-campaign sweep (structural + conservation, uncadenced). */
+    void finalCheck();
+
+    /** A global stall was detected; the campaign cannot finish. */
+    bool deadlocked() const { return deadlocked_; }
+
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+
+  private:
+    void report(const std::string &what);
+    void checkGlobalProgress();
+    void checkPerMessageProgress();
+    void checkConservation();
+    void runValidator();
+
+    /** Compact fingerprint of a message's externally visible progress. */
+    static std::uint64_t signature(const Message &msg);
+
+    /** Sum of every activity counter: changes iff some token moved. */
+    std::uint64_t activityComposite() const;
+
+    Network &net_;
+    WatchdogConfig cfg_;
+    std::vector<std::string> violations_;
+
+    std::uint64_t lastComposite_ = 0;
+    Cycle lastActivity_ = 0;
+    bool deadlocked_ = false;
+
+    struct MsgTrack
+    {
+        std::uint64_t sig = 0;
+        Cycle lastChange = 0;
+        bool flagged = false;
+    };
+    std::unordered_map<MsgId, MsgTrack> tracks_;
+};
+
+} // namespace chaos
+} // namespace tpnet
+
+#endif // TPNET_CHAOS_WATCHDOG_HPP

@@ -118,6 +118,10 @@ struct Message
     int retries = 0;
     Cycle retryAt = 0;
 
+    /** Dropped because a dynamic fault killed it with no retransmission
+     *  support (distinguishes Lost from Undeliverable at retirement). */
+    bool lostToFault = false;
+
     // --- Per-message statistics ------------------------------------------
     int detoursBuilt = 0;
     int backtracksTaken = 0;

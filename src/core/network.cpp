@@ -89,12 +89,14 @@ Network::offerMessage(NodeId src, NodeId dst)
         msg.srcHold = true;
     else if (msg.hdr.flow == FlowMode::Scout)
         msg.srcK = cfg_.scoutK;  // the injection channel's K register
-    messages_.emplace(id, std::move(msg));
+    auto emplaced = messages_.emplace(id, std::move(msg));
     queue.push_back(id);
     ++liveMessages_;
     ++counters_.generated;
     if (measuring_)
         ++counters_.measuredGenerated;
+    if (trace_)
+        trace_->messageCreated(now_, emplaced.first->second);
 
     if (queue.front() == id)
         activateFront(src);
@@ -127,6 +129,7 @@ Network::step()
     phaseControl();
     phaseData();
     stepDynamicFaults();
+    stepRestores();
     retireMessages();
     checkWatchdog();
     ++now_;
@@ -429,8 +432,16 @@ Network::retireMessages()
         auto it = messages_.find(id);
         if (it == messages_.end())
             continue;
-        if (!it->second.terminal())
+        const Message &msg = it->second;
+        if (!msg.terminal())
             tpnet_panic("retiring non-terminal message");
+        if (trace_) {
+            const MsgOutcome outcome =
+                msg.state == MsgState::Complete ? MsgOutcome::Delivered
+                : msg.lostToFault              ? MsgOutcome::Lost
+                                               : MsgOutcome::Undeliverable;
+            trace_->messageTerminal(now_, msg, outcome);
+        }
         messages_.erase(it);
         --liveMessages_;
     }

@@ -69,6 +69,16 @@ class Network
     void setDynamicLinkFaultProcess(double per_cycle_prob,
                                     int max_faults);
 
+    /**
+     * Same process for *intermittent* link failures: a randomly chosen
+     * healthy full-duplex link goes down for @p down_cycles (with full
+     * kill-flit teardown of the circuits crossing it) and is then
+     * restored and re-validated for reuse.
+     */
+    void setIntermittentLinkFaultProcess(double per_cycle_prob,
+                                         int max_faults,
+                                         Cycle down_cycles);
+
     // --- Traffic entry -----------------------------------------------------
     /**
      * Offer a new message for injection at @p src. Returns false (and
@@ -199,6 +209,34 @@ class Network
     /** Fail the full-duplex physical link (both directions). */
     void failLink(NodeId node, int port);
 
+    /**
+     * Fail the full-duplex link for @p down_cycles, then restore it
+     * (an intermittent fault: connector glitch, transient driver
+     * failure). The failure itself is indistinguishable from a
+     * permanent one — circuits are torn down with kill walks — but
+     * once the teardown has drained, the link returns to service.
+     */
+    void failLinkIntermittent(NodeId node, int port, Cycle down_cycles);
+
+    /**
+     * Re-validate and return a failed link to service. Refuses (and
+     * returns false) while teardown of the interrupted circuits is
+     * still sweeping — any trio of either direction still owned — or
+     * permanently when an endpoint node has died or the channel is
+     * structurally absent. On success both wires are healthy, every
+     * trio is free, and unsafe designations are recomputed.
+     */
+    bool restoreLink(NodeId node, int port);
+
+    /**
+     * TEST HOOK — disables the kill sweep that tears down circuits
+     * crossing newly failed links. This deliberately breaks the
+     * recovery protocol; it exists so the chaos harness can prove its
+     * watchdog/oracle actually detect violations. Never set in
+     * production code.
+     */
+    void testHookSkipKillSweep(bool on) { skipKillSweep_ = on; }
+
     /** Recompute unsafe designations from the current fault set. */
     void recomputeUnsafe();
 
@@ -286,8 +324,18 @@ class Network
     // --- Fault machinery (fault_model.cpp / recovery.cpp) ------------------
     void stepDynamicFaults();
 
+    /** Process due link restorations (intermittent faults). */
+    void stepRestores();
+
     /** Kill every circuit holding a VC of the newly failed links. */
     void killAffectedCircuits(const std::vector<LinkId> &failed);
+
+    /**
+     * A control flit queued on a failing wire is about to be destroyed;
+     * complete hop-releasing walks (MsgAck, KillUp, KillDown) of the
+     * current epoch synchronously so their circuits are not stranded.
+     */
+    void salvageControlFlit(const Flit &flit);
 
     void scheduleRetry(Message &msg);
     void wakeRetries();
@@ -323,6 +371,21 @@ class Network
     int dynFaultBudget_ = 0;
     double dynLinkFaultProb_ = 0.0;
     int dynLinkFaultBudget_ = 0;
+    double intermFaultProb_ = 0.0;
+    int intermFaultBudget_ = 0;
+    Cycle intermDownCycles_ = 0;
+
+    /** A failed full-duplex link due to return to service. */
+    struct PendingRestore
+    {
+        NodeId node;
+        int port;
+        Cycle at;
+    };
+    std::vector<PendingRestore> pendingRestores_;
+
+    /** Test hook: break recovery to exercise the chaos oracle. */
+    bool skipKillSweep_ = false;
     bool drainNoAccept_ = false;
     std::size_t rrNode_ = 0;  ///< rotating router service offset
 };

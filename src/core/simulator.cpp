@@ -35,6 +35,12 @@ Simulator::run(std::uint64_t replication) const
             cfg.dynamicLinkFaults / horizon,
             static_cast<int>(std::lround(cfg.dynamicLinkFaults)));
     }
+    if (cfg.intermittentFaults > 0.0) {
+        net.setIntermittentLinkFaultProcess(
+            cfg.intermittentFaults / horizon,
+            static_cast<int>(std::lround(cfg.intermittentFaults)),
+            static_cast<Cycle>(cfg.intermittentDownCycles));
+    }
 
     for (Cycle c = 0; c < cfg.warmup; ++c) {
         inj.step();

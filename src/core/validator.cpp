@@ -126,6 +126,24 @@ validateNetwork(Network &net)
                    << ") owned by retired msg " << vc.owner;
                 fail(os.str());
             }
+            if (lk.faulty && !lk.absent) {
+                // A circuit crossing a failed link must be mid-teardown:
+                // the spanning routers release these trios synchronously
+                // when the failure is detected, so between cycles the
+                // only legal owner is a message whose kill (or tail-ack
+                // release) walks are still sweeping other hops.
+                Message *owner = net.findMessage(vc.owner);
+                const bool tearing = owner &&
+                    (owner->beingKilled ||
+                     owner->state == MsgState::Delivered);
+                if (!tearing) {
+                    os.str("");
+                    os << "trio (" << link_id << "," << v
+                       << ") on faulty link still owned by msg "
+                       << vc.owner << " with no teardown in progress";
+                    fail(os.str());
+                }
+            }
             for (std::size_t i = 0; i < vc.data.size(); ++i) {
                 const Flit &flit = vc.data.at(i);
                 if (flit.msg != vc.owner) {

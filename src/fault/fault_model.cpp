@@ -35,8 +35,20 @@ Network::setDynamicLinkFaultProcess(double per_cycle_prob, int max_faults)
 }
 
 void
+Network::setIntermittentLinkFaultProcess(double per_cycle_prob,
+                                         int max_faults,
+                                         Cycle down_cycles)
+{
+    intermFaultProb_ = per_cycle_prob;
+    intermFaultBudget_ = max_faults;
+    intermDownCycles_ = down_cycles;
+}
+
+void
 Network::killAffectedCircuits(const std::vector<LinkId> &failed)
 {
+    if (skipKillSweep_)
+        return;  // test hook: deliberately broken recovery
     std::unordered_set<MsgId> victims;
     for (LinkId id : failed) {
         for (const VcState &vc : link(id).vcs) {
@@ -47,6 +59,54 @@ Network::killAffectedCircuits(const std::vector<LinkId> &failed)
     for (MsgId id : victims) {
         if (Message *msg = findMessage(id))
             killMessage(*msg);
+    }
+
+    // Control-lane flits queued on the failed wires die with them.
+    // Walkers that release path hops as they travel (message
+    // acknowledgments, kill flits) may no longer own a trio on this
+    // link, so the ownership sweep above cannot see their message —
+    // silently discarding one would strand its circuit forever, upstream
+    // hops held and nothing left in flight. Complete those walks
+    // synchronously before the queues are dropped (every other control
+    // type still rides a wire its message owns, so its circuit was
+    // already torn down above).
+    for (LinkId id : failed) {
+        Link &wire = link(id);
+        for (auto *q : {&wire.ctrlQ, &wire.ackQ}) {
+            for (const Flit &flit : *q)
+                salvageControlFlit(flit);
+            q->clear();
+        }
+    }
+}
+
+void
+Network::salvageControlFlit(const Flit &flit)
+{
+    Message *msg = findMessage(flit.msg);
+    if (!msg || msg->terminal() || flit.epoch != msg->epoch)
+        return;
+    switch (flit.type) {
+      case FlitType::MsgAck:
+      case FlitType::KillUp:
+        // Upstream walker mid-crossing: release the remaining span
+        // synchronously and apply the arrival at the source gate
+        // (mirrors relayUpstream's recovery of last resort).
+        if (flit.hopIdx >= 0)
+            synchronousRelease(*msg, flit.hopIdx, 0);
+        upstreamReachedSource(*msg, flit);
+        break;
+
+      case FlitType::KillDown:
+        // Downstream walker: sweep the rest of the path and finish the
+        // walk (mirrors handleKillDown's faulty-continuation branch).
+        synchronousRelease(*msg, flit.hopIdx,
+                           static_cast<int>(msg->path.size()) - 1);
+        finalizeKillWalk(*msg);
+        break;
+
+      default:
+        break;
     }
 }
 
@@ -62,13 +122,11 @@ Network::failNode(NodeId id)
         Link &out = linkAt(id, port);
         if (!out.faulty) {
             out.faulty = true;
-            out.ctrlQ.clear();
             failed.push_back(out.id);
         }
         Link &in = link(topo_.reverseLink(out.id));
         if (!in.faulty) {
             in.faulty = true;
-            in.ctrlQ.clear();
             failed.push_back(in.id);
         }
     }
@@ -100,19 +158,104 @@ Network::failLink(NodeId node, int port)
 {
     std::vector<LinkId> failed;
     Link &fwd = linkAt(node, port);
+    // A new failure supersedes any scheduled restoration of this link
+    // (an intermittent glitch followed by a hard failure must not come
+    // back). failLinkIntermittent re-registers its restore afterwards.
+    for (std::size_t i = 0; i < pendingRestores_.size();) {
+        const Link &pending =
+            linkAt(pendingRestores_[i].node, pendingRestores_[i].port);
+        if (pending.id == fwd.id ||
+            topo_.reverseLink(pending.id) == fwd.id) {
+            pendingRestores_[i] = pendingRestores_.back();
+            pendingRestores_.pop_back();
+        } else {
+            ++i;
+        }
+    }
     if (!fwd.faulty) {
         fwd.faulty = true;
-        fwd.ctrlQ.clear();
         failed.push_back(fwd.id);
     }
     Link &rev = link(topo_.reverseLink(fwd.id));
     if (!rev.faulty) {
         rev.faulty = true;
-        rev.ctrlQ.clear();
         failed.push_back(rev.id);
     }
     killAffectedCircuits(failed);
     recomputeUnsafe();
+}
+
+void
+Network::failLinkIntermittent(NodeId node, int port, Cycle down_cycles)
+{
+    const Link &fwd = linkAt(node, port);
+    if (fwd.absent)
+        return;  // structurally missing channels cannot glitch
+    failLink(node, port);
+    pendingRestores_.push_back({node, port, now_ + down_cycles});
+}
+
+bool
+Network::restoreLink(NodeId node, int port)
+{
+    Link &fwd = linkAt(node, port);
+    Link &rev = link(topo_.reverseLink(fwd.id));
+    if (fwd.absent || rev.absent)
+        return false;
+    if (nodeFaulty(fwd.src) || nodeFaulty(fwd.dst))
+        return false;  // the endpoint died while the link was down
+    if (!fwd.faulty && !rev.faulty)
+        return true;   // already in service
+
+    // Re-validation: the link may only return to service once the
+    // teardown of every interrupted circuit has swept past it — no trio
+    // of either wire still owned, buffered, mapped, or gated.
+    for (const Link *wire : {&fwd, &rev}) {
+        for (const VcState &vc : wire->vcs) {
+            if (!vc.free() || !vc.data.empty())
+                return false;
+        }
+    }
+
+    for (Link *wire : {&fwd, &rev}) {
+        wire->faulty = false;
+        wire->unsafe = false;
+        wire->ctrlQ.clear();
+        wire->ackQ.clear();
+        for (VcState &vc : wire->vcs)
+            vc.release();  // reset mappings, counters, K registers
+    }
+    ++counters_.linksRestored;
+    recomputeUnsafe();
+    noteActivity();
+    return true;
+}
+
+void
+Network::stepRestores()
+{
+    for (std::size_t i = 0; i < pendingRestores_.size();) {
+        PendingRestore &pr = pendingRestores_[i];
+        if (pr.at > now_) {
+            ++i;
+            continue;
+        }
+        const Link &fwd = linkAt(pr.node, pr.port);
+        if (nodeFaulty(fwd.src) || nodeFaulty(fwd.dst)) {
+            // An endpoint died in the meantime: the link failure is
+            // subsumed by the node failure; abandon the restoration.
+            pendingRestores_[i] = pendingRestores_.back();
+            pendingRestores_.pop_back();
+            continue;
+        }
+        if (!restoreLink(pr.node, pr.port)) {
+            // Teardown still sweeping: re-try next cycle.
+            ++i;
+            continue;
+        }
+        pendingRestores_[i] = pendingRestores_.back();
+        pendingRestores_.pop_back();
+    }
 }
 
 void
@@ -229,6 +372,23 @@ Network::stepDynamicFaults()
             --dynLinkFaultBudget_;
             ++counters_.dynamicFaults;
             failLink(lk.src, lk.srcPort);
+            noteActivity();
+            break;
+        }
+    }
+
+    if (intermFaultBudget_ > 0 && intermFaultProb_ > 0.0 &&
+        rng_.chance(intermFaultProb_)) {
+        for (int attempt = 0; attempt < 256; ++attempt) {
+            const LinkId id = static_cast<LinkId>(rng_.below(
+                static_cast<std::uint64_t>(topo_.links())));
+            const Link &lk = link(id);
+            if (lk.faulty || nodeFaulty(lk.src) || nodeFaulty(lk.dst))
+                continue;
+            --intermFaultBudget_;
+            ++counters_.dynamicFaults;
+            ++counters_.intermittentFaults;
+            failLinkIntermittent(lk.src, lk.srcPort, intermDownCycles_);
             noteActivity();
             break;
         }

@@ -252,6 +252,7 @@ Network::dropMessage(Message &msg, bool lost)
     if (msg.terminal())
         return;
     msg.state = MsgState::Dropped;
+    msg.lostToFault = lost;
     if (lost)
         ++counters_.lost;
     else

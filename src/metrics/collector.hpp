@@ -50,6 +50,8 @@ struct Counters
 
     // Faults
     std::uint64_t dynamicFaults = 0;
+    std::uint64_t intermittentFaults = 0;  ///< subset of dynamicFaults
+    std::uint64_t linksRestored = 0;       ///< intermittent links back up
     std::uint64_t messagesKilled = 0;
 
     // Measurement window

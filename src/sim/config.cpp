@@ -82,6 +82,12 @@ SimConfig::validate() const
         tpnet_fatal("staticNodeFaults out of range");
     if (staticLinkFaults < 0)
         tpnet_fatal("staticLinkFaults out of range");
+    if (dynamicNodeFaults < 0.0 || dynamicLinkFaults < 0.0 ||
+        intermittentFaults < 0.0) {
+        tpnet_fatal("dynamic fault counts must be >= 0");
+    }
+    if (intermittentDownCycles < 1)
+        tpnet_fatal("intermittentDownCycles must be >= 1");
 }
 
 const char *
@@ -111,6 +117,51 @@ patternName(TrafficPattern p)
     return "?";
 }
 
+bool
+parseProtocolName(const std::string &name, Protocol *out)
+{
+    const struct
+    {
+        const char *name;
+        Protocol proto;
+    } table[] = {
+        {"DOR", Protocol::DimOrder}, {"DP", Protocol::Duato},
+        {"SR", Protocol::Scouting},  {"PCS", Protocol::Pcs},
+        {"MB-m", Protocol::MBm},     {"MBM", Protocol::MBm},
+        {"TP", Protocol::TwoPhase},
+    };
+    for (const auto &row : table) {
+        if (name == row.name) {
+            *out = row.proto;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parsePatternName(const std::string &name, TrafficPattern *out)
+{
+    const struct
+    {
+        const char *name;
+        TrafficPattern pattern;
+    } table[] = {
+        {"uniform", TrafficPattern::Uniform},
+        {"bit-complement", TrafficPattern::BitComplement},
+        {"transpose", TrafficPattern::Transpose},
+        {"neighbor", TrafficPattern::NeighborPlus},
+        {"tornado", TrafficPattern::Tornado},
+    };
+    for (const auto &row : table) {
+        if (name == row.name) {
+            *out = row.pattern;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 SimConfig::summary() const
 {
@@ -123,6 +174,11 @@ SimConfig::summary() const
        << ", faults=" << staticNodeFaults << "n+" << staticLinkFaults << "l";
     if (dynamicNodeFaults > 0)
         os << "+" << dynamicNodeFaults << "dyn";
+    if (dynamicLinkFaults > 0)
+        os << "+" << dynamicLinkFaults << "dynl";
+    if (intermittentFaults > 0)
+        os << "+" << intermittentFaults << "int/"
+           << intermittentDownCycles;
     if (tailAck)
         os << ", TAck";
     return os.str();

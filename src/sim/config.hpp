@@ -96,6 +96,13 @@ struct SimConfig
     /// Dynamic physical-link failures, same process (Section 2.4: "a
     /// communication channel may fail" during operation).
     double dynamicLinkFaults = 0.0;
+    /// Intermittent link failures over the run, same Bernoulli process:
+    /// the link goes down (full kill-flit teardown of interrupted
+    /// circuits) and is restored after intermittentDownCycles.
+    double intermittentFaults = 0.0;
+    /// How long an intermittent link failure lasts before the link is
+    /// re-validated and returned to service.
+    int intermittentDownCycles = 500;
     bool tailAck = false;      ///< hold path + message ack + retransmission
     /// Hardware acknowledgment signalling (the paper's conclusion /
     /// future work): SR acknowledgment flits travel on dedicated
@@ -143,6 +150,12 @@ const char *protocolName(Protocol p);
 
 /** Human-readable traffic pattern name. */
 const char *patternName(TrafficPattern p);
+
+/** Parse a protocol name (DOR | DP | SR | PCS | MB-m | TP). */
+bool parseProtocolName(const std::string &name, Protocol *out);
+
+/** Parse a traffic pattern name (uniform | bit-complement | ...). */
+bool parsePatternName(const std::string &name, TrafficPattern *out);
 
 } // namespace tpnet
 

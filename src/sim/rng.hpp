@@ -69,6 +69,26 @@ class Rng
         return uniform() < p;
     }
 
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /**
+     * Derive an independent child generator. Consumes one draw from
+     * this stream; the child is seeded through SplitMix64, so parent
+     * and child sequences are decorrelated (used by the chaos engine
+     * to give the fault schedule its own stream, independent of the
+     * traffic process).
+     */
+    Rng
+    split()
+    {
+        return Rng(next());
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

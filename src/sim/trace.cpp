@@ -17,4 +17,15 @@ probeEventName(ProbeEvent e)
     return "?";
 }
 
+const char *
+msgOutcomeName(MsgOutcome o)
+{
+    switch (o) {
+      case MsgOutcome::Delivered:     return "delivered";
+      case MsgOutcome::Undeliverable: return "undeliverable";
+      case MsgOutcome::Lost:          return "lost";
+    }
+    return "?";
+}
+
 } // namespace tpnet

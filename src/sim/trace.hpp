@@ -19,6 +19,14 @@ namespace tpnet {
 class Link;
 struct Message;
 
+/** Terminal disposition of a message (reported to trace sinks). */
+enum class MsgOutcome : std::uint8_t {
+    Delivered,     ///< tail ejected and (if TAck) acknowledged end-to-end
+    Undeliverable, ///< declared undeliverable: retries exhausted or a
+                   ///< terminal endpoint failed
+    Lost,          ///< killed by a dynamic fault with no retransmission
+};
+
 /** Probe-level events reported to trace sinks. */
 enum class ProbeEvent : std::uint8_t {
     Routed,          ///< RCU reserved the next trio (Forward)
@@ -73,10 +81,33 @@ class TraceSink
         (void)msg;
         (void)event;
     }
+
+    /** A message was accepted into an injection queue. */
+    virtual void
+    messageCreated(Cycle now, const Message &msg)
+    {
+        (void)now;
+        (void)msg;
+    }
+
+    /**
+     * A message reached a terminal state and is about to be retired.
+     * Called exactly once per message; @p msg is still fully populated.
+     */
+    virtual void
+    messageTerminal(Cycle now, const Message &msg, MsgOutcome outcome)
+    {
+        (void)now;
+        (void)msg;
+        (void)outcome;
+    }
 };
 
 /** Short name for a probe event (tracing, tests). */
 const char *probeEventName(ProbeEvent e);
+
+/** Short name for a message outcome (tracing, tests). */
+const char *msgOutcomeName(MsgOutcome o);
 
 } // namespace tpnet
 

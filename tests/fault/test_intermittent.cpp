@@ -1,0 +1,199 @@
+/** @file Intermittent link faults: a link fails mid-operation, its
+ *  circuits are torn down, and after the outage the link is
+ *  re-validated and returned to service (Section 2.4 channels "may
+ *  fail" — here, transiently). */
+
+#include <gtest/gtest.h>
+
+#include "core/validator.hpp"
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+TEST(Intermittent, LinkFailsMidCircuitThenRestores)
+{
+    // A long worm stretches across its path; the second hop's link
+    // fails intermittently. The circuit must be torn down like a
+    // permanent fault, and after the outage the link is healthy again.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 64;
+    Network net(cfg);
+    net.setMeasuring(true);
+    net.offerMessage(0, 2 + 8 * 2);
+    for (int c = 0; c < 8; ++c)
+        net.step();
+    Message *msg = net.findMessage(0);
+    ASSERT_NE(msg, nullptr);
+    ASSERT_GE(msg->path.size(), 2u);
+    const LinkId cut_id = msg->path[1].link;
+    const NodeId src = net.link(cut_id).src;
+    const int port = net.link(cut_id).srcPort;
+
+    net.failLinkIntermittent(src, port, 200);
+    EXPECT_TRUE(net.link(cut_id).faulty);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    EXPECT_GT(net.counters().killFlits, 0u);
+
+    // The outage expires and the link is re-validated.
+    for (int c = 0; c < 2000 && net.link(cut_id).faulty; ++c)
+        net.step();
+    EXPECT_FALSE(net.link(cut_id).faulty);
+    EXPECT_EQ(net.counters().linksRestored, 1u);
+    assertConsistent(net);
+}
+
+TEST(Intermittent, RestoredLinkIsReusable)
+{
+    // After restore, traffic crossing the formerly failed link must
+    // succeed — no stale VC ownership, no lingering unsafe state.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    Network net(cfg);
+    net.offerMessage(0, 2);  // straight dim-0 corridor through node 1
+    for (int c = 0; c < 6; ++c)
+        net.step();
+    net.failLinkIntermittent(1, portOf(0, Dir::Plus), 300);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    while (net.counters().linksRestored == 0 && net.now() < 2000)
+        net.step();
+    ASSERT_EQ(net.counters().linksRestored, 1u);
+    assertConsistent(net);
+
+    // The same corridor again, now healthy end to end.
+    net.setMeasuring(true);
+    net.offerMessage(0, 2);
+    EXPECT_TRUE(runToQuiescent(net, 100000));
+    EXPECT_EQ(net.counters().measuredDelivered, 1u);
+    assertConsistent(net);
+}
+
+TEST(Intermittent, RestoreRefusedWhileTrioStillOwned)
+{
+    // Re-validation guard: a restore must never be applied while a trio
+    // of the down wire is still owned. Normal teardown releases the
+    // failed hop synchronously, so stale ownership requires broken
+    // recovery — arm the skip-kill test hook to create exactly that,
+    // and check the restore is deferred until the owner is gone.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 64;
+    cfg.watchdog = 0;  // the wedged worm would trip the panic watchdog
+    Network net(cfg);
+    net.offerMessage(0, 2);  // (0,0) -> (2,0): the only minimal path
+    for (int c = 0; c < 8; ++c)
+        net.step();
+    Message *msg = net.findMessage(0);
+    ASSERT_NE(msg, nullptr);
+    ASSERT_GE(msg->path.size(), 2u);
+
+    net.testHookSkipKillSweep(true);
+    net.failLinkIntermittent(1, portOf(0, Dir::Plus), 1);
+    // The restore comes due immediately, but the interrupted circuit
+    // was never torn down: the wire's trios are still owned, so the
+    // link must stay out of service.
+    for (int c = 0; c < 50; ++c)
+        net.step();
+    EXPECT_FALSE(net.restoreLink(1, portOf(0, Dir::Plus)));
+    EXPECT_TRUE(net.linkAt(1, portOf(0, Dir::Plus)).faulty);
+    EXPECT_EQ(net.counters().linksRestored, 0u);
+
+    // Tear the circuit down for real (the source node dies, killing
+    // the message and releasing every hop); the deferred restore then
+    // goes through on its next retry.
+    net.testHookSkipKillSweep(false);
+    net.failNode(0);
+    for (int c = 0; c < 200 && net.counters().linksRestored == 0; ++c)
+        net.step();
+    EXPECT_EQ(net.counters().linksRestored, 1u);
+    EXPECT_FALSE(net.linkAt(1, portOf(0, Dir::Plus)).faulty);
+    assertConsistent(net);
+}
+
+TEST(Intermittent, RestoreAbandonedWhenEndpointDies)
+{
+    // If a node at either end of a down link dies during the outage,
+    // the pending restore must be abandoned: the wires stay faulty.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.watchdog = 0;
+    Network net(cfg);
+    net.failLinkIntermittent(1, portOf(0, Dir::Plus), 100);
+    net.failNode(2);  // downstream endpoint dies mid-outage
+    for (int c = 0; c < 400; ++c)
+        net.step();
+    EXPECT_EQ(net.counters().linksRestored, 0u);
+    EXPECT_FALSE(net.restoreLink(1, portOf(0, Dir::Plus)));
+    assertConsistent(net);
+}
+
+TEST(Intermittent, PermanentFailureCancelsPendingRestore)
+{
+    // An intermittent outage followed by a permanent kill of the same
+    // link must NOT resurrect the link when the old restore comes due.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.watchdog = 0;
+    Network net(cfg);
+    net.failLinkIntermittent(1, portOf(0, Dir::Plus), 50);
+    net.failLink(1, portOf(0, Dir::Plus));  // now permanent
+    for (int c = 0; c < 400; ++c)
+        net.step();
+    EXPECT_EQ(net.counters().linksRestored, 0u);
+    assertConsistent(net);
+}
+
+TEST(Intermittent, BernoulliProcessEventuallyRestoresEverything)
+{
+    // The configured intermittent process injects outages under load;
+    // with link (not node) faults and tail acks nothing is ever lost,
+    // and every outage ends with the link back in service.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    cfg.load = 0.1;
+    cfg.tailAck = true;
+    cfg.seed = 7;
+    cfg.watchdog = 30000;
+    Network net(cfg);
+    Injector inj(net);
+    net.setIntermittentLinkFaultProcess(0.002, 5, 300);
+    net.setMeasuring(true);
+    for (Cycle c = 0; c < 4000; ++c) {
+        inj.step();
+        net.step();
+    }
+    inj.stop();
+    ASSERT_TRUE(runToQuiescent(net, 300000));
+    const Counters before = net.counters();
+    EXPECT_EQ(before.intermittentFaults, 5u);
+    EXPECT_EQ(before.delivered, before.generated);
+    EXPECT_EQ(before.lost, 0u);
+    // Idle out the last outages; every strike must be matched by a
+    // restore once the network has drained.
+    for (Cycle c = 0; c < 2000 &&
+                      net.counters().linksRestored <
+                          net.counters().intermittentFaults;
+         ++c) {
+        net.step();
+    }
+    EXPECT_EQ(net.counters().linksRestored,
+              net.counters().intermittentFaults);
+    assertConsistent(net);
+}
+
+TEST(Intermittent, SimulatorWiresIntermittentProcess)
+{
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    cfg.load = 0.05;
+    cfg.warmup = 200;
+    cfg.measure = 2000;
+    cfg.intermittentFaults = 2.0;
+    cfg.intermittentDownCycles = 100;
+    Simulator sim(cfg);
+    const RunResult r = sim.run();
+    EXPECT_LE(r.counters.intermittentFaults, 2u);
+}
+
+} // namespace
+} // namespace tpnet

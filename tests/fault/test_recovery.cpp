@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/validator.hpp"
 #include "helpers.hpp"
 
 namespace tpnet {
@@ -164,6 +165,37 @@ TEST(Recovery, KillReleasesEverythingForReuse)
     net.offerMessage(0, 6);
     EXPECT_TRUE(runToQuiescent(net, 100000));
     EXPECT_EQ(net.counters().measuredDelivered, 1u);
+}
+
+TEST(Recovery, RetryExhaustionDeclaresUndeliverableExactlyOnce)
+{
+    // An unreachable (but healthy) destination burns through every
+    // retry: each attempt is one setup abort, each abort schedules one
+    // retry until the budget is spent, and the message is declared
+    // undeliverable exactly once — dropped, not lost, never delivered.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.maxRetries = 3;
+    Network net(cfg);
+    const NodeId dst = 3 + 8 * 3;
+    for (int port = 0; port < net.topo().radix(); ++port)
+        net.failNode(net.topo().neighbor(dst, port));
+    net.setMeasuring(true);
+    net.offerMessage(0, dst);
+    EXPECT_TRUE(runToQuiescent(net, 300000));
+    const Counters &c = net.counters();
+    EXPECT_EQ(c.delivered, 0u);
+    EXPECT_EQ(c.dropped, 1u);
+    EXPECT_EQ(c.lost, 0u);
+    // maxRetries + 1 attempts, each ending in a voluntary abort; the
+    // last abort finds the budget exhausted and drops instead of
+    // scheduling a further retry.
+    EXPECT_EQ(c.setupAborts,
+              static_cast<std::uint64_t>(cfg.maxRetries) + 1u);
+    EXPECT_EQ(c.retriesScheduled,
+              static_cast<std::uint64_t>(cfg.maxRetries));
+    // Every abort epoch tore down cleanly: nothing owned, nothing
+    // resident, all counters mutually consistent.
+    assertConsistent(net);
 }
 
 } // namespace

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * tpnet_chaos — the standing robustness gate.
+ *
+ * Runs N seeded chaos campaigns across a grid of (topology size,
+ * offered load, fault intensity, K-policy, tail-acks on/off). Every
+ * campaign injects randomized node kills, permanent link kills, and
+ * intermittent link faults into live traffic, with the progress
+ * watchdog and the delivery oracle auditing the run. Any invariant
+ * violation fails the campaign; the tool prints the failing seed and
+ * exits nonzero. A failure is replayed bit-for-bit with:
+ *
+ *   tpnet_chaos --replay-seed <seed> [same grid options]
+ *
+ * Examples:
+ *   tpnet_chaos --campaigns 50 --max-cycles 20000
+ *   tpnet_chaos --campaigns 8 --k 4 --fault-scale 2
+ *   tpnet_chaos --replay-seed 1337 --verbose
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "sim/options.hpp"
+
+namespace {
+
+using namespace tpnet;
+
+/** One cell of the campaign grid. */
+struct GridPoint
+{
+    int k;
+    double load;
+    int scoutK;
+    bool tailAck;
+    double faultScale;
+};
+
+std::string
+describe(const GridPoint &g)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "k=%d load=%.2f K=%d %s fx%.1f",
+                  g.k, g.load, g.scoutK,
+                  g.tailAck ? "TAck" : "noAck", g.faultScale);
+    return buf;
+}
+
+/**
+ * The grid is a pure function of the base options, and a campaign's
+ * cell is a pure function of its seed — so --replay-seed reproduces
+ * the exact run without any extra state.
+ */
+std::vector<GridPoint>
+buildGrid(int base_k, bool vary_size)
+{
+    std::vector<int> ks{base_k};
+    if (vary_size && base_k / 2 >= 4)
+        ks.push_back(base_k / 2);
+    const double loads[] = {0.05, 0.15};
+    const int scout_ks[] = {0, 3};
+    const bool tacks[] = {false, true};
+    const double scales[] = {1.0, 2.0};
+
+    std::vector<GridPoint> grid;
+    for (int k : ks)
+        for (double load : loads)
+            for (int sk : scout_ks)
+                for (bool tack : tacks)
+                    for (double fx : scales)
+                        grid.push_back({k, load, sk, tack, fx});
+    return grid;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tpnet;
+    using namespace tpnet::chaos;
+
+    SimConfig base;
+    base.k = 8;
+    base.n = 2;
+    base.maxRetries = 6;
+
+    int campaigns = 20;
+    std::uint64_t max_cycles = 20000;
+    std::uint64_t drain_cycles = 200000;
+    std::uint64_t seed = 1;
+    std::uint64_t replay_seed = 0;
+    bool replay = false;
+    double fault_scale = 1.0;
+    bool no_vary_size = false;
+    bool verbose = false;
+    bool hook_skip_kills = false;
+    std::string protocol = "TP";
+
+    OptionParser parser(
+        "tpnet_chaos",
+        "randomized fault-injection campaigns with a progress watchdog "
+        "and an exactly-once delivery oracle; exits nonzero on any "
+        "invariant violation");
+    parser.addInt("campaigns", "number of seeded campaigns", &campaigns);
+    parser.addUint64("max-cycles", "traffic injection window per campaign",
+                     &max_cycles);
+    parser.addUint64("drain", "extra cycles allowed to reach quiescence",
+                     &drain_cycles);
+    parser.addUint64("seed", "base seed (campaign i uses seed + i)",
+                     &seed);
+    parser.addUint64("replay-seed",
+                     "replay exactly one campaign by its seed",
+                     &replay_seed);
+    parser.addString("protocol", "DOR | DP | SR | PCS | MB-m | TP",
+                     &protocol);
+    parser.addInt("k", "base radix (grid also runs k/2 unless "
+                       "--no-vary-size)", &base.k);
+    parser.addInt("n", "dimensions", &base.n);
+    parser.addInt("length", "data flits per message", &base.msgLength);
+    parser.addInt("retries", "maxRetries before undeliverable",
+                  &base.maxRetries);
+    parser.addDouble("fault-scale",
+                     "global multiplier on the per-campaign fault mix",
+                     &fault_scale);
+    parser.addFlag("no-vary-size", "keep the topology fixed at --k",
+                   &no_vary_size);
+    parser.addFlag("verbose", "print every violation in full", &verbose);
+    parser.addFlag("hook-skip-kills",
+                   "TEST HOOK: break recovery on purpose to prove the "
+                   "oracle detects it (campaigns must FAIL)",
+                   &hook_skip_kills);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 2;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+    if (!parseProtocolName(protocol, &base.protocol)) {
+        std::fprintf(stderr, "error: unknown protocol '%s'\n",
+                     protocol.c_str());
+        return 2;
+    }
+
+    const std::vector<GridPoint> grid =
+        buildGrid(base.k, !no_vary_size);
+
+    std::vector<std::uint64_t> seeds;
+    if (replay_seed != 0) {
+        replay = true;
+        seeds.push_back(replay_seed);
+    } else {
+        if (campaigns < 1) {
+            // A gate that runs zero campaigns passes vacuously; refuse.
+            std::fprintf(stderr, "error: --campaigns must be >= 1\n");
+            return 2;
+        }
+        for (int i = 0; i < campaigns; ++i)
+            seeds.push_back(seed + static_cast<std::uint64_t>(i));
+    }
+
+    std::printf("# tpnet_chaos: %zu campaign(s), protocol %s, grid of "
+                "%zu cells, inject %llu + drain %llu cycles\n",
+                seeds.size(), protocolName(base.protocol), grid.size(),
+                static_cast<unsigned long long>(max_cycles),
+                static_cast<unsigned long long>(drain_cycles));
+
+    int failures = 0;
+    for (std::uint64_t s : seeds) {
+        const GridPoint &g = grid[s % grid.size()];
+
+        CampaignSpec spec;
+        spec.cfg = base;
+        spec.cfg.k = g.k;
+        spec.cfg.load = g.load;
+        spec.cfg.scoutK = g.scoutK;
+        spec.cfg.tailAck = g.tailAck;
+        spec.seed = s;
+        spec.injectCycles = max_cycles;
+        spec.drainCycles = drain_cycles;
+        spec.injectSkipKillBug = hook_skip_kills;
+
+        const double fx = fault_scale * g.faultScale;
+        spec.faults.horizon = max_cycles;
+        spec.faults.earliest = max_cycles / 100;
+        spec.faults.nodeKills =
+            static_cast<int>(std::lround(2.0 * fx));
+        spec.faults.linkKills =
+            static_cast<int>(std::lround(2.0 * fx));
+        spec.faults.intermittents =
+            static_cast<int>(std::lround(3.0 * fx));
+        spec.faults.downMin = 100;
+        spec.faults.downMax = 2000;
+
+        const CampaignResult r = runCampaign(spec);
+        std::printf("%-28s %s\n", describe(g).c_str(),
+                    r.summary().c_str());
+        if (!r.passed) {
+            ++failures;
+            const std::size_t show =
+                verbose ? r.violations.size()
+                        : std::min<std::size_t>(r.violations.size(), 5);
+            for (std::size_t i = 0; i < show; ++i)
+                std::printf("    ! %s\n", r.violations[i].c_str());
+            if (show < r.violations.size()) {
+                std::printf("    ! ... %zu more (--verbose for all)\n",
+                            r.violations.size() - show);
+            }
+            if (!replay) {
+                std::printf("    replay: tpnet_chaos --replay-seed %llu"
+                            "%s%s\n",
+                            static_cast<unsigned long long>(s),
+                            hook_skip_kills ? " --hook-skip-kills" : "",
+                            no_vary_size ? " --no-vary-size" : "");
+            }
+        }
+        std::fflush(stdout);
+    }
+
+    if (failures == 0) {
+        std::printf("# all %zu campaign(s) clean\n", seeds.size());
+        return 0;
+    }
+    std::printf("# %d of %zu campaign(s) FAILED\n", failures,
+                seeds.size());
+    return 1;
+}

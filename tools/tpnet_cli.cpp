@@ -27,51 +27,6 @@ namespace {
 
 using namespace tpnet;
 
-bool
-parseProtocol(const std::string &name, Protocol *out)
-{
-    const struct
-    {
-        const char *name;
-        Protocol proto;
-    } table[] = {
-        {"DOR", Protocol::DimOrder}, {"DP", Protocol::Duato},
-        {"SR", Protocol::Scouting},  {"PCS", Protocol::Pcs},
-        {"MB-m", Protocol::MBm},     {"MBM", Protocol::MBm},
-        {"TP", Protocol::TwoPhase},
-    };
-    for (const auto &row : table) {
-        if (name == row.name) {
-            *out = row.proto;
-            return true;
-        }
-    }
-    return false;
-}
-
-bool
-parsePattern(const std::string &name, TrafficPattern *out)
-{
-    const struct
-    {
-        const char *name;
-        TrafficPattern pattern;
-    } table[] = {
-        {"uniform", TrafficPattern::Uniform},
-        {"bit-complement", TrafficPattern::BitComplement},
-        {"transpose", TrafficPattern::Transpose},
-        {"neighbor", TrafficPattern::NeighborPlus},
-        {"tornado", TrafficPattern::Tornado},
-    };
-    for (const auto &row : table) {
-        if (name == row.name) {
-            *out = row.pattern;
-            return true;
-        }
-    }
-    return false;
-}
-
 std::vector<double>
 parseLoads(const std::string &csv)
 {
@@ -129,6 +84,12 @@ main(int argc, char **argv)
                      &dynamic_faults);
     parser.addDouble("dynamic-links", "dynamic link faults over the run",
                      &cfg.dynamicLinkFaults);
+    parser.addDouble("intermittent",
+                     "intermittent link faults over the run",
+                     &cfg.intermittentFaults);
+    parser.addInt("intermittent-down",
+                  "cycles an intermittent link stays down",
+                  &cfg.intermittentDownCycles);
     parser.addFlag("mesh", "mesh instead of torus (no wraparound)",
                    &mesh);
     parser.addFlag("no-unsafe", "disable unsafe-channel marking",
@@ -157,12 +118,12 @@ main(int argc, char **argv)
         std::fputs(parser.usage().c_str(), stdout);
         return 0;
     }
-    if (!parseProtocol(protocol, &cfg.protocol)) {
+    if (!parseProtocolName(protocol, &cfg.protocol)) {
         std::fprintf(stderr, "error: unknown protocol '%s'\n",
                      protocol.c_str());
         return 1;
     }
-    if (!parsePattern(pattern, &cfg.pattern)) {
+    if (!parsePatternName(pattern, &cfg.pattern)) {
         std::fprintf(stderr, "error: unknown pattern '%s'\n",
                      pattern.c_str());
         return 1;
