@@ -16,14 +16,15 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpnet;
-    bench::banner("ablation_hw_acks — dedicated acknowledgment signals",
-                  "Section 7.0 (conclusions / future work)");
+    bench::Harness h(argc, argv,
+                     "ablation_hw_acks — dedicated acknowledgment signals",
+                     "Section 7.0 (conclusions / future work)");
 
     const auto loads = bench::loadGrid();
-    const auto opt = bench::sweepOptions();
+    const auto opt = h.sweepOptions();
     std::vector<Series> all;
 
     for (bool hw : {false, true}) {
@@ -35,12 +36,12 @@ main()
             std::string label = hw ? "hw acks" : "shared lane";
             label += " (" + std::to_string(faults) + "F, K=3)";
             const Series s = loadSweep(cfg, label, loads, opt);
-            printSeries(std::cout, s, "offered");
+            h.add(s, "offered");
             all.push_back(s);
         }
     }
 
     if (writeSeriesCsv("ablation_hw_acks.csv", all, "offered"))
         std::printf("# wrote ablation_hw_acks.csv\n");
-    return 0;
+    return h.finish();
 }

@@ -12,17 +12,29 @@
  *   TPNET_BENCH_REPS  replications per point (default 1; the paper's
  *                     95%-CI rule engages when > 1)
  *   TPNET_BENCH_FAST  nonzero -> quarter-length windows (smoke mode)
+ *   TPNET_JOBS        default sweep worker count (see --jobs)
+ *
+ * Command-line knobs (every figure bench, via Harness):
+ *   --jobs N          sweep worker threads; results are bit-identical
+ *                     for every N
+ *   --json out.json   also emit structured results (report.hpp schema)
  */
 
 #ifndef TPNET_BENCH_COMMON_HPP
 #define TPNET_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "core/pool.hpp"
 #include "core/tpnet.hpp"
+#include "sim/options.hpp"
+
+#include "report.hpp"
 
 namespace tpnet::bench {
 
@@ -85,6 +97,93 @@ banner(const char *title, const char *paper_ref)
     std::printf("system: 16-ary 2-cube, 32-flit messages, uniform traffic\n");
     std::printf("==============================================================\n\n");
 }
+
+/**
+ * Per-bench driver: parses the shared --jobs/--json flags, prints the
+ * banner, times the whole run, and (via add/finish) both prints each
+ * series and records it for the optional JSON emission.
+ */
+class Harness
+{
+  public:
+    Harness(int argc, char **argv, const char *title,
+            const char *paper_ref)
+    {
+        const char *base = argc > 0 ? argv[0] : "bench";
+        if (const char *slash = std::strrchr(base, '/'))
+            base = slash + 1;
+        name_ = base;
+
+        OptionParser parser(name_, "figure-reproduction bench");
+        parser.addJobs(&jobs_);
+        parser.addString("json",
+                         "also write structured results to this file "
+                         "(see bench/report.hpp for the schema)",
+                         &json_);
+        std::string error;
+        if (!parser.parse(argc, argv, &error)) {
+            std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                         parser.usage().c_str());
+            std::exit(2);
+        }
+        if (parser.helpRequested()) {
+            std::fputs(parser.usage().c_str(), stdout);
+            std::exit(0);
+        }
+        banner(title, paper_ref);
+        start_ = std::chrono::steady_clock::now();
+    }
+
+    /** Env-derived replication policy plus the --jobs knob. */
+    SweepOptions
+    sweepOptions() const
+    {
+        SweepOptions opt = bench::sweepOptions();
+        opt.jobs = jobs_;
+        return opt;
+    }
+
+    /** Print @p s and record it for the JSON report. */
+    void
+    add(const Series &s, const char *x_name)
+    {
+        printSeries(std::cout, s, x_name);
+        series_.push_back({s, x_name});
+    }
+
+    /** Emit the wall-clock trailer (and JSON if requested). */
+    int
+    finish()
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::size_t npoints = 0;
+        for (const LabelledSeries &ls : series_)
+            npoints += ls.series.points.size();
+        std::printf("# wall %.3f s, %zu points, %zu jobs\n", wall,
+                    npoints, resolveJobs(jobs_));
+        if (!json_.empty()) {
+            if (!writeBenchJson(json_, name_, series_, wall,
+                                resolveJobs(jobs_),
+                                sweepOptions().maxReps, fastMode())) {
+                std::fprintf(stderr, "error: could not write %s\n",
+                             json_.c_str());
+                return 1;
+            }
+            std::printf("# wrote %s\n", json_.c_str());
+        }
+        return 0;
+    }
+
+  private:
+    std::string name_;
+    std::string json_;
+    int jobs_ = 0;
+    std::vector<LabelledSeries> series_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 } // namespace tpnet::bench
 

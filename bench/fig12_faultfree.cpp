@@ -13,25 +13,25 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpnet;
-    bench::banner("fig12_faultfree — TP vs DP vs MB-m, fault-free",
-                  "Fig. 12 (Section 6.1)");
+    bench::Harness h(argc, argv,
+                     "fig12_faultfree — TP vs DP vs MB-m, fault-free",
+                     "Fig. 12 (Section 6.1)");
 
     const auto loads = bench::loadGrid();
-    const auto opt = bench::sweepOptions();
+    const auto opt = h.sweepOptions();
 
     for (Protocol p : {Protocol::TwoPhase, Protocol::Duato,
                        Protocol::MBm}) {
         const SimConfig cfg = bench::paperConfig(p);
-        const Series s = loadSweep(cfg, protocolName(p), loads, opt);
-        printSeries(std::cout, s, "offered");
+        h.add(loadSweep(cfg, protocolName(p), loads, opt), "offered");
     }
 
     // Zero-load sanity anchors (Section 2.2): average minimal distance
     // of uniform traffic on the 16-ary 2-cube is 8 links.
     std::printf("# zero-load anchors: t_WR(8,32)=%d  t_PCS(8,32)=%d\n",
                 analytic::wrLatency(8, 32), analytic::pcsLatency(8, 32));
-    return 0;
+    return h.finish();
 }

@@ -13,14 +13,15 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpnet;
-    bench::banner("fig13_static_faults — TP vs MB-m with node faults",
-                  "Fig. 13 (Section 6.2, static faults)");
+    bench::Harness h(argc, argv,
+                     "fig13_static_faults — TP vs MB-m with node faults",
+                     "Fig. 13 (Section 6.2, static faults)");
 
     const auto loads = bench::loadGrid();
-    const auto opt = bench::sweepOptions();
+    const auto opt = h.sweepOptions();
 
     for (Protocol p : {Protocol::TwoPhase, Protocol::MBm}) {
         for (int faults : {1, 10, 20}) {
@@ -28,9 +29,8 @@ main()
             cfg.staticNodeFaults = faults;
             std::string label = protocolName(p);
             label += " (" + std::to_string(faults) + "F)";
-            const Series s = loadSweep(cfg, label, loads, opt);
-            printSeries(std::cout, s, "offered");
+            h.add(loadSweep(cfg, label, loads, opt), "offered");
         }
     }
-    return 0;
+    return h.finish();
 }

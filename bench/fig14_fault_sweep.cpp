@@ -15,18 +15,19 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpnet;
-    bench::banner("fig14_fault_sweep — latency/throughput vs node faults",
-                  "Fig. 14 (Section 6.2)");
+    bench::Harness h(argc, argv,
+                     "fig14_fault_sweep — latency/throughput vs node faults",
+                     "Fig. 14 (Section 6.2)");
 
     // messages/node/5000 cycles -> data flits/node/cycle (L = 32).
     const int msgs_per_5000[] = {1, 10, 30, 50};
     const std::vector<int> faults =
         bench::fastMode() ? std::vector<int>{0, 5, 10, 20}
                           : std::vector<int>{0, 1, 3, 5, 8, 12, 16, 20};
-    const auto opt = bench::sweepOptions();
+    const auto opt = h.sweepOptions();
 
     for (Protocol p : {Protocol::TwoPhase, Protocol::MBm}) {
         for (int msgs : msgs_per_5000) {
@@ -34,9 +35,8 @@ main()
             cfg.load = static_cast<double>(msgs) * 32.0 / 5000.0;
             std::string label = protocolName(p);
             label += " (" + std::to_string(msgs) + ")";
-            const Series s = faultSweep(cfg, label, faults, opt);
-            printSeries(std::cout, s, "faults");
+            h.add(faultSweep(cfg, label, faults, opt), "faults");
         }
     }
-    return 0;
+    return h.finish();
 }

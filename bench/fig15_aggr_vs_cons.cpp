@@ -14,14 +14,15 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpnet;
-    bench::banner("fig15_aggr_vs_cons — TP scouting distance ablation",
-                  "Fig. 15 (Section 6.2)");
+    bench::Harness h(argc, argv,
+                     "fig15_aggr_vs_cons — TP scouting distance ablation",
+                     "Fig. 15 (Section 6.2)");
 
     const auto loads = bench::loadGrid();
-    const auto opt = bench::sweepOptions();
+    const auto opt = h.sweepOptions();
 
     struct Variant
     {
@@ -36,9 +37,8 @@ main()
             cfg.staticNodeFaults = faults;
             std::string label = v.name;
             label += " (" + std::to_string(faults) + "F)";
-            const Series s = loadSweep(cfg, label, loads, opt);
-            printSeries(std::cout, s, "offered");
+            h.add(loadSweep(cfg, label, loads, opt), "offered");
         }
     }
-    return 0;
+    return h.finish();
 }

@@ -16,15 +16,16 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace tpnet;
-    bench::banner(
+    bench::Harness h(
+        argc, argv,
         "fig17_dynamic_faults — recovery and reliable delivery",
         "Fig. 17 (Section 6.2, dynamic faults; kill flits of Fig. 16)");
 
     const auto loads = bench::loadGrid();
-    const auto opt = bench::sweepOptions();
+    const auto opt = h.sweepOptions();
 
     for (bool tack : {false, true}) {
         for (int faults : {1, 10, 20}) {
@@ -34,8 +35,7 @@ main()
             std::string label =
                 tack ? "with TAck" : "w/o TAck";
             label += " (" + std::to_string(faults) + "F dyn)";
-            const Series s = loadSweep(cfg, label, loads, opt);
-            printSeries(std::cout, s, "offered");
+            h.add(loadSweep(cfg, label, loads, opt), "offered");
         }
     }
 
@@ -45,8 +45,7 @@ main()
         cfg.staticNodeFaults = faults / 2;
         std::string label =
             "static anchor (" + std::to_string(faults / 2) + "F)";
-        const Series s = loadSweep(cfg, label, loads, opt);
-        printSeries(std::cout, s, "offered");
+        h.add(loadSweep(cfg, label, loads, opt), "offered");
     }
-    return 0;
+    return h.finish();
 }

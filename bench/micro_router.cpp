@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common.hpp"
 
 namespace {
@@ -151,4 +154,43 @@ BENCHMARK(BM_DetourSearchBudget)->Arg(1)->Arg(3)->Arg(6);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so micro_router speaks the same CLI as the figure
+ * benches: `--json out.json` maps onto Google-benchmark's JSON
+ * reporter (`--benchmark_out`), and `--jobs` is accepted and ignored
+ * (the micro benches are inherently single-threaded). Everything else
+ * is passed through to the benchmark library untouched.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 2);
+    args.emplace_back(argc > 0 ? argv[0] : "micro_router");
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            args.push_back("--benchmark_out=" + std::string(argv[++i]));
+            args.emplace_back("--benchmark_out_format=json");
+        } else if (a.rfind("--json=", 0) == 0) {
+            args.push_back("--benchmark_out=" + a.substr(7));
+            args.emplace_back("--benchmark_out_format=json");
+        } else if (a == "--jobs" && i + 1 < argc) {
+            ++i;
+        } else if (a.rfind("--jobs=", 0) != 0) {
+            args.push_back(a);
+        }
+    }
+    std::vector<char *> cargs;
+    cargs.reserve(args.size());
+    for (std::string &s : args)
+        cargs.push_back(s.data());
+    int cargc = static_cast<int>(cargs.size());
+
+    ::benchmark::Initialize(&cargc, cargs.data());
+    if (::benchmark::ReportUnrecognizedArguments(cargc, cargs.data()))
+        return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared structured-result emitter for the figure benches.
+ *
+ * Every bench can write its series to a JSON file (`--json out.json`)
+ * alongside the human-readable TSV it prints, making runs diffable and
+ * machine-checkable: per-point latency/throughput plus wall-clock and
+ * point count. `scripts/check_bench.py` compares two such files and is
+ * the CI perf-regression gate (baseline: BENCH_baseline.json).
+ *
+ * Schema (one object per file):
+ *   {
+ *     "benchmark":    "fig12_faultfree",
+ *     "fast":         true,            // TPNET_BENCH_FAST smoke mode
+ *     "jobs":         4,               // resolved worker count
+ *     "max_reps":     1,
+ *     "wall_seconds": 1.234,           // whole-bench wall clock
+ *     "point_count":  12,
+ *     "series": [
+ *       { "label": "TP", "x_name": "offered",
+ *         "points": [ { "x": 0.05, "throughput": ..., "latency": ...,
+ *                       "p95": ..., "delivered_frac": ...,
+ *                       "undeliverable": ..., "replications": ...,
+ *                       "lat_ci95": ... }, ... ] }, ... ]
+ *   }
+ */
+
+#ifndef TPNET_BENCH_REPORT_HPP
+#define TPNET_BENCH_REPORT_HPP
+
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace tpnet::bench {
+
+/** A series together with the x-axis it was swept over. */
+struct LabelledSeries
+{
+    Series series;
+    std::string xName;
+};
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/**
+ * Format one numeric field. JSON has no inf/nan literal, and a
+ * 1-replication point has an infinite CI half-width, so non-finite
+ * values are emitted as null.
+ */
+inline std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/** Write the bench-result JSON described above. @return false on I/O error. */
+inline bool
+writeBenchJson(const std::string &path, const std::string &benchmark,
+               const std::vector<LabelledSeries> &all, double wall_seconds,
+               std::size_t jobs, std::size_t max_reps, bool fast)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+
+    std::size_t npoints = 0;
+    for (const LabelledSeries &ls : all)
+        npoints += ls.series.points.size();
+
+    os.precision(17);
+    os << "{\n"
+       << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n"
+       << "  \"fast\": " << (fast ? "true" : "false") << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"max_reps\": " << max_reps << ",\n"
+       << "  \"wall_seconds\": " << wall_seconds << ",\n"
+       << "  \"point_count\": " << npoints << ",\n"
+       << "  \"series\": [";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        const LabelledSeries &ls = all[i];
+        os << (i ? ",\n" : "\n")
+           << "    { \"label\": \"" << jsonEscape(ls.series.label)
+           << "\", \"x_name\": \"" << jsonEscape(ls.xName)
+           << "\", \"points\": [";
+        for (std::size_t p = 0; p < ls.series.points.size(); ++p) {
+            const SeriesPoint &pt = ls.series.points[p];
+            const RunResult &r = pt.result.mean;
+            os << (p ? ",\n" : "\n")
+               << "      { \"x\": " << jsonNum(pt.x)
+               << ", \"throughput\": " << jsonNum(r.throughput)
+               << ", \"latency\": " << jsonNum(r.avgLatency)
+               << ", \"p95\": " << jsonNum(r.p95Latency)
+               << ", \"delivered_frac\": " << jsonNum(r.deliveredFraction)
+               << ", \"undeliverable\": " << r.undeliverable
+               << ", \"replications\": " << pt.result.replications
+               << ", \"lat_ci95\": " << jsonNum(pt.result.latencyHw95)
+               << " }";
+        }
+        os << " ] }";
+    }
+    os << "\n  ]\n}\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace tpnet::bench
+
+#endif // TPNET_BENCH_REPORT_HPP

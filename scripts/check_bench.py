@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the bench-smoke CI job.
+
+Compares a bench JSON result (the schema written by bench/report.hpp
+via `--json`) against the committed baseline and fails on:
+
+  * wall-clock regression beyond --wall-tol   (default +25%),
+  * per-point latency regression beyond --latency-tol (default +25%),
+  * per-point throughput drop beyond --latency-tol,
+  * coverage loss (a baseline series/point missing from the current run).
+
+Simulated latency/throughput are deterministic functions of the seed,
+so across machines only genuine behavior changes move them; wall-clock
+is the machine-dependent half of the gate.
+
+Usage:
+    check_bench.py BASELINE CURRENT [--wall-tol F] [--latency-tol F]
+    check_bench.py BASELINE CURRENT --update   # rewrite the baseline
+
+Exit status: 0 ok, 1 regression found, 2 usage/file error.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def index_points(doc):
+    """{(series label, x): point dict} for a report.hpp JSON."""
+    out = {}
+    for series in doc.get("series", []):
+        for pt in series.get("points", []):
+            out[(series["label"], pt["x"])] = pt
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--wall-tol", type=float, default=0.25,
+                    help="allowed fractional wall-clock regression "
+                         "(default 0.25 = +25%%)")
+    ap.add_argument("--latency-tol", type=float, default=0.25,
+                    help="allowed fractional latency regression / "
+                         "throughput drop per point (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy CURRENT over BASELINE and exit")
+    args = ap.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"check_bench: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+
+    if base.get("fast") != cur.get("fast"):
+        failures.append(
+            f"mode mismatch: baseline fast={base.get('fast')} vs "
+            f"current fast={cur.get('fast')} — not comparable")
+
+    bw, cw = base.get("wall_seconds"), cur.get("wall_seconds")
+    if bw and cw:
+        ratio = cw / bw
+        line = (f"wall-clock {bw:.3f}s -> {cw:.3f}s "
+                f"({(ratio - 1) * 100:+.1f}%)")
+        if ratio > 1.0 + args.wall_tol:
+            failures.append(f"{line} exceeds +{args.wall_tol * 100:.0f}%")
+        else:
+            print(f"check_bench: {line} ok")
+
+    base_pts = index_points(base)
+    cur_pts = index_points(cur)
+    worst = 0.0
+    for key, bpt in sorted(base_pts.items()):
+        cpt = cur_pts.get(key)
+        label = f"{key[0]} @ {key[1]:g}"
+        if cpt is None:
+            failures.append(f"point missing from current run: {label}")
+            continue
+        blat, clat = bpt.get("latency"), cpt.get("latency")
+        if blat and clat:
+            ratio = clat / blat
+            worst = max(worst, ratio)
+            if ratio > 1.0 + args.latency_tol:
+                failures.append(
+                    f"latency regression at {label}: "
+                    f"{blat:.1f} -> {clat:.1f} cycles "
+                    f"({(ratio - 1) * 100:+.1f}%)")
+        bthr, cthr = bpt.get("throughput"), cpt.get("throughput")
+        if bthr and cthr and cthr < bthr * (1.0 - args.latency_tol):
+            failures.append(
+                f"throughput drop at {label}: "
+                f"{bthr:.4f} -> {cthr:.4f} flits/node/cycle")
+    print(f"check_bench: {len(base_pts)} baseline points checked, "
+          f"worst latency ratio {worst:.3f}")
+
+    if failures:
+        print(f"check_bench: FAIL ({len(failures)} regression(s)):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  ! {f}", file=sys.stderr)
+        return 1
+    print("check_bench: PASS — no regression vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@
 # Environment:
 #   TPNET_BENCH_REPS=5   enable the paper's 95%-CI replication rule
 #   TPNET_BENCH_FAST=1   quarter-length smoke run
+#   TPNET_JOBS=8         sweep worker threads (default: all cores;
+#                        results are identical for every value)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,13 +21,23 @@ cmake --build build
 
 ctest --test-dir build --output-on-failure 2>&1 | tee "$RESULTS/ctest.txt"
 
+JOBS="${TPNET_JOBS:-$(nproc)}"
+
 for bench in build/bench/fig* build/bench/ablation_* build/bench/ext_*; do
     name="$(basename "$bench")"
     echo "=== $name ==="
-    "$bench" 2>&1 | tee "$RESULTS/$name.txt"
+    case "$name" in
+        # Sweep benches: parallel grid + machine-readable results.
+        fig1[234567]*|ablation_hw_acks)
+            "$bench" --jobs "$JOBS" --json "$RESULTS/$name.json" 2>&1 \
+                | tee "$RESULTS/$name.txt" ;;
+        *)
+            "$bench" 2>&1 | tee "$RESULTS/$name.txt" ;;
+    esac
 done
 
-./build/bench/micro_router --benchmark_min_time=0.2 2>&1 \
+./build/bench/micro_router --benchmark_min_time=0.2 \
+    --json "$RESULTS/micro_router.json" 2>&1 \
     | tee "$RESULTS/micro_router.txt"
 
 echo "results written to $RESULTS/"

@@ -1,9 +1,11 @@
 #include "chaos/campaign.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "chaos/oracle.hpp"
 #include "core/network.hpp"
+#include "core/pool.hpp"
 #include "traffic/injector.hpp"
 
 namespace tpnet {
@@ -96,6 +98,16 @@ runCampaign(const CampaignSpec &spec)
     result.counters = net.counters();
     result.passed = result.violations.empty();
     return result;
+}
+
+std::vector<CampaignResult>
+runCampaigns(const std::vector<CampaignSpec> &specs, int jobs)
+{
+    std::vector<CampaignResult> results(specs.size());
+    parallelFor(specs.size(),
+                std::min(resolveJobs(jobs), specs.size()),
+                [&](std::size_t i) { results[i] = runCampaign(specs[i]); });
+    return results;
 }
 
 } // namespace chaos

@@ -69,6 +69,15 @@ struct CampaignResult
 /** Run one campaign to completion. */
 CampaignResult runCampaign(const CampaignSpec &spec);
 
+/**
+ * Run several campaigns across @p jobs worker threads (0 resolves via
+ * TPNET_JOBS / hardware concurrency). Campaigns are shared-nothing and
+ * reproducible from their spec alone, so results[i] is bit-identical
+ * to runCampaign(specs[i]) regardless of jobs.
+ */
+std::vector<CampaignResult>
+runCampaigns(const std::vector<CampaignSpec> &specs, int jobs = 0);
+
 } // namespace chaos
 } // namespace tpnet
 

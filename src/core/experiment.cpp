@@ -1,46 +1,95 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <utility>
+
+#include "core/pool.hpp"
 
 namespace tpnet {
+
+namespace {
+
+/**
+ * Run one configuration per sweep point, all (point, replication)
+ * tasks fanned out over the pool, and fold each point with the
+ * sequential acceptance rule.
+ *
+ * Determinism: a task's result depends only on (its SimConfig, its
+ * replication index) — Simulator::run derives the RNG seed from those
+ * alone — and each task writes a dedicated slot of `runs`, so the
+ * outcome is independent of worker count and completion order.
+ *
+ * With more than one worker, all maxReps replications of every point
+ * are computed speculatively even though the CI rule may stop earlier;
+ * foldReplications consumes them in replication order and discards the
+ * surplus, which keeps the series bit-identical to the lazy
+ * single-worker path (at the price of at most maxReps - minReps wasted
+ * replications per point).
+ */
+Series
+runSweep(std::string label, std::vector<SimConfig> configs,
+         const std::vector<double> &xs, const SweepOptions &opt)
+{
+    Series series;
+    series.label = std::move(label);
+    series.points.resize(configs.size());
+
+    const std::size_t reps = std::max<std::size_t>(opt.maxReps, 1);
+    const std::size_t jobs =
+        std::min(resolveJobs(opt.jobs), configs.size() * reps);
+
+    if (jobs <= 1) {
+        for (std::size_t p = 0; p < configs.size(); ++p) {
+            series.points[p].x = xs[p];
+            series.points[p].result =
+                Simulator(configs[p])
+                    .runToConfidence(opt.minReps, reps, opt.relBound);
+        }
+        return series;
+    }
+
+    std::vector<RunResult> runs(configs.size() * reps);
+    parallelFor(runs.size(), jobs, [&](std::size_t t) {
+        Simulator sim(configs[t / reps]);
+        runs[t] = sim.run(t % reps);
+    });
+    for (std::size_t p = 0; p < configs.size(); ++p) {
+        series.points[p].x = xs[p];
+        series.points[p].result = foldReplications(
+            [&runs, p, reps](std::size_t r) { return runs[p * reps + r]; },
+            opt.minReps, reps, opt.relBound);
+    }
+    return series;
+}
+
+} // namespace
 
 Series
 loadSweep(const SimConfig &base, const std::string &label,
           const std::vector<double> &loads, const SweepOptions &opt)
 {
-    Series series;
-    series.label = label;
-    for (double load : loads) {
-        SimConfig cfg = base;
-        cfg.load = load;
-        Simulator sim(cfg);
-        SeriesPoint pt;
-        pt.x = load;
-        pt.result = sim.runToConfidence(opt.minReps, opt.maxReps,
-                                        opt.relBound);
-        series.points.push_back(pt);
+    std::vector<SimConfig> configs(loads.size(), base);
+    std::vector<double> xs(loads.size());
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        configs[i].load = loads[i];
+        xs[i] = loads[i];
     }
-    return series;
+    return runSweep(label, std::move(configs), xs, opt);
 }
 
 Series
 faultSweep(const SimConfig &base, const std::string &label,
            const std::vector<int> &fault_counts, const SweepOptions &opt)
 {
-    Series series;
-    series.label = label;
-    for (int faults : fault_counts) {
-        SimConfig cfg = base;
-        cfg.staticNodeFaults = faults;
-        Simulator sim(cfg);
-        SeriesPoint pt;
-        pt.x = static_cast<double>(faults);
-        pt.result = sim.runToConfidence(opt.minReps, opt.maxReps,
-                                        opt.relBound);
-        series.points.push_back(pt);
+    std::vector<SimConfig> configs(fault_counts.size(), base);
+    std::vector<double> xs(fault_counts.size());
+    for (std::size_t i = 0; i < fault_counts.size(); ++i) {
+        configs[i].staticNodeFaults = fault_counts[i];
+        xs[i] = static_cast<double>(fault_counts[i]);
     }
-    return series;
+    return runSweep(label, std::move(configs), xs, opt);
 }
 
 double
@@ -49,25 +98,38 @@ findSaturation(const SimConfig &base, const std::vector<double> &probe_loads,
 {
     if (probe_loads.empty())
         return 0.0;
-    double base_latency = 0.0;
-    double last = probe_loads.front();
-    bool first = true;
-    for (double load : probe_loads) {
-        SimConfig cfg = base;
-        cfg.load = load;
-        Simulator sim(cfg);
-        const ReplicatedResult r =
-            sim.runToConfidence(opt.minReps, opt.maxReps, opt.relBound);
-        if (first) {
-            base_latency = r.mean.avgLatency;
-            first = false;
-        } else if (base_latency > 0.0 &&
-                   r.mean.avgLatency > latency_factor * base_latency) {
-            return load;
+    // Probe the whole grid (in parallel); the scan below then applies
+    // the same first-exceedance rule the old sequential search used, so
+    // the answer is identical — probes past the saturation point are
+    // merely speculative work.
+    const Series probes =
+        loadSweep(base, "saturation-probe", probe_loads, opt);
+    const double base_latency = probes.points.front().result.mean.avgLatency;
+    for (std::size_t i = 1; i < probes.points.size(); ++i) {
+        if (base_latency > 0.0 &&
+            probes.points[i].result.mean.avgLatency >
+                latency_factor * base_latency) {
+            return probes.points[i].x;
         }
-        last = load;
     }
-    return last;  // never saturated within the grid
+    return probe_loads.back();  // never saturated within the grid
+}
+
+ReplicatedResult
+runReplicated(const SimConfig &cfg, const SweepOptions &opt)
+{
+    const std::size_t reps = std::max<std::size_t>(opt.maxReps, 1);
+    const std::size_t jobs = std::min(resolveJobs(opt.jobs), reps);
+    if (jobs <= 1)
+        return Simulator(cfg).runToConfidence(opt.minReps, reps,
+                                              opt.relBound);
+
+    std::vector<RunResult> runs(reps);
+    parallelFor(reps, jobs,
+                [&](std::size_t r) { runs[r] = Simulator(cfg).run(r); });
+    return foldReplications(
+        [&runs](std::size_t r) { return runs[r]; }, opt.minReps, reps,
+        opt.relBound);
 }
 
 void

@@ -32,12 +32,22 @@ struct Series
     std::vector<SeriesPoint> points;
 };
 
-/** Replication policy for a sweep. */
+/** Replication and parallelism policy for a sweep. */
 struct SweepOptions
 {
     std::size_t minReps = 1;
     std::size_t maxReps = 3;
     double relBound = 0.05;
+
+    /**
+     * Worker threads for the sweep: > 0 uses exactly that many, <= 0
+     * resolves via TPNET_JOBS / hardware concurrency (resolveJobs).
+     * Each (point, replication) runs on its own shared-nothing
+     * Simulator with a seed derived from the configuration and the
+     * replication index alone, so every jobs value produces
+     * bit-identical series.
+     */
+    int jobs = 0;
 };
 
 /**
@@ -65,6 +75,16 @@ double findSaturation(const SimConfig &base,
                       const std::vector<double> &probe_loads,
                       double latency_factor = 3.0,
                       const SweepOptions &opt = {});
+
+/**
+ * One replicated point (the paper's 95%-CI methodology) with the
+ * replications fanned out across opt.jobs workers. Replications past
+ * the sequential stopping point are computed speculatively and
+ * discarded by the fold, so the result is bit-identical to
+ * Simulator::runToConfidence.
+ */
+ReplicatedResult runReplicated(const SimConfig &cfg,
+                               const SweepOptions &opt);
 
 /** Print a series as a TSV block (label, header, one row per point). */
 void printSeries(std::ostream &os, const Series &series,

@@ -1,0 +1,126 @@
+#include "core/pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace tpnet {
+
+std::size_t
+resolveJobs(int requested)
+{
+    if (requested > 0)
+        return static_cast<std::size_t>(requested);
+    if (const char *env = std::getenv("TPNET_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = resolveJobs(0);
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    hasWork_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    hasWork_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        hasWork_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            lock.lock();
+            if (!firstError_)
+                firstError_ = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+void
+parallelFor(std::size_t n, std::size_t jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if (jobs > n)
+        jobs = n;
+
+    std::atomic<std::size_t> cursor{0};
+    ThreadPool pool(jobs);
+    for (std::size_t w = 0; w < jobs; ++w) {
+        pool.submit([&cursor, n, &fn] {
+            for (;;) {
+                const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace tpnet

@@ -70,8 +70,9 @@ Simulator::run(std::uint64_t replication) const
 }
 
 ReplicatedResult
-Simulator::runToConfidence(std::size_t min_reps, std::size_t max_reps,
-                           double rel_bound) const
+foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
+                 std::size_t min_reps, std::size_t max_reps,
+                 double rel_bound)
 {
     ReplicatedResult out;
     ReplicationStat lat(rel_bound);
@@ -83,7 +84,7 @@ Simulator::runToConfidence(std::size_t min_reps, std::size_t max_reps,
 
     std::size_t reps = 0;
     while (reps < max_reps) {
-        last = run(reps);
+        last = run_rep(reps);
         ++reps;
         lat.add(last.avgLatency);
         thr.add(last.throughput);
@@ -107,6 +108,14 @@ Simulator::runToConfidence(std::size_t min_reps, std::size_t max_reps,
     out.throughputHw95 = thr.halfWidth95();
     out.replications = reps;
     return out;
+}
+
+ReplicatedResult
+Simulator::runToConfidence(std::size_t min_reps, std::size_t max_reps,
+                           double rel_bound) const
+{
+    return foldReplications([this](std::size_t rep) { return run(rep); },
+                            min_reps, max_reps, rel_bound);
 }
 
 } // namespace tpnet

@@ -10,6 +10,7 @@
 #define TPNET_CORE_SIMULATOR_HPP
 
 #include <cstddef>
+#include <functional>
 
 #include "metrics/collector.hpp"
 #include "sim/config.hpp"
@@ -25,6 +26,22 @@ struct ReplicatedResult
     std::size_t replications = 0;
     bool converged = false;  ///< CI bound met before the replication cap
 };
+
+/**
+ * Fold replication results into a ReplicatedResult with the paper's
+ * acceptance rule: consume @p run_rep(0), run_rep(1), ... in order and
+ * stop as soon as both 95% CIs are within @p rel_bound of their means
+ * (not before @p min_reps, never past @p max_reps).
+ *
+ * Both the lazy sequential loop (Simulator::runToConfidence) and the
+ * speculative parallel sweeps (experiment.cpp, which precompute all
+ * max_reps replications and then fold) call this one function, so the
+ * two paths aggregate bit-identically.
+ */
+ReplicatedResult
+foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
+                 std::size_t min_reps, std::size_t max_reps,
+                 double rel_bound = 0.05);
 
 /** Runs complete simulations of one configuration. */
 class Simulator

@@ -44,6 +44,15 @@ OptionParser::addString(const std::string &name, const std::string &help,
     options_.push_back({name, help, Kind::String, target});
 }
 
+void
+OptionParser::addJobs(int *target)
+{
+    addInt("jobs",
+           "worker threads (0 = $TPNET_JOBS, else all hardware "
+           "threads); results are identical for every value",
+           target);
+}
+
 const OptionParser::Option *
 OptionParser::find(const std::string &name) const
 {

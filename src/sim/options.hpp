@@ -34,6 +34,14 @@ class OptionParser
                    std::string *target);
 
     /**
+     * Register the standard `--jobs` knob shared by every tool and
+     * bench: worker threads for sweeps / campaign grids (0 = the
+     * TPNET_JOBS environment variable, else all hardware threads).
+     * Results are bit-identical for every value.
+     */
+    void addJobs(int *target);
+
+    /**
      * Parse argv. On failure, @p error (if non-null) receives a
      * message. `--help` sets helpRequested() and returns true.
      */

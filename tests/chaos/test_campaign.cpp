@@ -121,6 +121,34 @@ TEST(Campaign, SameSeedIsDeterministic)
     EXPECT_EQ(a.counters.lost, b.counters.lost);
 }
 
+TEST(Campaign, ParallelGridMatchesSequential)
+{
+    // The tpnet_chaos --jobs N path: the same campaign grid run on one
+    // worker and on several must produce bit-identical results — a
+    // campaign is a pure function of its spec, never of thread
+    // identity or completion order.
+    std::vector<CampaignSpec> specs;
+    for (std::uint64_t seed : {21u, 22u, 23u, 24u, 25u, 26u})
+        specs.push_back(smallCampaign(seed % 2 == 0, seed));
+
+    const std::vector<CampaignResult> seq = runCampaigns(specs, 1);
+    const std::vector<CampaignResult> par = runCampaigns(specs, 4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].seed, par[i].seed);
+        EXPECT_EQ(seq[i].passed, par[i].passed);
+        EXPECT_EQ(seq[i].cycles, par[i].cycles);
+        EXPECT_EQ(seq[i].messages, par[i].messages);
+        EXPECT_EQ(seq[i].faultsFired, par[i].faultsFired);
+        EXPECT_EQ(seq[i].violations, par[i].violations);
+        EXPECT_EQ(seq[i].counters.delivered, par[i].counters.delivered);
+        EXPECT_EQ(seq[i].counters.dropped, par[i].counters.dropped);
+        EXPECT_EQ(seq[i].counters.lost, par[i].counters.lost);
+        EXPECT_EQ(seq[i].counters.dataCrossings,
+                  par[i].counters.dataCrossings);
+    }
+}
+
 TEST(Campaign, SeededRecoveryBugIsDetected)
 {
     // Deliberately break fault recovery (skip the kill sweep) and

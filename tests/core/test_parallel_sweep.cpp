@@ -1,0 +1,129 @@
+/** @file The parallel experiment runner's core contract: for any
+ *  --jobs value, sweeps produce bit-identical series to the sequential
+ *  path, because every (point, replication) task is a shared-nothing
+ *  Simulator whose seed depends only on the configuration and the
+ *  replication index. */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+SimConfig
+sweepConfig()
+{
+    SimConfig cfg = test::smallConfig(Protocol::TwoPhase, 8, 2);
+    cfg.msgLength = 16;
+    cfg.warmup = 200;
+    cfg.measure = 800;
+    cfg.drain = 20000;
+    cfg.watchdog = 0;
+    cfg.seed = 424242;
+    return cfg;
+}
+
+/** Every scalar must match to the last bit — hence ==, not NEAR. */
+void
+expectIdentical(const ReplicatedResult &a, const ReplicatedResult &b)
+{
+    EXPECT_EQ(a.replications, b.replications);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.mean.throughput, b.mean.throughput);
+    EXPECT_EQ(a.mean.avgLatency, b.mean.avgLatency);
+    EXPECT_EQ(a.mean.p95Latency, b.mean.p95Latency);
+    EXPECT_EQ(a.mean.deliveredFraction, b.mean.deliveredFraction);
+    EXPECT_EQ(a.mean.undeliverable, b.mean.undeliverable);
+    EXPECT_EQ(a.latencyHw95, b.latencyHw95);
+    EXPECT_EQ(a.throughputHw95, b.throughputHw95);
+    EXPECT_EQ(a.mean.counters.delivered, b.mean.counters.delivered);
+    EXPECT_EQ(a.mean.counters.dataCrossings,
+              b.mean.counters.dataCrossings);
+    EXPECT_EQ(a.mean.counters.ctrlCrossings,
+              b.mean.counters.ctrlCrossings);
+}
+
+void
+expectIdentical(const Series &a, const Series &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].x, b.points[i].x);
+        expectIdentical(a.points[i].result, b.points[i].result);
+    }
+}
+
+TEST(ParallelSweep, LoadSweepBitIdenticalAcrossJobs)
+{
+    const std::vector<double> loads{0.05, 0.15, 0.25};
+    SweepOptions seq;
+    seq.minReps = 1;
+    seq.maxReps = 2;
+    seq.jobs = 1;
+    SweepOptions par = seq;
+    par.jobs = 8;
+
+    const Series a = loadSweep(sweepConfig(), "TP", loads, seq);
+    const Series b = loadSweep(sweepConfig(), "TP", loads, par);
+    expectIdentical(a, b);
+}
+
+TEST(ParallelSweep, FaultSweepBitIdenticalAcrossJobs)
+{
+    const std::vector<int> faults{0, 2, 4};
+    SimConfig cfg = sweepConfig();
+    cfg.load = 0.1;
+    SweepOptions seq;
+    seq.minReps = 1;
+    seq.maxReps = 1;
+    seq.jobs = 1;
+    SweepOptions par = seq;
+    par.jobs = 8;
+
+    expectIdentical(faultSweep(cfg, "TP", faults, seq),
+                    faultSweep(cfg, "TP", faults, par));
+}
+
+TEST(ParallelSweep, SpeculativeReplicationsFoldLikeTheLazyLoop)
+{
+    // A loose CI bound makes the rule stop before maxReps, so the
+    // parallel path computes replications the fold must then discard;
+    // the folded result still has to match the lazy sequential loop
+    // exactly, including the replication count it stopped at.
+    SimConfig cfg = sweepConfig();
+    cfg.load = 0.1;
+    SweepOptions seq;
+    seq.minReps = 2;
+    seq.maxReps = 6;
+    seq.relBound = 0.5;
+    seq.jobs = 1;
+    SweepOptions par = seq;
+    par.jobs = 6;
+
+    const ReplicatedResult a = runReplicated(cfg, seq);
+    const ReplicatedResult b = runReplicated(cfg, par);
+    EXPECT_LT(a.replications, std::size_t{6})
+        << "bound too tight to exercise the speculative discard";
+    expectIdentical(a, b);
+}
+
+TEST(ParallelSweep, FindSaturationAgreesAcrossJobs)
+{
+    SimConfig cfg = sweepConfig();
+    const std::vector<double> probes{0.05, 0.15, 0.25, 0.35, 0.45};
+    SweepOptions seq;
+    seq.minReps = 1;
+    seq.maxReps = 1;
+    seq.jobs = 1;
+    SweepOptions par = seq;
+    par.jobs = 4;
+
+    EXPECT_EQ(findSaturation(cfg, probes, 3.0, seq),
+              findSaturation(cfg, probes, 3.0, par));
+}
+
+} // namespace
+} // namespace tpnet

@@ -90,6 +90,7 @@ main(int argc, char **argv)
     base.maxRetries = 6;
 
     int campaigns = 20;
+    int jobs = 0;
     std::uint64_t max_cycles = 20000;
     std::uint64_t drain_cycles = 200000;
     std::uint64_t seed = 1;
@@ -107,6 +108,7 @@ main(int argc, char **argv)
         "and an exactly-once delivery oracle; exits nonzero on any "
         "invariant violation");
     parser.addInt("campaigns", "number of seeded campaigns", &campaigns);
+    parser.addJobs(&jobs);
     parser.addUint64("max-cycles", "traffic injection window per campaign",
                      &max_cycles);
     parser.addUint64("drain", "extra cycles allowed to reach quiescence",
@@ -174,7 +176,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(max_cycles),
                 static_cast<unsigned long long>(drain_cycles));
 
-    int failures = 0;
+    // Build every campaign spec up front, fan the independent,
+    // seed-replayable campaigns out across the pool, then report in
+    // seed order — output and exit code are identical for any --jobs.
+    std::vector<CampaignSpec> specs;
+    specs.reserve(seeds.size());
     for (std::uint64_t s : seeds) {
         const GridPoint &g = grid[s % grid.size()];
 
@@ -200,8 +206,17 @@ main(int argc, char **argv)
             static_cast<int>(std::lround(3.0 * fx));
         spec.faults.downMin = 100;
         spec.faults.downMax = 2000;
+        specs.push_back(spec);
+    }
 
-        const CampaignResult r = runCampaign(spec);
+    const std::vector<CampaignResult> results =
+        runCampaigns(specs, jobs);
+
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::uint64_t s = seeds[i];
+        const GridPoint &g = grid[s % grid.size()];
+        const CampaignResult &r = results[i];
         std::printf("%-28s %s\n", describe(g).c_str(),
                     r.summary().c_str());
         if (!r.passed) {

@@ -23,6 +23,8 @@
 #include "metrics/netstats.hpp"
 #include "sim/options.hpp"
 
+#include "core/pool.hpp"
+
 namespace {
 
 using namespace tpnet;
@@ -50,6 +52,7 @@ main(int argc, char **argv)
     std::string pattern = "uniform";
     std::string sweep;
     int reps = 1;
+    int jobs = 0;
     double dynamic_faults = 0.0;
     bool stats = false;
     bool mesh = false;
@@ -105,6 +108,7 @@ main(int argc, char **argv)
     parser.addInt("reps", "max replications (95% CI rule when > 1)",
                   &reps);
     parser.addString("sweep", "comma-separated offered loads", &sweep);
+    parser.addJobs(&jobs);
     parser.addFlag("stats", "print structural network statistics",
                    &stats);
 
@@ -139,6 +143,7 @@ main(int argc, char **argv)
         SweepOptions opt;
         opt.minReps = reps > 1 ? 2 : 1;
         opt.maxReps = static_cast<std::size_t>(reps);
+        opt.jobs = jobs;
         const Series s =
             loadSweep(cfg, protocolName(cfg.protocol),
                       parseLoads(sweep), opt);
@@ -146,10 +151,12 @@ main(int argc, char **argv)
         return 0;
     }
 
-    Simulator sim(cfg);
     if (reps > 1) {
-        const ReplicatedResult r =
-            sim.runToConfidence(2, static_cast<std::size_t>(reps));
+        SweepOptions opt;
+        opt.minReps = 2;
+        opt.maxReps = static_cast<std::size_t>(reps);
+        opt.jobs = jobs;
+        const ReplicatedResult r = runReplicated(cfg, opt);
         std::printf("%s\n%s\n", RunResult::header().c_str(),
                     r.mean.row().c_str());
         std::printf("# %zu replications, latency CI95 +-%.2f, "
@@ -157,7 +164,7 @@ main(int argc, char **argv)
                     r.replications, r.latencyHw95,
                     r.converged ? "yes" : "no");
     } else {
-        const RunResult r = sim.run();
+        const RunResult r = Simulator(cfg).run();
         std::printf("%s\n%s\n", RunResult::header().c_str(),
                     r.row().c_str());
     }
