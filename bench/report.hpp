@@ -21,8 +21,17 @@
  *         "points": [ { "x": 0.05, "throughput": ..., "latency": ...,
  *                       "p95": ..., "delivered_frac": ...,
  *                       "undeliverable": ..., "replications": ...,
- *                       "lat_ci95": ... }, ... ] }, ... ]
+ *                       "lat_ci95": ..., "vc": {...} }, ... ] }, ... ]
  *   }
+ *
+ * Each point's "vc" object carries the per-VC observability samples of
+ * obs::MetricsRegistry (folded over replications): mean link occupancy
+ * and its 95th percentile, VC multiplexing degree, data-/control-lane
+ * utilization, per-VC-index occupancy ("per_vc_occupancy", escape
+ * classes first), and the probe backtrack/misroute rates per routed
+ * header. It is omitted when sampling was disabled (metricsPeriod <= 0
+ * or zero samples). check_bench.py ignores keys absent from its
+ * baseline, so adding fields here never trips the perf gate.
  */
 
 #ifndef TPNET_BENCH_REPORT_HPP
@@ -79,6 +88,38 @@ jsonNum(double v)
     return os.str();
 }
 
+/** The per-point "vc" object, or "" when no samples were taken. */
+inline std::string
+jsonVcMetrics(const RunResult &r)
+{
+    const VcMetrics &vc = r.vc;
+    if (vc.samples == 0)
+        return "";
+    const auto rate = [](std::uint64_t num, std::uint64_t den) {
+        return den ? static_cast<double>(num) / static_cast<double>(den)
+                   : 0.0;
+    };
+    std::ostringstream os;
+    os.precision(17);
+    os << "{ \"samples\": " << vc.samples
+       << ", \"occupancy\": " << jsonNum(vc.occupancy.mean())
+       << ", \"occupancy_p95\": "
+       << jsonNum(vc.occupancyHist.percentile(0.95))
+       << ", \"mux_degree\": " << jsonNum(vc.muxDegree.mean())
+       << ", \"data_util\": " << jsonNum(vc.dataUtil.mean())
+       << ", \"ctrl_util\": " << jsonNum(vc.ctrlUtil.mean())
+       << ", \"rcu_depth\": " << jsonNum(vc.rcuDepth.mean())
+       << ", \"backtrack_rate\": "
+       << jsonNum(rate(r.counters.backtracks, r.counters.headerMoves))
+       << ", \"misroute_rate\": "
+       << jsonNum(rate(r.counters.misroutes, r.counters.headerMoves))
+       << ", \"per_vc_occupancy\": [";
+    for (std::size_t v = 0; v < vc.perVc.size(); ++v)
+        os << (v ? ", " : "") << jsonNum(vc.perVc[v].mean());
+    os << "] }";
+    return os.str();
+}
+
 /** Write the bench-result JSON described above. @return false on I/O error. */
 inline bool
 writeBenchJson(const std::string &path, const std::string &benchmark,
@@ -119,8 +160,11 @@ writeBenchJson(const std::string &path, const std::string &benchmark,
                << ", \"delivered_frac\": " << jsonNum(r.deliveredFraction)
                << ", \"undeliverable\": " << r.undeliverable
                << ", \"replications\": " << pt.result.replications
-               << ", \"lat_ci95\": " << jsonNum(pt.result.latencyHw95)
-               << " }";
+               << ", \"lat_ci95\": " << jsonNum(pt.result.latencyHw95);
+            const std::string vc = jsonVcMetrics(r);
+            if (!vc.empty())
+                os << ", \"vc\": " << vc;
+            os << " }";
         }
         os << " ] }";
     }

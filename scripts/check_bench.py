@@ -9,6 +9,12 @@ via `--json`) against the committed baseline and fails on:
   * per-point throughput drop beyond --latency-tol,
   * coverage loss (a baseline series/point missing from the current run).
 
+Only keys present in the BASELINE are compared: new fields, new series,
+or new points appearing on the current side (e.g. the per-VC "vc"
+metrics object) never fail the gate, so the bench schema can grow
+without simultaneously updating the baseline. A baseline point missing
+a comparable key is skipped for that key, not an error.
+
 Simulated latency/throughput are deterministic functions of the seed,
 so across machines only genuine behavior changes move them; wall-clock
 is the machine-dependent half of the gate.
@@ -16,11 +22,13 @@ is the machine-dependent half of the gate.
 Usage:
     check_bench.py BASELINE CURRENT [--wall-tol F] [--latency-tol F]
     check_bench.py BASELINE CURRENT --update   # rewrite the baseline
+    check_bench.py --self-test                 # verify the gate itself
 
 Exit status: 0 ok, 1 regression found, 2 usage/file error.
 """
 
 import argparse
+import copy
 import json
 import shutil
 import sys
@@ -44,28 +52,8 @@ def index_points(doc):
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--wall-tol", type=float, default=0.25,
-                    help="allowed fractional wall-clock regression "
-                         "(default 0.25 = +25%%)")
-    ap.add_argument("--latency-tol", type=float, default=0.25,
-                    help="allowed fractional latency regression / "
-                         "throughput drop per point (default 0.25)")
-    ap.add_argument("--update", action="store_true",
-                    help="copy CURRENT over BASELINE and exit")
-    args = ap.parse_args()
-
-    if args.update:
-        shutil.copyfile(args.current, args.baseline)
-        print(f"check_bench: baseline {args.baseline} updated from "
-              f"{args.current}")
-        return 0
-
-    base = load(args.baseline)
-    cur = load(args.current)
+def compare(base, cur, wall_tol, latency_tol, out=sys.stdout):
+    """All regressions of `cur` vs `base` as a list of strings."""
     failures = []
 
     if base.get("fast") != cur.get("fast"):
@@ -78,10 +66,10 @@ def main():
         ratio = cw / bw
         line = (f"wall-clock {bw:.3f}s -> {cw:.3f}s "
                 f"({(ratio - 1) * 100:+.1f}%)")
-        if ratio > 1.0 + args.wall_tol:
-            failures.append(f"{line} exceeds +{args.wall_tol * 100:.0f}%")
+        if ratio > 1.0 + wall_tol:
+            failures.append(f"{line} exceeds +{wall_tol * 100:.0f}%")
         else:
-            print(f"check_bench: {line} ok")
+            print(f"check_bench: {line} ok", file=out)
 
     base_pts = index_points(base)
     cur_pts = index_points(cur)
@@ -96,19 +84,130 @@ def main():
         if blat and clat:
             ratio = clat / blat
             worst = max(worst, ratio)
-            if ratio > 1.0 + args.latency_tol:
+            if ratio > 1.0 + latency_tol:
                 failures.append(
                     f"latency regression at {label}: "
                     f"{blat:.1f} -> {clat:.1f} cycles "
                     f"({(ratio - 1) * 100:+.1f}%)")
         bthr, cthr = bpt.get("throughput"), cpt.get("throughput")
-        if bthr and cthr and cthr < bthr * (1.0 - args.latency_tol):
+        if bthr and cthr and cthr < bthr * (1.0 - latency_tol):
             failures.append(
                 f"throughput drop at {label}: "
                 f"{bthr:.4f} -> {cthr:.4f} flits/node/cycle")
     print(f"check_bench: {len(base_pts)} baseline points checked, "
-          f"worst latency ratio {worst:.3f}")
+          f"worst latency ratio {worst:.3f}", file=out)
+    return failures
 
+
+def self_test():
+    """Exercise the gate against synthetic fixtures. 0 on success."""
+    doc = {
+        "benchmark": "self-test",
+        "fast": True,
+        "wall_seconds": 10.0,
+        "series": [
+            {"label": "TP", "x_name": "offered", "points": [
+                {"x": 0.05, "throughput": 0.05, "latency": 100.0},
+                {"x": 0.10, "throughput": 0.10, "latency": 150.0},
+            ]},
+        ],
+    }
+
+    cases = []  # (name, baseline, current, expected failure count)
+
+    cases.append(("identical", doc, doc, 0))
+
+    # New current-side content must never fail: an extra per-point key
+    # (the "vc" metrics object), an extra point, and an extra series.
+    grown = copy.deepcopy(doc)
+    for pt in grown["series"][0]["points"]:
+        pt["vc"] = {"samples": 9, "occupancy": 0.1,
+                    "per_vc_occupancy": [0.1, 0.2]}
+        pt["p95"] = 200.0
+    grown["series"][0]["points"].append(
+        {"x": 0.20, "throughput": 0.2, "latency": 300.0})
+    grown["series"].append(
+        {"label": "DP", "x_name": "offered", "points": [
+            {"x": 0.05, "throughput": 0.05, "latency": 90.0}]})
+    cases.append(("current grows keys/points/series", doc, grown, 0))
+
+    # A baseline point lacking a comparable key is skipped, not fatal.
+    sparse = copy.deepcopy(doc)
+    for pt in sparse["series"][0]["points"]:
+        del pt["latency"]
+    del sparse["wall_seconds"]
+    cases.append(("baseline missing keys", sparse, doc, 0))
+
+    slow = copy.deepcopy(doc)
+    slow["series"][0]["points"][0]["latency"] = 200.0
+    cases.append(("latency regression", doc, slow, 1))
+
+    weak = copy.deepcopy(doc)
+    weak["series"][0]["points"][1]["throughput"] = 0.01
+    cases.append(("throughput drop", doc, weak, 1))
+
+    shrunk = copy.deepcopy(doc)
+    shrunk["series"][0]["points"].pop()
+    cases.append(("point missing from current", doc, shrunk, 1))
+
+    crawl = copy.deepcopy(doc)
+    crawl["wall_seconds"] = 100.0
+    cases.append(("wall-clock regression", doc, crawl, 1))
+
+    mixed = copy.deepcopy(doc)
+    mixed["fast"] = False
+    cases.append(("fast-mode mismatch", doc, mixed, 1))
+
+    bad = 0
+    for name, base, cur, want in cases:
+        failures = compare(base, cur, wall_tol=0.25, latency_tol=0.25,
+                           out=open("/dev/null", "w"))
+        status = "ok" if len(failures) == want else "FAIL"
+        bad += status == "FAIL"
+        print(f"self-test: {name}: expected {want} failure(s), "
+              f"got {len(failures)} — {status}")
+        if status == "FAIL":
+            for f in failures:
+                print(f"    ! {f}", file=sys.stderr)
+
+    if bad:
+        print(f"check_bench --self-test: {bad} case(s) FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench --self-test: all {len(cases)} cases passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--wall-tol", type=float, default=0.25,
+                    help="allowed fractional wall-clock regression "
+                         "(default 0.25 = +25%%)")
+    ap.add_argument("--latency-tol", type=float, default=0.25,
+                    help="allowed fractional latency regression / "
+                         "throughput drop per point (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="copy CURRENT over BASELINE and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the gate against synthetic fixtures")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("baseline and current are required "
+                 "(unless --self-test)")
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"check_bench: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    failures = compare(load(args.baseline), load(args.current),
+                       args.wall_tol, args.latency_tol)
     if failures:
         print(f"check_bench: FAIL ({len(failures)} regression(s)):",
               file=sys.stderr)

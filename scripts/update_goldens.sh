@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerate the golden-trace digests (tests/obs/goldens.txt).
+#
+# Run this after an intentional change to simulation behavior, trace
+# hook coverage, or the binary trace format, then review the diff of
+# goldens.txt like any other source change.
+#
+# Usage: scripts/update_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "error: build directory '$BUILD_DIR' not found" >&2
+    echo "       configure first: cmake -S . -B $BUILD_DIR" >&2
+    exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target tpnet_obs_tests -j "$(nproc)"
+
+TPNET_UPDATE_GOLDENS=1 "$BUILD_DIR"/tests/tpnet_obs_tests \
+    --gtest_filter='GoldenTrace.DigestsMatchGoldensAtJobs1And8'
+
+echo
+echo "new goldens:"
+cat tests/obs/goldens.txt
+git --no-pager diff --stat -- tests/obs/goldens.txt || true

@@ -252,7 +252,7 @@ Network::tryMoveData(Link &lk, int vcIdx, Router &rt)
     ++counters_.dataCrossings;
     noteActivity();
     if (trace_)
-        trace_->flitCrossed(now_, out, flit, false);
+        trace_->flitCrossed(now_, out, vc.outVc, flit, false);
 
     Message *msg = findMessage(flit.msg);
     if (!msg)
@@ -310,7 +310,7 @@ Network::tryInjectOn(NodeId node, int port)
         noteActivity();
         if (trace_) {
             trace_->flitInjected(now_, node, flit);
-            trace_->flitCrossed(now_, first, flit, false);
+            trace_->flitCrossed(now_, first, msg->path[0].vc, flit, false);
         }
         // The inline probe just crossed the first reserved hop.
         probeArrived(*msg, 0);
@@ -339,7 +339,7 @@ Network::tryInjectOn(NodeId node, int port)
     noteActivity();
     if (trace_) {
         trace_->flitInjected(now_, node, flit);
-        trace_->flitCrossed(now_, first, flit, false);
+        trace_->flitCrossed(now_, first, msg->path[0].vc, flit, false);
     }
 
     if (msg->injectedFlits == msg->length) {
@@ -418,6 +418,8 @@ Network::releaseHop(Message &msg, int idx, bool purge)
         tpnet_panic("releasing a VC with resident flits");
     }
 
+    if (trace_)
+        trace_->vcReleased(now_, lk, hop.vc, msg, idx);
     if (vc.routed)
         router(lk.dst).unmapInput(vc.outPort, InRef{hop.link, hop.vc});
     vc.release();

@@ -108,8 +108,11 @@ Network::applyForward(Message &msg, const Decision &d)
     }
     msg.path.push_back(hop);
     hdr.stalled = 0;
-    if (trace_)
+    if (trace_) {
+        trace_->vcAllocated(now_, out, d.vc, msg,
+                            static_cast<int>(msg.path.size()) - 1);
         trace_->probeEvent(now_, msg, ProbeEvent::Routed);
+    }
 
     if (!proto_->inlineHeader()) {
         // Probe travels on the corresponding channel via the control lane.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/network.hpp"
+#include "obs/metrics_registry.hpp"
 #include "sim/stats.hpp"
 #include "traffic/injector.hpp"
 
@@ -15,7 +16,7 @@ Simulator::Simulator(const SimConfig &cfg)
 }
 
 RunResult
-Simulator::run(std::uint64_t replication) const
+Simulator::run(std::uint64_t replication, TraceSink *sink) const
 {
     SimConfig cfg = cfg_;
     // Decorrelate replications while keeping each one reproducible.
@@ -23,6 +24,9 @@ Simulator::run(std::uint64_t replication) const
 
     Network net(cfg);
     Injector inj(net);
+    if (sink)
+        net.attachTrace(sink);
+    obs::MetricsRegistry registry(net, cfg.metricsPeriod);
 
     const double horizon = static_cast<double>(cfg.warmup + cfg.measure);
     if (cfg.dynamicNodeFaults > 0.0) {
@@ -51,6 +55,7 @@ Simulator::run(std::uint64_t replication) const
     for (Cycle c = 0; c < cfg.measure; ++c) {
         inj.step();
         net.step();
+        registry.tick(net);
     }
     net.setMeasuring(false);
 
@@ -65,8 +70,12 @@ Simulator::run(std::uint64_t replication) const
         net.step();
     }
 
-    return deriveResult(net.counters(), cfg.load, cfg.nodes(),
-                        cfg.measure);
+    if (sink)
+        net.attachTrace(nullptr);
+    RunResult result = deriveResult(net.counters(), cfg.load, cfg.nodes(),
+                                    cfg.measure);
+    result.vc = registry.summary();
+    return result;
 }
 
 ReplicatedResult
@@ -79,6 +88,7 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
     ReplicationStat thr(rel_bound);
     RunningStat p95;
     RunningStat dfrac;
+    VcMetrics vcm;
     std::uint64_t undeliverable = 0;
     RunResult last;
 
@@ -90,6 +100,7 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
         thr.add(last.throughput);
         p95.add(last.p95Latency);
         dfrac.add(last.deliveredFraction);
+        vcm.merge(last.vc);
         undeliverable += last.undeliverable;
         if (reps >= min_reps && lat.acceptable(min_reps) &&
             thr.acceptable(min_reps)) {
@@ -103,6 +114,7 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
     out.mean.throughput = thr.mean();
     out.mean.p95Latency = p95.mean();
     out.mean.deliveredFraction = dfrac.mean();
+    out.mean.vc = vcm;
     out.mean.undeliverable = undeliverable / reps;
     out.latencyHw95 = lat.halfWidth95();
     out.throughputHw95 = thr.halfWidth95();

@@ -17,6 +17,8 @@
 
 namespace tpnet {
 
+class TraceSink;
+
 /** Aggregate of several independent replications of one configuration. */
 struct ReplicatedResult
 {
@@ -51,9 +53,14 @@ class Simulator
 
     /**
      * One full replication: warmup, measure, drain. @p replication
-     * perturbs the seed so replications are independent.
+     * perturbs the seed so replications are independent. During the
+     * measurement window a MetricsRegistry samples per-VC state every
+     * cfg.metricsPeriod cycles into the result's VcMetrics. @p sink,
+     * when given, observes every trace event of the run (recording,
+     * oracles); it is detached before the network is destroyed.
      */
-    RunResult run(std::uint64_t replication = 0) const;
+    RunResult run(std::uint64_t replication = 0,
+                  TraceSink *sink = nullptr) const;
 
     /**
      * Replicate until the 95% CIs of mean latency and throughput are

@@ -49,11 +49,15 @@ Network::killAffectedCircuits(const std::vector<LinkId> &failed)
 {
     if (skipKillSweep_)
         return;  // test hook: deliberately broken recovery
-    std::unordered_set<MsgId> victims;
+    // Victims are killed in discovery order (failed-link order, then VC
+    // index) so the teardown event sequence — and hence trace digests —
+    // is identical across standard-library hash implementations.
+    std::unordered_set<MsgId> seen;
+    std::vector<MsgId> victims;
     for (LinkId id : failed) {
         for (const VcState &vc : link(id).vcs) {
-            if (vc.owner != invalidMsg)
-                victims.insert(vc.owner);
+            if (vc.owner != invalidMsg && seen.insert(vc.owner).second)
+                victims.push_back(vc.owner);
         }
     }
     for (MsgId id : victims) {

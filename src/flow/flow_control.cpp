@@ -51,7 +51,7 @@ Network::phaseControl()
             ++counters_.ctrlCrossings;
             noteActivity();
             if (trace_)
-                trace_->flitCrossed(now_, wire, flit, true);
+                trace_->flitCrossed(now_, wire, -1, flit, true);
             processCtrlArrival(wire, flit);
         }
         // Dedicated acknowledgment signals (hardware-ack design).
@@ -62,7 +62,7 @@ Network::phaseControl()
             ++counters_.ctrlCrossings;
             noteActivity();
             if (trace_)
-                trace_->flitCrossed(now_, wire, flit, true);
+                trace_->flitCrossed(now_, wire, -1, flit, true);
             processCtrlArrival(wire, flit);
         }
     }

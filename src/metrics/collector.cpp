@@ -24,6 +24,22 @@ RunResult::row() const
     return os.str();
 }
 
+void
+VcMetrics::merge(const VcMetrics &other)
+{
+    occupancy.merge(other.occupancy);
+    muxDegree.merge(other.muxDegree);
+    dataUtil.merge(other.dataUtil);
+    ctrlUtil.merge(other.ctrlUtil);
+    rcuDepth.merge(other.rcuDepth);
+    occupancyHist.merge(other.occupancyHist);
+    if (perVc.size() < other.perVc.size())
+        perVc.resize(other.perVc.size());
+    for (std::size_t i = 0; i < other.perVc.size(); ++i)
+        perVc[i].merge(other.perVc[i]);
+    samples += other.samples;
+}
+
 RunResult
 deriveResult(const Counters &c, double offered_load, int nodes, Cycle window)
 {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
@@ -63,6 +64,43 @@ struct Counters
     Histogram latencyHist{8.0, 256};
 };
 
+/**
+ * Per-VC / per-link observability summary of one run, sampled from the
+ * network by obs::MetricsRegistry every SimConfig::metricsPeriod cycles
+ * during the measurement window (Section 2.3's channel structures seen
+ * as time series). All fields merge exactly (RunningStat/Histogram
+ * merges), so replications fold in any grouping.
+ */
+struct VcMetrics
+{
+    /** Data-buffer (DIBU) fill fraction per link per sample. */
+    RunningStat occupancy;
+
+    /** Busy VC trios per link per sample (multiplexing degree). */
+    RunningStat muxDegree;
+
+    /** Data-lane crossings per link per cycle between samples. */
+    RunningStat dataUtil;
+
+    /** Control-lane crossings per link per cycle between samples. */
+    RunningStat ctrlUtil;
+
+    /** RCU queue depth per router per sample. */
+    RunningStat rcuDepth;
+
+    /** Occupancy distribution (bins of 1/16 fill fraction). */
+    Histogram occupancyHist{0.0625, 17};
+
+    /** Per-VC-index occupancy (index 0..vcsPerLink-1, escape first). */
+    std::vector<RunningStat> perVc;
+
+    /** Samples taken (0 when the registry was disabled). */
+    std::uint64_t samples = 0;
+
+    /** Fold another run's metrics into this one (exact). */
+    void merge(const VcMetrics &other);
+};
+
 /** Derived, reportable result of one run. */
 struct RunResult
 {
@@ -73,6 +111,7 @@ struct RunResult
     double deliveredFraction = 1.0;  ///< of measured generated messages
     std::uint64_t undeliverable = 0; ///< dropped + lost over the whole run
     Counters counters;
+    VcMetrics vc;  ///< per-VC/per-link samples (empty unless registered)
 
     /** Tab-separated summary row. */
     std::string row() const;

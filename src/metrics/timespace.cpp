@@ -18,10 +18,30 @@ TimeSpaceTrace::add(Cycle t, int row, char sym)
 }
 
 void
-TimeSpaceTrace::flitCrossed(Cycle now, const Link &link, const Flit &flit,
-                            bool control_lane)
+TimeSpaceTrace::flitCrossed(Cycle now, const Link &link, int vc,
+                            const Flit &flit, bool control_lane)
 {
     (void)link;
+    (void)vc;
+    onFlitCrossed(now, flit, control_lane);
+}
+
+void
+TimeSpaceTrace::flitDelivered(Cycle now, NodeId node, const Flit &flit)
+{
+    (void)node;
+    onFlitDelivered(now, flit);
+}
+
+void
+TimeSpaceTrace::probeEvent(Cycle now, const Message &msg, ProbeEvent event)
+{
+    onProbeEvent(now, msg.id, event);
+}
+
+void
+TimeSpaceTrace::onFlitCrossed(Cycle now, const Flit &flit, bool control_lane)
+{
     if (flit.msg != target_)
         return;
 
@@ -76,9 +96,8 @@ TimeSpaceTrace::flitCrossed(Cycle now, const Link &link, const Flit &flit,
 }
 
 void
-TimeSpaceTrace::flitDelivered(Cycle now, NodeId node, const Flit &flit)
+TimeSpaceTrace::onFlitDelivered(Cycle now, const Flit &flit)
 {
-    (void)node;
     if (flit.msg != target_)
         return;
     if (flit.seq == 1)
@@ -86,10 +105,10 @@ TimeSpaceTrace::flitDelivered(Cycle now, NodeId node, const Flit &flit)
 }
 
 void
-TimeSpaceTrace::probeEvent(Cycle now, const Message &msg, ProbeEvent event)
+TimeSpaceTrace::onProbeEvent(Cycle now, MsgId msg, ProbeEvent event)
 {
     (void)now;
-    if (msg.id != target_)
+    if (msg != target_)
         return;
     if (event == ProbeEvent::Backtracked)
         backtracking_ = true;

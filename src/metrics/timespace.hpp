@@ -33,11 +33,21 @@ class TimeSpaceTrace : public TraceSink
     /** @param target message to record (offer it first, id is known). */
     explicit TimeSpaceTrace(MsgId target) : target_(target) {}
 
-    void flitCrossed(Cycle now, const Link &link, const Flit &flit,
+    void flitCrossed(Cycle now, const Link &link, int vc, const Flit &flit,
                      bool control_lane) override;
     void flitDelivered(Cycle now, NodeId node, const Flit &flit) override;
     void probeEvent(Cycle now, const Message &msg,
                     ProbeEvent event) override;
+
+    /**
+     * Event-feeding primitives used both by the live TraceSink
+     * overrides above and by trace replay (obs/replay), which
+     * reconstructs flits from recorded events without live Link or
+     * Message objects.
+     */
+    void onFlitCrossed(Cycle now, const Flit &flit, bool control_lane);
+    void onFlitDelivered(Cycle now, const Flit &flit);
+    void onProbeEvent(Cycle now, MsgId msg, ProbeEvent event);
 
     /** Number of recorded events. */
     std::size_t events() const { return events_.size(); }

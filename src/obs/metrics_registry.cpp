@@ -1,0 +1,80 @@
+#include "obs/metrics_registry.hpp"
+
+#include "core/network.hpp"
+
+namespace tpnet::obs {
+
+MetricsRegistry::MetricsRegistry(const Network &net, int period)
+    : period_(period)
+{
+    const int links = net.topo().links();
+    lastData_.assign(static_cast<std::size_t>(links), 0);
+    lastCtrl_.assign(static_cast<std::size_t>(links), 0);
+    metrics_.perVc.resize(
+        static_cast<std::size_t>(net.config().vcsPerLink()));
+}
+
+void
+MetricsRegistry::tick(const Network &net)
+{
+    if (period_ <= 0)
+        return;
+    if (++sinceSample_ >= static_cast<Cycle>(period_)) {
+        sinceSample_ = 0;
+        sample(net);
+    }
+}
+
+void
+MetricsRegistry::sample(const Network &net)
+{
+    const SimConfig &cfg = net.config();
+    const int nlinks = net.topo().links();
+    const double capacity =
+        static_cast<double>(cfg.vcsPerLink() * cfg.bufDepth);
+    const double period = period_ > 0 ? static_cast<double>(period_) : 1.0;
+
+    for (LinkId id = 0; id < nlinks; ++id) {
+        const Link &lk = net.link(id);
+        if (lk.absent)
+            continue;
+
+        int busy = 0;
+        std::size_t resident = 0;
+        for (std::size_t v = 0; v < lk.vcs.size(); ++v) {
+            const VcState &vc = lk.vcs[v];
+            if (!vc.free())
+                ++busy;
+            resident += vc.data.size();
+            if (v < metrics_.perVc.size()) {
+                metrics_.perVc[v].add(
+                    static_cast<double>(vc.data.size()) /
+                    static_cast<double>(cfg.bufDepth));
+            }
+        }
+        const double fill =
+            capacity > 0 ? static_cast<double>(resident) / capacity : 0.0;
+        metrics_.occupancy.add(fill);
+        metrics_.occupancyHist.add(fill);
+        metrics_.muxDegree.add(static_cast<double>(busy));
+
+        const auto i = static_cast<std::size_t>(id);
+        metrics_.dataUtil.add(
+            static_cast<double>(lk.dataCrossings - lastData_[i]) / period);
+        metrics_.ctrlUtil.add(
+            static_cast<double>(lk.ctrlCrossings - lastCtrl_[i]) / period);
+        lastData_[i] = lk.dataCrossings;
+        lastCtrl_[i] = lk.ctrlCrossings;
+    }
+
+    for (NodeId n = 0; n < cfg.nodes(); ++n) {
+        const Router &rt = net.router(n);
+        if (rt.faulty)
+            continue;
+        metrics_.rcuDepth.add(static_cast<double>(rt.rcuQueue.size()));
+    }
+
+    ++metrics_.samples;
+}
+
+} // namespace tpnet::obs

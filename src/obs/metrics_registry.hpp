@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MetricsRegistry — periodic per-router/per-VC sampling of a live
+ * Network into VcMetrics windows.
+ *
+ * The registry is a passive observer: it reads link/router state and
+ * crossing counters but never touches the RNG or any simulation state,
+ * so attaching it cannot perturb simulated latency or throughput (the
+ * perf gate in scripts/check_bench.py relies on that). Sampling every
+ * SimConfig::metricsPeriod cycles keeps the cost amortized to a few
+ * loads per link per period.
+ */
+
+#ifndef TPNET_OBS_METRICS_REGISTRY_HPP
+#define TPNET_OBS_METRICS_REGISTRY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "sim/types.hpp"
+
+namespace tpnet {
+class Network;
+} // namespace tpnet
+
+namespace tpnet::obs {
+
+/** Samples a Network's channel structures into VcMetrics windows. */
+class MetricsRegistry
+{
+  public:
+    /** @param period cycles between samples (<= 0 disables sampling). */
+    MetricsRegistry(const Network &net, int period);
+
+    /**
+     * Call once per cycle; takes a sample when the period elapses.
+     * Utilization samples are crossing-count deltas since the previous
+     * sample divided by the period.
+     */
+    void tick(const Network &net);
+
+    /** Take one sample now (also used by tick). */
+    void sample(const Network &net);
+
+    int period() const { return period_; }
+
+    const VcMetrics &summary() const { return metrics_; }
+
+  private:
+    int period_;
+    Cycle sinceSample_ = 0;
+    VcMetrics metrics_;
+    std::vector<std::uint64_t> lastData_;  ///< dataCrossings per link
+    std::vector<std::uint64_t> lastCtrl_;  ///< ctrlCrossings per link
+};
+
+} // namespace tpnet::obs
+
+#endif // TPNET_OBS_METRICS_REGISTRY_HPP

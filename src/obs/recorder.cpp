@@ -1,0 +1,264 @@
+#include "obs/recorder.hpp"
+
+#include <ostream>
+
+#include "core/message.hpp"
+#include "core/network.hpp"
+#include "core/pool.hpp"
+#include "router/link.hpp"
+#include "sim/log.hpp"
+#include "traffic/injector.hpp"
+
+namespace tpnet::obs {
+
+void
+TraceRecorder::append(const TraceEvent &ev)
+{
+    std::uint8_t rec[traceRecordSize];
+    encodeTraceEvent(ev, rec);
+    digest_ = fnv1a64(rec, sizeof(rec), digest_);
+    events_.push_back(ev);
+}
+
+void
+TraceRecorder::flitCrossed(Cycle now, const Link &link, int vc,
+                           const Flit &flit, bool control_lane)
+{
+    (void)control_lane;  // recoverable from vc < 0
+    TraceEvent ev;
+    ev.kind = TraceEventKind::FlitCrossed;
+    ev.flitType = static_cast<std::uint8_t>(flit.type);
+    ev.vc = static_cast<std::int8_t>(vc);
+    ev.link = static_cast<std::uint32_t>(link.id);
+    ev.node = static_cast<std::uint32_t>(link.src);
+    ev.cycle = now;
+    ev.msg = flit.msg;
+    ev.seq = flit.seq;
+    ev.hop = flit.hopIdx;
+    ev.epoch = flit.epoch;
+    append(ev);
+}
+
+void
+TraceRecorder::flitInjected(Cycle now, NodeId node, const Flit &flit)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::FlitInjected;
+    ev.flitType = static_cast<std::uint8_t>(flit.type);
+    ev.node = static_cast<std::uint32_t>(node);
+    ev.cycle = now;
+    ev.msg = flit.msg;
+    ev.seq = flit.seq;
+    ev.hop = flit.hopIdx;
+    ev.epoch = flit.epoch;
+    append(ev);
+}
+
+void
+TraceRecorder::flitDelivered(Cycle now, NodeId node, const Flit &flit)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::FlitDelivered;
+    ev.flitType = static_cast<std::uint8_t>(flit.type);
+    ev.node = static_cast<std::uint32_t>(node);
+    ev.cycle = now;
+    ev.msg = flit.msg;
+    ev.seq = flit.seq;
+    ev.hop = flit.hopIdx;
+    ev.epoch = flit.epoch;
+    append(ev);
+}
+
+void
+TraceRecorder::vcAllocated(Cycle now, const Link &link, int vc,
+                           const Message &msg, int hop_idx)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::VcAllocated;
+    ev.vc = static_cast<std::int8_t>(vc);
+    ev.link = static_cast<std::uint32_t>(link.id);
+    ev.node = static_cast<std::uint32_t>(link.dst);
+    ev.cycle = now;
+    ev.msg = msg.id;
+    ev.hop = hop_idx;
+    ev.epoch = msg.epoch;
+    append(ev);
+}
+
+void
+TraceRecorder::vcReleased(Cycle now, const Link &link, int vc,
+                          const Message &msg, int hop_idx)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::VcReleased;
+    ev.vc = static_cast<std::int8_t>(vc);
+    ev.link = static_cast<std::uint32_t>(link.id);
+    ev.node = static_cast<std::uint32_t>(link.dst);
+    ev.cycle = now;
+    ev.msg = msg.id;
+    ev.hop = hop_idx;
+    ev.epoch = msg.epoch;
+    append(ev);
+}
+
+void
+TraceRecorder::probeEvent(Cycle now, const Message &msg, ProbeEvent event)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::Probe;
+    ev.detail = static_cast<std::uint8_t>(event);
+    ev.node = static_cast<std::uint32_t>(msg.hdr.cur);
+    ev.cycle = now;
+    ev.msg = msg.id;
+    ev.hop = static_cast<std::int32_t>(msg.path.size()) - 1;
+    ev.epoch = msg.epoch;
+    append(ev);
+}
+
+void
+TraceRecorder::messageCreated(Cycle now, const Message &msg)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::MsgCreated;
+    ev.node = static_cast<std::uint32_t>(msg.src);
+    ev.aux = static_cast<std::uint32_t>(msg.dst);
+    ev.cycle = now;
+    ev.msg = msg.id;
+    ev.seq = msg.length;
+    append(ev);
+}
+
+void
+TraceRecorder::messageTerminal(Cycle now, const Message &msg,
+                               MsgOutcome outcome)
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::MsgTerminal;
+    ev.detail = static_cast<std::uint8_t>(outcome);
+    ev.node = static_cast<std::uint32_t>(msg.src);
+    ev.aux = static_cast<std::uint32_t>(msg.dst);
+    ev.cycle = now;
+    ev.msg = msg.id;
+    append(ev);
+}
+
+void
+TraceRecorder::writeBinary(std::ostream &os, std::uint64_t seed) const
+{
+    TraceWriter w(os, seed);
+    for (const TraceEvent &ev : events_)
+        w.write(ev);
+}
+
+void
+TraceRecorder::writeJsonl(std::ostream &os) const
+{
+    for (const TraceEvent &ev : events_)
+        os << traceEventJson(ev) << '\n';
+}
+
+void
+TraceRecorder::clear()
+{
+    events_.clear();
+    digest_ = 14695981039346656037ull;
+}
+
+std::vector<RecordSpec>
+goldenSpecs(std::uint64_t seed)
+{
+    SimConfig base;
+    base.k = 4;
+    base.n = 2;
+    base.msgLength = 8;
+    base.load = 0.15;
+    base.seed = seed;
+
+    std::vector<RecordSpec> specs(4);
+
+    // Fault-free wormhole routing (DP is the paper's WR protocol).
+    specs[0].cfg = base;
+    specs[0].cfg.protocol = Protocol::Duato;
+
+    // Scouting with a fixed scouting distance K = 3.
+    specs[1].cfg = base;
+    specs[1].cfg.protocol = Protocol::Scouting;
+    specs[1].cfg.scoutK = 3;
+
+    // Two-Phase around a static link fault present at power-on.
+    specs[2].cfg = base;
+    specs[2].cfg.protocol = Protocol::TwoPhase;
+    specs[2].cfg.staticLinkFaults = 1;
+
+    // Two-Phase with a node killed mid-run (kill walks + retries).
+    specs[3].cfg = base;
+    specs[3].cfg.protocol = Protocol::TwoPhase;
+    specs[3].killNode = 5;
+    specs[3].killAt = 120;
+
+    // Decorrelate the scenarios' traffic without extra knobs.
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        specs[i].cfg.seed = seed + 0x9e3779b97f4a7c15ull * i;
+    return specs;
+}
+
+const char *
+goldenSpecName(std::size_t i)
+{
+    switch (i) {
+      case 0: return "wr-faultfree";
+      case 1: return "sr-k3";
+      case 2: return "tp-staticfault";
+      case 3: return "tp-dynkill";
+    }
+    return "?";
+}
+
+namespace {
+
+TraceRecorder
+recordOne(const RecordSpec &spec)
+{
+    Network net(spec.cfg);
+    Injector inj(net);
+    TraceRecorder rec;
+    net.attachTrace(&rec);
+    for (Cycle c = 0; c < spec.cycles; ++c) {
+        if (spec.killNode != invalidNode && c == spec.killAt)
+            net.failNode(spec.killNode);
+        inj.step();
+        net.step();
+    }
+    for (Cycle c = 0; c < spec.drain && !net.quiescent(); ++c)
+        net.step();
+    net.attachTrace(nullptr);
+    return rec;
+}
+
+} // namespace
+
+TraceRecorder
+recordRun(const RecordSpec &spec, std::size_t jobs)
+{
+    if (jobs <= 1)
+        return recordOne(spec);
+
+    // Record the identical scenario on every worker concurrently; any
+    // cross-thread interference or hidden shared state shows up as a
+    // digest divergence here.
+    std::vector<TraceRecorder> recs(jobs);
+    parallelFor(jobs, jobs,
+                [&](std::size_t i) { recs[i] = recordOne(spec); });
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        if (recs[i].digest() != recs[0].digest() ||
+            recs[i].size() != recs[0].size()) {
+            tpnet_panic("concurrent record runs diverged: worker ", i,
+                        " digest ", recs[i].digest(), " (", recs[i].size(),
+                        " events) vs worker 0 digest ", recs[0].digest(),
+                        " (", recs[0].size(), " events)");
+        }
+    }
+    return recs[0];
+}
+
+} // namespace tpnet::obs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace replay and trace-level property checks.
+ *
+ * Everything here consumes recorded TraceEvent sequences — never a live
+ * Network — so the same analyses run on a file read back from disk
+ * (tpnet_trace replay/check) and on an in-memory recording (the
+ * property-test suite).
+ */
+
+#ifndef TPNET_OBS_REPLAY_HPP
+#define TPNET_OBS_REPLAY_HPP
+
+#include <string>
+#include <vector>
+
+#include "metrics/timespace.hpp"
+#include "obs/trace_format.hpp"
+
+namespace tpnet::obs {
+
+/**
+ * Rebuild the Fig. 1 time-space diagram of @p target from recorded
+ * events (the offline twin of attaching a TimeSpaceTrace to a live
+ * run). With @p target == invalidMsg the first *delivered* message of
+ * the trace is used (falling back to the first created).
+ */
+TimeSpaceTrace replayTimeSpace(const std::vector<TraceEvent> &events,
+                               MsgId target = invalidMsg);
+
+/** Outcome of a trace-level property check. */
+struct CheckResult
+{
+    bool ok = true;
+    std::string error;     ///< first violation, empty when ok
+    std::size_t checked = 0; ///< property-relevant events examined
+};
+
+/**
+ * Section 2.2 flow-control invariant, checked per message: a data flit
+ * may only cross path hop h once the CMU counter at h has received K
+ * positive acknowledgments, i.e. once the header has advanced at least
+ * K hops past h (or the probe has reached the destination and PathDone
+ * opened the residual gates). Meaningful for fault-free scouting runs;
+ * @p scout_k is the configured scouting distance K.
+ */
+CheckResult checkScoutGap(const std::vector<TraceEvent> &events,
+                          int scout_k);
+
+/**
+ * VC conservation: an allocation may only land on a free trio, a
+ * release must match the allocation's owner, and (when
+ * @p require_drained — i.e. the run ended quiescent) every allocation
+ * has been released by the end of the trace.
+ */
+CheckResult checkVcBalance(const std::vector<TraceEvent> &events,
+                           bool require_drained = true);
+
+/** Read all records of @p reader (error text in CheckResult on failure). */
+CheckResult readAll(TraceReader &reader, std::vector<TraceEvent> *out);
+
+} // namespace tpnet::obs
+
+#endif // TPNET_OBS_REPLAY_HPP

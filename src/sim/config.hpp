@@ -121,6 +121,9 @@ struct SimConfig
     bool protectPerimeter = false;
 
     // --- Measurement ---------------------------------------------------
+    /// Cycles between per-VC metric samples during the measurement
+    /// window (obs::MetricsRegistry); <= 0 disables sampling.
+    int metricsPeriod = 64;
     std::uint64_t seed = 1;
     Cycle warmup = 2000;     ///< cycles discarded before measuring
     Cycle measure = 10000;   ///< measurement window

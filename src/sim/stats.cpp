@@ -1,7 +1,10 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+
+#include "sim/log.hpp"
 
 namespace tpnet {
 
@@ -9,6 +12,25 @@ double
 RunningStat::stddev() const
 {
     return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
 }
 
 double
@@ -112,6 +134,28 @@ Histogram::add(double x)
     ++total_;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts_.empty() || other.total_ == 0) {
+        if (!other.counts_.empty() && counts_.empty())
+            *this = other;
+        return;
+    }
+    if (counts_.empty()) {
+        *this = other;
+        return;
+    }
+    if (counts_.size() != other.counts_.size() || width_ != other.width_) {
+        tpnet_panic("merging histograms of different geometry: ",
+                    counts_.size(), "x", width_, " vs ",
+                    other.counts_.size(), "x", other.width_);
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 double
 Histogram::percentile(double q) const
 {
@@ -125,7 +169,9 @@ Histogram::percentile(double q) const
     double cum = 0.0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         cum += static_cast<double>(counts_[i]);
-        if (cum >= target) {
+        // cum > 0 keeps q == 0 on the first *nonempty* bin instead of
+        // reporting the midpoint of an empty lowest bin.
+        if (cum >= target && cum > 0.0) {
             // Midpoint of the bin as the representative value.
             return (static_cast<double>(i) + 0.5) * width_;
         }

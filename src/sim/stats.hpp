@@ -49,6 +49,15 @@ class RunningStat
 
     double stddev() const;
 
+    /**
+     * Fold another accumulator into this one (Chan et al. parallel
+     * variance combination). Merging is exact for count/mean/min/max
+     * and numerically stable for the variance; it is associative and
+     * commutative up to floating-point rounding, which is what lets
+     * per-replication metric windows be folded in any grouping.
+     */
+    void merge(const RunningStat &other);
+
     void
     clear()
     {
@@ -164,6 +173,13 @@ class Histogram
 
     /** Value below which fraction @p q of the samples fall (approx.). */
     double percentile(double q) const;
+
+    /**
+     * Fold another histogram into this one. Both histograms must have
+     * identical geometry (bin width and bin count); merging histograms
+     * of different shapes is a programming error and dies loudly.
+     */
+    void merge(const Histogram &other);
 
   private:
     double width_ = 1.0;

@@ -44,13 +44,18 @@ class TraceSink
   public:
     virtual ~TraceSink() = default;
 
-    /** A flit crossed a link (data lane or control lane). */
+    /**
+     * A flit crossed a link (data lane or control lane). @p vc is the
+     * virtual channel the flit occupied on the link, or -1 on the
+     * control lane (control wires are time-multiplexed across trios).
+     */
     virtual void
-    flitCrossed(Cycle now, const Link &link, const Flit &flit,
+    flitCrossed(Cycle now, const Link &link, int vc, const Flit &flit,
                 bool control_lane)
     {
         (void)now;
         (void)link;
+        (void)vc;
         (void)flit;
         (void)control_lane;
     }
@@ -71,6 +76,37 @@ class TraceSink
         (void)now;
         (void)node;
         (void)flit;
+    }
+
+    /**
+     * The routing probe of @p msg reserved virtual channel @p vc on
+     * @p link as hop @p hop_idx of its path.
+     */
+    virtual void
+    vcAllocated(Cycle now, const Link &link, int vc, const Message &msg,
+                int hop_idx)
+    {
+        (void)now;
+        (void)link;
+        (void)vc;
+        (void)msg;
+        (void)hop_idx;
+    }
+
+    /**
+     * Hop @p hop_idx of @p msg released virtual channel @p vc on
+     * @p link (normal teardown, backtrack, or kill purge). Fired once
+     * per matching vcAllocated, before the trio is recycled.
+     */
+    virtual void
+    vcReleased(Cycle now, const Link &link, int vc, const Message &msg,
+               int hop_idx)
+    {
+        (void)now;
+        (void)link;
+        (void)vc;
+        (void)msg;
+        (void)hop_idx;
     }
 
     /** The routing probe of @p msg did something noteworthy. */

@@ -125,12 +125,24 @@ struct CountingSink : TraceSink
     int injected = 0;
     int delivered = 0;
     int probe_events = 0;
+    int vc_allocs = 0;
+    int vc_releases = 0;
 
     void
-    flitCrossed(Cycle, const Link &, const Flit &, bool c) override
+    flitCrossed(Cycle, const Link &, int vc, const Flit &, bool c) override
     {
         ++crossings;
         ctrl += c ? 1 : 0;
+        // The VC is always known on the data lane, never on control.
+        EXPECT_EQ(vc < 0, c);
+    }
+    void vcAllocated(Cycle, const Link &, int, const Message &, int) override
+    {
+        ++vc_allocs;
+    }
+    void vcReleased(Cycle, const Link &, int, const Message &, int) override
+    {
+        ++vc_releases;
     }
     void flitInjected(Cycle, NodeId, const Flit &) override
     {
@@ -162,6 +174,9 @@ TEST(Trace, HookCoverageMatchesCounters)
     EXPECT_EQ(sink.delivered, 8);
     // 3 Forward decisions + 1 ejection at minimum.
     EXPECT_GE(sink.probe_events, 4);
+    // Every reserved trio was released once the run went quiescent.
+    EXPECT_EQ(sink.vc_allocs, 3);
+    EXPECT_EQ(sink.vc_releases, sink.vc_allocs);
 }
 
 } // namespace

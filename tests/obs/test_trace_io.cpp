@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Binary trace format round-trip and corruption handling.
+ *
+ * Covers: encode/decode identity on extreme field values, recorder →
+ * writeBinary → TraceReader re-digest identity, and every reader error
+ * path (bad magic, unsupported version, wrong record size, truncated
+ * header, truncated record).
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/recorder.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace_format.hpp"
+
+namespace tpnet::obs {
+namespace {
+
+TraceEvent
+sampleEvent()
+{
+    TraceEvent ev;
+    ev.kind = TraceEventKind::VcReleased;
+    ev.flitType = 0x7e;
+    ev.detail = 3;
+    ev.vc = -1;
+    ev.link = 0xfffffffeu;
+    ev.node = 12345;
+    ev.cycle = 0x0123456789abcdefull;
+    ev.msg = -9223372036854775807ll;
+    ev.seq = -2147483647;
+    ev.hop = 2147483647;
+    ev.epoch = -1;
+    ev.aux = 0xdeadbeefu;
+    return ev;
+}
+
+void
+expectSameEvent(const TraceEvent &a, const TraceEvent &b)
+{
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.flitType, b.flitType);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.vc, b.vc);
+    EXPECT_EQ(a.link, b.link);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.cycle, b.cycle);
+    EXPECT_EQ(a.msg, b.msg);
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.hop, b.hop);
+    EXPECT_EQ(a.epoch, b.epoch);
+    EXPECT_EQ(a.aux, b.aux);
+}
+
+TEST(TraceFormat, EncodeDecodeRoundTripExtremeValues)
+{
+    const TraceEvent ev = sampleEvent();
+    std::uint8_t buf[traceRecordSize];
+    encodeTraceEvent(ev, buf);
+    expectSameEvent(ev, decodeTraceEvent(buf));
+}
+
+TEST(TraceFormat, EncodeDecodeRoundTripDefaultEvent)
+{
+    const TraceEvent ev;
+    std::uint8_t buf[traceRecordSize];
+    encodeTraceEvent(ev, buf);
+    expectSameEvent(ev, decodeTraceEvent(buf));
+}
+
+TEST(TraceFormat, Fnv1a64KnownVectors)
+{
+    // Reference values of FNV-1a 64 from the published algorithm.
+    EXPECT_EQ(fnv1a64("", 0), 14695981039346656037ull);
+    EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(TraceFormat, WriterReaderRoundTripPreservesDigest)
+{
+    std::stringstream file;
+    TraceWriter writer(file, /*seed=*/42);
+    std::vector<TraceEvent> in;
+    for (int i = 0; i < 100; ++i) {
+        TraceEvent ev = sampleEvent();
+        ev.cycle = static_cast<Cycle>(i);
+        ev.seq = i;
+        ev.kind = static_cast<TraceEventKind>(i % 8);
+        in.push_back(ev);
+        writer.write(ev);
+    }
+    ASSERT_EQ(writer.records(), in.size());
+
+    TraceReader reader(file);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.info().version, traceFormatVersion);
+    EXPECT_EQ(reader.info().recordSize, traceRecordSize);
+    EXPECT_EQ(reader.info().seed, 42u);
+
+    std::vector<TraceEvent> out;
+    const CheckResult read = readAll(reader, &out);
+    ASSERT_TRUE(read.ok) << read.error;
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        expectSameEvent(in[i], out[i]);
+    EXPECT_EQ(reader.digest(), writer.digest());
+}
+
+TEST(TraceFormat, RecorderWriteReadRedigestIdentity)
+{
+    RecordSpec spec = goldenSpecs(99)[0];
+    spec.cycles = 120;
+    const TraceRecorder rec = recordRun(spec);
+    ASSERT_GT(rec.size(), 0u);
+
+    std::stringstream file;
+    rec.writeBinary(file, spec.cfg.seed);
+
+    TraceReader reader(file);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.info().seed, spec.cfg.seed);
+    std::vector<TraceEvent> out;
+    const CheckResult read = readAll(reader, &out);
+    ASSERT_TRUE(read.ok) << read.error;
+    EXPECT_EQ(out.size(), rec.size());
+    // The digest of the re-read file equals the recorder's running
+    // digest: file bytes, in-memory events, and digest all agree.
+    EXPECT_EQ(reader.digest(), rec.digest());
+}
+
+TEST(TraceFormat, ReaderRejectsBadMagic)
+{
+    std::stringstream file;
+    TraceWriter writer(file, 1);
+    writer.write(TraceEvent{});
+    std::string bytes = file.str();
+    bytes[0] = 'X';
+    std::istringstream corrupt(bytes);
+    TraceReader reader(corrupt);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("bad magic"), std::string::npos)
+        << reader.error();
+}
+
+TEST(TraceFormat, ReaderRejectsFutureVersion)
+{
+    std::stringstream file;
+    TraceWriter writer(file, 1);
+    std::string bytes = file.str();
+    bytes[4] = 2;  // u16 version little-endian low byte
+    std::istringstream corrupt(bytes);
+    TraceReader reader(corrupt);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("unsupported trace version"),
+              std::string::npos)
+        << reader.error();
+}
+
+TEST(TraceFormat, ReaderRejectsWrongRecordSize)
+{
+    std::stringstream file;
+    TraceWriter writer(file, 1);
+    std::string bytes = file.str();
+    bytes[8] = 40;  // u32 record_size little-endian low byte
+    std::istringstream corrupt(bytes);
+    TraceReader reader(corrupt);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("record size"), std::string::npos)
+        << reader.error();
+}
+
+TEST(TraceFormat, ReaderReportsTruncatedHeader)
+{
+    std::istringstream corrupt(std::string("TPTR\x01\x00", 6));
+    TraceReader reader(corrupt);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("truncated trace header"),
+              std::string::npos)
+        << reader.error();
+}
+
+TEST(TraceFormat, ReaderReportsTruncatedRecord)
+{
+    std::stringstream file;
+    TraceWriter writer(file, 1);
+    writer.write(TraceEvent{});
+    writer.write(sampleEvent());
+    std::string bytes = file.str();
+    bytes.resize(bytes.size() - 10);  // chop the second record mid-way
+    std::istringstream corrupt(bytes);
+
+    TraceReader reader(corrupt);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    TraceEvent ev;
+    EXPECT_TRUE(reader.next(&ev));  // first record intact
+    EXPECT_FALSE(reader.next(&ev));
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("truncated record"), std::string::npos)
+        << reader.error();
+    EXPECT_EQ(reader.records(), 1u);
+}
+
+TEST(TraceFormat, CleanEofIsNotAnError)
+{
+    std::stringstream file;
+    TraceWriter writer(file, 1);
+    writer.write(TraceEvent{});
+    TraceReader reader(file);
+    TraceEvent ev;
+    EXPECT_TRUE(reader.next(&ev));
+    EXPECT_FALSE(reader.next(&ev));
+    EXPECT_TRUE(reader.ok()) << reader.error();
+}
+
+TEST(TraceFormat, JsonContainsKindAndFields)
+{
+    TraceEvent ev = sampleEvent();
+    ev.kind = TraceEventKind::Probe;
+    ev.detail = static_cast<std::uint8_t>(ProbeEvent::Backtracked);
+    const std::string json = traceEventJson(ev);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"kind\""), std::string::npos);
+    EXPECT_NE(json.find(traceEventKindName(TraceEventKind::Probe)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"event\""), std::string::npos);
+    EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(TraceFormat, JsonlMatchesEventCount)
+{
+    RecordSpec spec = goldenSpecs(7)[0];
+    spec.cycles = 60;
+    const TraceRecorder rec = recordRun(spec);
+    std::ostringstream os;
+    rec.writeJsonl(os);
+    const std::string text = os.str();
+    std::size_t lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, rec.size());
+}
+
+} // namespace
+} // namespace tpnet::obs

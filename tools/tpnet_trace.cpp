@@ -1,20 +1,43 @@
 /**
  * @file
- * tpnet_trace — render the time-space diagram (paper Fig. 1) of a
- * single message under any protocol, flow control setting, and fault
- * pattern, directly from simulation events.
+ * tpnet_trace — record, inspect, and replay flit-level event traces
+ * (DESIGN.md §6e), and render the Fig. 1 time-space diagram either from
+ * a live run (legacy mode) or offline from a recorded trace.
+ *
+ * Subcommands:
+ *   record  run a canonical seeded scenario with a TraceRecorder
+ *           attached and write the binary trace (plus optional JSONL);
+ *           --jobs N records N concurrent copies and verifies their
+ *           digests match before writing. Prints the 64-bit digest.
+ *   dump    print recorded events as JSONL, filterable by kind/message.
+ *   replay  rebuild the Fig. 1 time-space diagram from a recorded
+ *           trace (no simulation) and print the re-computed digest.
+ *   digest  print the digest and record count of a trace file.
+ *   check   run the trace-level property checks (VC conservation and,
+ *           with --K, the Section 2.2 scout-gap invariant).
+ *
+ * Without a subcommand, the legacy live mode renders the diagram of a
+ * single freshly simulated message:
+ *   tpnet_trace --protocol SR --K 3 --hops 5 --length 8
  *
  * Examples:
- *   tpnet_trace --protocol SR --K 3 --hops 5 --length 8
- *   tpnet_trace --protocol TP --dst 7 --fail "5,21,22" --length 8
- *   tpnet_trace --protocol PCS --hops 6 --length 12 --width 160
+ *   tpnet_trace --seed 7 record --scenario sr-k3 --out t.bin
+ *   tpnet_trace replay --in t.bin
+ *   tpnet_trace dump --in t.bin --kind vc-alloc | head
  */
 
+#include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "core/pool.hpp"
 #include "core/tpnet.hpp"
 #include "metrics/timespace.hpp"
+#include "obs/recorder.hpp"
+#include "obs/replay.hpp"
+#include "obs/trace_format.hpp"
 #include "sim/options.hpp"
 
 namespace {
@@ -32,34 +55,280 @@ parseNodes(const std::string &csv)
     return nodes;
 }
 
-bool
-protocolFromName(const std::string &name, Protocol *out)
+int
+scenarioIndex(const std::string &name)
 {
-    const struct
-    {
-        const char *name;
-        Protocol proto;
-    } table[] = {
-        {"DOR", Protocol::DimOrder}, {"DP", Protocol::Duato},
-        {"SR", Protocol::Scouting},  {"PCS", Protocol::Pcs},
-        {"MB-m", Protocol::MBm},     {"TP", Protocol::TwoPhase},
-    };
-    for (const auto &row : table) {
-        if (name == row.name) {
-            *out = row.proto;
-            return true;
-        }
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (name == obs::goldenSpecName(i))
+            return static_cast<int>(i);
     }
-    return false;
+    return -1;
 }
 
-} // namespace
+bool
+loadTrace(const std::string &path, std::vector<obs::TraceEvent> *events,
+          std::uint64_t *digest, std::uint64_t *seed)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+        return false;
+    }
+    obs::TraceReader reader(is);
+    if (!reader.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                     reader.error().c_str());
+        return false;
+    }
+    const obs::CheckResult read = obs::readAll(reader, events);
+    if (!read.ok) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                     read.error.c_str());
+        return false;
+    }
+    *digest = reader.digest();
+    if (seed)
+        *seed = reader.info().seed;
+    return true;
+}
 
 int
-main(int argc, char **argv)
+cmdRecord(OptionParser &parser, int argc, const char *const *argv)
 {
-    using namespace tpnet;
+    std::string out = "trace.bin";
+    std::string jsonl;
+    std::string scenario = "sr-k3";
+    std::uint64_t seed = 1;
+    int jobs = 1;
+    int cycles = 0;
+    parser.addString("out", "output trace file", &out);
+    parser.addString("jsonl", "also write a JSONL text dump here",
+                     &jsonl);
+    parser.addString("scenario",
+                     "wr-faultfree | sr-k3 | tp-staticfault | tp-dynkill",
+                     &scenario);
+    parser.addUint64("seed", "scenario seed", &seed);
+    parser.addInt("cycles", "injection window override (0: default)",
+                  &cycles);
+    parser.addJobs(&jobs);
 
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    const int idx = scenarioIndex(scenario);
+    if (idx < 0) {
+        std::fprintf(stderr, "error: unknown scenario '%s'\n",
+                     scenario.c_str());
+        return 1;
+    }
+    obs::RecordSpec spec =
+        obs::goldenSpecs(seed)[static_cast<std::size_t>(idx)];
+    if (cycles > 0)
+        spec.cycles = static_cast<Cycle>(cycles);
+
+    const obs::TraceRecorder rec =
+        obs::recordRun(spec, resolveJobs(jobs));
+
+    std::ofstream os(out, std::ios::binary);
+    if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    rec.writeBinary(os, seed);
+    if (!jsonl.empty()) {
+        std::ofstream js(jsonl);
+        if (!js) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         jsonl.c_str());
+            return 1;
+        }
+        rec.writeJsonl(js);
+    }
+    std::printf("recorded %s seed %" PRIu64 ": %zu events -> %s\n",
+                scenario.c_str(), seed, rec.size(), out.c_str());
+    std::printf("digest %016" PRIx64 "\n", rec.digest());
+    return 0;
+}
+
+int
+cmdDump(OptionParser &parser, int argc, const char *const *argv)
+{
+    std::string in = "trace.bin";
+    std::string kind;
+    std::uint64_t msg = ~0ull;
+    int limit = 0;
+    parser.addString("in", "input trace file", &in);
+    parser.addString("kind",
+                     "only this record kind (cross | inject | deliver | "
+                     "vc-alloc | vc-release | probe | msg-create | "
+                     "msg-terminal)",
+                     &kind);
+    parser.addUint64("msg", "only this message id", &msg);
+    parser.addInt("limit", "stop after N matching events (0: all)",
+                  &limit);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    std::vector<obs::TraceEvent> events;
+    std::uint64_t digest = 0;
+    if (!loadTrace(in, &events, &digest, nullptr))
+        return 1;
+
+    int printed = 0;
+    for (const obs::TraceEvent &ev : events) {
+        if (!kind.empty() && kind != obs::traceEventKindName(ev.kind))
+            continue;
+        if (msg != ~0ull && ev.msg != static_cast<std::int64_t>(msg))
+            continue;
+        std::printf("%s\n", obs::traceEventJson(ev).c_str());
+        if (limit > 0 && ++printed >= limit)
+            break;
+    }
+    return 0;
+}
+
+int
+cmdReplay(OptionParser &parser, int argc, const char *const *argv)
+{
+    std::string in = "trace.bin";
+    std::uint64_t msg = ~0ull;
+    int width = 120;
+    parser.addString("in", "input trace file", &in);
+    parser.addUint64("msg",
+                     "message to diagram (default: first delivered)",
+                     &msg);
+    parser.addInt("width", "max diagram columns", &width);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    std::vector<obs::TraceEvent> events;
+    std::uint64_t digest = 0;
+    std::uint64_t seed = 0;
+    if (!loadTrace(in, &events, &digest, &seed))
+        return 1;
+
+    const MsgId target = msg == ~0ull ? invalidMsg
+                                      : static_cast<MsgId>(msg);
+    const TimeSpaceTrace ts = obs::replayTimeSpace(events, target);
+    std::printf("# replay of %s  seed %" PRIu64 "  (%zu events)\n",
+                in.c_str(), seed, events.size());
+    std::fputs(ts.render(static_cast<std::size_t>(width)).c_str(),
+               stdout);
+    std::printf("max header lead %d links\n", ts.maxHeaderLead());
+    std::printf("digest %016" PRIx64 "\n", digest);
+    return 0;
+}
+
+int
+cmdDigest(OptionParser &parser, int argc, const char *const *argv)
+{
+    std::string in = "trace.bin";
+    parser.addString("in", "input trace file", &in);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    std::vector<obs::TraceEvent> events;
+    std::uint64_t digest = 0;
+    std::uint64_t seed = 0;
+    if (!loadTrace(in, &events, &digest, &seed))
+        return 1;
+    std::printf("%016" PRIx64 "  %zu events  seed %" PRIu64 "\n", digest,
+                events.size(), seed);
+    return 0;
+}
+
+int
+cmdCheck(OptionParser &parser, int argc, const char *const *argv)
+{
+    std::string in = "trace.bin";
+    int scout_k = -1;
+    bool partial = false;
+    parser.addString("in", "input trace file", &in);
+    parser.addInt("K", "check the scout-gap invariant with this K "
+                       "(-1: skip)",
+                  &scout_k);
+    parser.addFlag("partial",
+                   "trace did not run to quiescence (skip the "
+                   "all-released check)",
+                   &partial);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    std::vector<obs::TraceEvent> events;
+    std::uint64_t digest = 0;
+    if (!loadTrace(in, &events, &digest, nullptr))
+        return 1;
+
+    int failures = 0;
+    const obs::CheckResult vc = obs::checkVcBalance(events, !partial);
+    if (vc.ok) {
+        std::printf("vc-balance: ok (%zu alloc/release events)\n",
+                    vc.checked);
+    } else {
+        std::printf("vc-balance: FAIL — %s\n", vc.error.c_str());
+        ++failures;
+    }
+    if (scout_k >= 0) {
+        const obs::CheckResult gap = obs::checkScoutGap(events, scout_k);
+        if (gap.ok) {
+            std::printf("scout-gap (K=%d): ok (%zu data crossings)\n",
+                        scout_k, gap.checked);
+        } else {
+            std::printf("scout-gap (K=%d): FAIL — %s\n", scout_k,
+                        gap.error.c_str());
+            ++failures;
+        }
+    }
+    return failures ? 1 : 0;
+}
+
+int
+legacyLive(int argc, const char *const *argv)
+{
     SimConfig cfg;
     cfg.msgLength = 8;
     cfg.load = 0.0;
@@ -71,7 +340,9 @@ main(int argc, char **argv)
     int width = 120;
 
     OptionParser parser("tpnet_trace",
-                        "time-space diagram of one message (Fig. 1)");
+                        "time-space diagram of one message (Fig. 1); "
+                        "see also the record/dump/replay/digest/check "
+                        "subcommands");
     parser.addString("protocol", "DOR | DP | SR | PCS | MB-m | TP",
                      &protocol);
     parser.addInt("k", "radix", &cfg.k);
@@ -97,7 +368,7 @@ main(int argc, char **argv)
         std::fputs(parser.usage().c_str(), stdout);
         return 0;
     }
-    if (!protocolFromName(protocol, &cfg.protocol)) {
+    if (!parseProtocolName(protocol, &cfg.protocol)) {
         std::fprintf(stderr, "error: unknown protocol '%s'\n",
                      protocol.c_str());
         return 1;
@@ -150,4 +421,68 @@ main(int argc, char **argv)
         std::printf("NOT delivered (undeliverable or still searching)\n");
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // The subcommand is the first argument matching a known name; flags
+    // may precede it (`tpnet_trace --seed 7 record` works). Everything
+    // else is passed on to the subcommand's parser.
+    static const char *const subcommands[] = {"record", "dump", "replay",
+                                              "digest", "check"};
+    const char *sub = nullptr;
+    std::vector<const char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (!sub) {
+            for (const char *name : subcommands) {
+                if (std::strcmp(argv[i], name) == 0) {
+                    sub = argv[i];
+                    break;
+                }
+            }
+            if (sub == argv[i])
+                continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    const int rargc = static_cast<int>(rest.size());
+    const char *const *rargv = rest.data();
+
+    if (!sub)
+        return legacyLive(rargc, rargv);
+
+    if (std::strcmp(sub, "record") == 0) {
+        OptionParser parser("tpnet_trace record",
+                            "record a canonical seeded scenario");
+        return cmdRecord(parser, rargc, rargv);
+    }
+    if (std::strcmp(sub, "dump") == 0) {
+        OptionParser parser("tpnet_trace dump",
+                            "print recorded events as JSONL");
+        return cmdDump(parser, rargc, rargv);
+    }
+    if (std::strcmp(sub, "replay") == 0) {
+        OptionParser parser("tpnet_trace replay",
+                            "time-space diagram from a recorded trace");
+        return cmdReplay(parser, rargc, rargv);
+    }
+    if (std::strcmp(sub, "digest") == 0) {
+        OptionParser parser("tpnet_trace digest",
+                            "digest and record count of a trace file");
+        return cmdDigest(parser, rargc, rargv);
+    }
+    if (std::strcmp(sub, "check") == 0) {
+        OptionParser parser("tpnet_trace check",
+                            "trace-level property checks");
+        return cmdCheck(parser, rargc, rargv);
+    }
+    std::fprintf(stderr,
+                 "error: unknown subcommand '%s' (record | dump | replay "
+                 "| digest | check)\n",
+                 sub);
+    return 1;
 }
