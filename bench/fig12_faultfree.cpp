@@ -29,6 +29,16 @@ main(int argc, char **argv)
         h.add(loadSweep(cfg, protocolName(p), loads, opt), "offered");
     }
 
+    // The CWG deadlock analyzer armed on the TP sweep: quantifies the
+    // verification overhead (the tracker is read-only, so throughput
+    // and latency must track the plain TP series; the delta is pure
+    // bookkeeping cost).
+    {
+        SimConfig cfg = bench::paperConfig(Protocol::TwoPhase);
+        cfg.verifyCwg = true;
+        h.add(loadSweep(cfg, "TP+cwg", loads, opt), "offered");
+    }
+
     // Zero-load sanity anchors (Section 2.2): average minimal distance
     // of uniform traffic on the 16-ary 2-cube is 8 links.
     std::printf("# zero-load anchors: t_WR(8,32)=%d  t_PCS(8,32)=%d\n",

@@ -21,6 +21,10 @@ CampaignResult::summary() const
        << " undeliverable / " << counters.lost << " lost, "
        << faultsFired << " faults (" << counters.intermittentFaults
        << " intermittent, " << counters.linksRestored << " restored)";
+    if (cwgCycles > 0 || cwgViolations > 0) {
+        os << ", cwg " << cwgCycles << " cycles (" << cwgBenign
+           << " benign, " << cwgViolations << " violations)";
+    }
     if (!quiescent)
         os << ", NOT QUIESCENT";
     if (!violations.empty())
@@ -34,6 +38,8 @@ runCampaign(const CampaignSpec &spec)
     SimConfig cfg = spec.cfg;
     cfg.seed = spec.seed;
     cfg.watchdog = 0;  // the chaos watchdog reports instead of panicking
+    if (spec.verifyCwg)
+        cfg.verifyCwg = true;
     cfg.validate();
 
     CampaignResult result;
@@ -85,12 +91,58 @@ runCampaign(const CampaignSpec &spec)
     result.violations = watchdog.violations();
     for (const std::string &v : oracle.violations())
         result.violations.push_back(v);
+    if (const verify::CwgTracker *cwg = net.cwg()) {
+        result.cwgCycles = cwg->cyclesDetected();
+        result.cwgBenign = cwg->benignCycles();
+        result.cwgViolations = cwg->violations().size();
+        for (const verify::CwgCycle &c : cwg->violations()) {
+            std::ostringstream os;
+            os << "cwg: cycle " << c.at << ": " << c.diagnosis;
+            result.violations.push_back(os.str());
+        }
+    }
     if (!result.quiescent && !watchdog.deadlocked()) {
         std::ostringstream os;
         os << "drain budget (" << spec.drainCycles
            << " cycles) exhausted with " << net.activeMessages()
            << " messages still live";
         result.violations.push_back(os.str());
+    }
+    if (!result.quiescent) {
+        for (MsgId id : net.liveMessageIds()) {
+            const Message *msg = net.findMessage(id);
+            if (!msg)
+                continue;
+            std::ostringstream os;
+            os << "msg " << id << ": state "
+               << static_cast<int>(msg->state) << ", " << msg->src
+               << "->" << msg->dst << " at " << msg->hdr.cur
+               << ", epoch " << msg->epoch << ", retries "
+               << msg->retries << ", path " << msg->path.size()
+               << " hops, inRcu " << msg->inRcu << ", beingKilled "
+               << msg->beingKilled << ", retryAt " << msg->retryAt
+               << ", flits " << msg->injectedFlits << "/"
+               << msg->arrivedFlits << ", srcCtr " << msg->srcCounter
+               << "/" << msg->srcK << (msg->srcHold ? " HELD" : "")
+               << ", leadHop " << msg->leadHop;
+            for (const PathHop &hop : msg->path) {
+                const VcState &vc =
+                    net.link(hop.link)
+                        .vcs[static_cast<std::size_t>(hop.vc)];
+                os << " [" << hop.link << ":" << hop.vc
+                   << (vc.owner == msg->id ? "" : " NOTOWN") << " ctr "
+                   << vc.counter << "/" << vc.kReg
+                   << (vc.hold ? " HOLD" : "")
+                   << (vc.routed ? "" : " UNROUTED") << " q"
+                   << vc.data.size() << "]";
+            }
+            if (const verify::CwgTracker *cwg = net.cwg()) {
+                const std::string waits = cwg->describeWaits(id);
+                if (!waits.empty())
+                    os << ", waits on " << waits;
+            }
+            result.liveDump.push_back(os.str());
+        }
     }
 
     net.attachTrace(nullptr);

@@ -46,6 +46,12 @@ struct CampaignSpec
     /// breaking fault recovery so the harness's detection can be
     /// demonstrated (the campaign must then FAIL).
     bool injectSkipKillBug = false;
+
+    /// Run the CWG deadlock analyzer alongside the campaign: every
+    /// Theorem 3 violation it detects (escape-class cycle, stranded
+    /// adaptive cycle, persistent "transient") joins the campaign's
+    /// violation list with its full diagnosis.
+    bool verifyCwg = false;
 };
 
 /** Outcome of one campaign. */
@@ -61,6 +67,16 @@ struct CampaignResult
     std::size_t faultsFired = 0;
     std::size_t faultsSkipped = 0;
     Counters counters;
+
+    /// CWG statistics (all zero unless spec.verifyCwg).
+    std::uint64_t cwgCycles = 0;        ///< wait cycles detected
+    std::uint64_t cwgBenign = 0;        ///< classified benign-transient
+    std::size_t cwgViolations = 0;      ///< Theorem 3 violations
+
+    /// When the drain failed, one line of state per live message (what
+    /// it is, where it is, and what the CWG says it waits on) — the
+    /// starting point of every wedge diagnosis.
+    std::vector<std::string> liveDump;
 
     /** One-line human summary. */
     std::string summary() const;

@@ -70,6 +70,15 @@ Watchdog::checkGlobalProgress()
         os << "deadlock: no token moved for "
            << net_.now() - lastActivity_ << " cycles with "
            << net_.activeMessages() << " live messages";
+        // The CWG analyzer (when on) turns the symptom into a cause.
+        if (const verify::CwgTracker *cwg = net_.cwg()) {
+            if (!cwg->violations().empty()) {
+                os << "; deadlock cycle: "
+                   << cwg->violations().front().diagnosis;
+            } else if (!cwg->lastCycleDiagnosis().empty()) {
+                os << "; last observed " << cwg->lastCycleDiagnosis();
+            }
+        }
         report(os.str());
         deadlocked_ = true;
     }
@@ -102,6 +111,53 @@ Watchdog::signature(const Message &msg)
     return h;
 }
 
+std::uint64_t
+Watchdog::progressSignature(const Message &msg)
+{
+    // Deliberately excludes hdr.hops, path.size(), and srcCounter: a
+    // probe can churn those forever (search, backtrack, re-search)
+    // without the message getting any closer to delivery. Every retry
+    // bumps the epoch, so a legal abort-and-retry cycle still counts
+    // as progress here.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(static_cast<std::uint64_t>(msg.state));
+    mix(static_cast<std::uint64_t>(msg.epoch));
+    mix(static_cast<std::uint64_t>(msg.injectedFlits));
+    mix(static_cast<std::uint64_t>(msg.arrivedFlits));
+    mix(static_cast<std::uint64_t>(msg.retries));
+    mix(static_cast<std::uint64_t>(msg.releasedHops));
+    mix(static_cast<std::uint64_t>(msg.killWalks));
+    mix(msg.beingKilled ? 1 : 0);
+    mix(static_cast<std::uint64_t>(
+        msg.leadHop < 0 ? 0u : static_cast<unsigned>(msg.leadHop)));
+    return h;
+}
+
+std::string
+Watchdog::diagnoseFrozen(MsgId id, const Message &msg) const
+{
+    const verify::CwgTracker *cwg = net_.cwg();
+    if (!cwg)
+        return "";
+    const std::string waits = cwg->describeWaits(id);
+    if (!waits.empty())
+        return "; waiting on " + waits;
+    if (msg.state == MsgState::Active && !msg.path.empty() &&
+        !msg.inRcu && !msg.beingKilled) {
+        // Holds a circuit, waits on nothing, and no RCU will ever
+        // serve it again: the probe was lost (e.g. destroyed on a
+        // failing wire without salvage).
+        return "; stranded circuit: holds " +
+               std::to_string(msg.path.size()) +
+               " hops with no probe in flight and no RCU entry";
+    }
+    return "";
+}
+
 void
 Watchdog::checkPerMessageProgress()
 {
@@ -120,13 +176,24 @@ Watchdog::checkPerMessageProgress()
             continue;
         }
         const std::uint64_t sig = signature(*msg);
+        const std::uint64_t sig2 = progressSignature(*msg);
         MsgTrack track;
         auto it = tracks_.find(id);
-        if (it != tracks_.end() && it->second.sig == sig) {
+        if (it != tracks_.end()) {
             track = it->second;
+            if (track.sig != sig) {
+                track.sig = sig;
+                track.lastChange = net_.now();
+            }
+            if (track.sig2 != sig2) {
+                track.sig2 = sig2;
+                track.lastChange2 = net_.now();
+            }
         } else {
             track.sig = sig;
+            track.sig2 = sig2;
             track.lastChange = net_.now();
+            track.lastChange2 = net_.now();
         }
         if (!track.flagged && cfg_.msgStallBound > 0 &&
             net_.now() - track.lastChange >= cfg_.msgStallBound) {
@@ -136,7 +203,24 @@ Watchdog::checkPerMessageProgress()
                << static_cast<int>(msg->state) << ", epoch "
                << msg->epoch << ") made no progress for "
                << net_.now() - track.lastChange
-               << " cycles while the network kept moving";
+               << " cycles while the network kept moving"
+               << diagnoseFrozen(id, *msg);
+            report(os.str());
+            track.flagged = true;
+        } else if (!track.flagged && cfg_.msgStallBound > 0 &&
+                   net_.now() - track.lastChange2 >=
+                       cfg_.msgStallBound) {
+            // The full signature kept changing (probe churn) but no
+            // real progress was made: the header is oscillating.
+            std::ostringstream os;
+            os << "livelock: header oscillating: msg " << id << " ("
+               << msg->src << "->" << msg->dst << ", epoch "
+               << msg->epoch << ") searched for "
+               << net_.now() - track.lastChange2
+               << " cycles (hops=" << msg->hdr.hops
+               << ", backtracks=" << msg->backtracksTaken
+               << ") without moving any data"
+               << diagnoseFrozen(id, *msg);
             report(os.str());
             track.flagged = true;
         }

@@ -84,6 +84,17 @@ class Watchdog
     /** Compact fingerprint of a message's externally visible progress. */
     static std::uint64_t signature(const Message &msg);
 
+    /**
+     * Fingerprint of *real* progress only: excludes the probe-churn
+     * fields (hops, path length, ack counters) so a header endlessly
+     * searching without ever moving data shows up as frozen here while
+     * signature() keeps changing — the livelock discriminator.
+     */
+    static std::uint64_t progressSignature(const Message &msg);
+
+    /** CWG-informed annotation of a frozen message ("" when none). */
+    std::string diagnoseFrozen(MsgId id, const Message &msg) const;
+
     /** Sum of every activity counter: changes iff some token moved. */
     std::uint64_t activityComposite() const;
 
@@ -98,7 +109,9 @@ class Watchdog
     struct MsgTrack
     {
         std::uint64_t sig = 0;
+        std::uint64_t sig2 = 0;       ///< progressSignature()
         Cycle lastChange = 0;
+        Cycle lastChange2 = 0;
         bool flagged = false;
     };
     std::unordered_map<MsgId, MsgTrack> tracks_;

@@ -34,6 +34,9 @@ Network::Network(const SimConfig &cfg)
 
     injQ_.resize(static_cast<std::size_t>(topo_.nodes()));
 
+    if (cfg_.verifyCwg)
+        cwg_ = std::make_unique<verify::CwgTracker>(*this);
+
     applyStaticFaults();
 }
 
@@ -131,6 +134,16 @@ Network::step()
     stepDynamicFaults();
     stepRestores();
     retireMessages();
+    if (cwg_) {
+        cwg_->onCycleEnd(now_);
+        // In strict/CLI mode a Theorem 3 violation is fatal, like the
+        // plain watchdog. Campaigns run with watchdog == 0 and collect
+        // the diagnoses instead.
+        if (cfg_.watchdog != 0 && !cwg_->violations().empty()) {
+            tpnet_panic("CWG Theorem 3 violation at cycle ", now_, ": ",
+                        cwg_->violations().front().diagnosis);
+        }
+    }
     checkWatchdog();
     ++now_;
 }
@@ -423,6 +436,8 @@ Network::releaseHop(Message &msg, int idx, bool purge)
     if (vc.routed)
         router(lk.dst).unmapInput(vc.outPort, InRef{hop.link, hop.vc});
     vc.release();
+    if (cwg_)
+        cwg_->onVcReleased(hop.link, hop.vc);
     if (idx >= msg.releasedHops)
         msg.releasedHops = idx + 1;
 }
@@ -444,6 +459,8 @@ Network::retireMessages()
                                                : MsgOutcome::Undeliverable;
             trace_->messageTerminal(now_, msg, outcome);
         }
+        if (cwg_)
+            cwg_->onMessageGone(id);
         messages_.erase(it);
         --liveMessages_;
     }

@@ -29,6 +29,7 @@
 
 #include "core/message.hpp"
 #include "metrics/collector.hpp"
+#include "verify/cwg.hpp"
 #include "router/link.hpp"
 #include "router/router.hpp"
 #include "routing/protocol.hpp"
@@ -133,6 +134,20 @@ class Network
     std::vector<MsgId> liveMessageIds() const;
 
     RoutingAlgorithm &protocol() { return *proto_; }
+
+    /** CWG deadlock analyzer, or nullptr unless cfg.verifyCwg. */
+    verify::CwgTracker *cwg() { return cwg_.get(); }
+
+    /**
+     * CWG hook for routing protocols: route() observed a busy candidate
+     * trio on (node, port, vc). No-op when the analyzer is off.
+     */
+    void
+    cwgNoteBusy(NodeId node, int port, int vc)
+    {
+        if (cwg_)
+            cwg_->noteBusyVc(node, port, vc);
+    }
 
     /** Link out of @p node through @p port. */
     Link &
@@ -362,6 +377,7 @@ class Network
 
     Counters counters_;
     TraceSink *trace_ = nullptr;
+    std::unique_ptr<verify::CwgTracker> cwg_;
     Cycle now_ = 0;
     Cycle lastActivity_ = 0;
     MsgId nextMsgId_ = 0;

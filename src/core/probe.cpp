@@ -20,24 +20,34 @@ Network::serveHeader(Message &msg)
 
     if (hdr.atDest()) {
         msg.inRcu = false;
+        if (cwg_)
+            cwg_->onGranted(msg);
         applyEject(msg);
         return true;
     }
 
+    if (cwg_)
+        cwg_->beginEvaluation(msg);
     const Decision d = proto_->route(*this, msg);
     switch (d.kind) {
       case Decision::Kind::Forward:
         msg.inRcu = false;
+        if (cwg_)
+            cwg_->onGranted(msg);
         applyForward(msg, d);
         return true;
 
       case Decision::Kind::Eject:
         msg.inRcu = false;
+        if (cwg_)
+            cwg_->onGranted(msg);
         applyEject(msg);
         return true;
 
       case Decision::Kind::Backtrack:
         msg.inRcu = false;
+        if (cwg_)
+            cwg_->onRetreat(msg);
         applyBacktrack(msg);
         return true;
 
@@ -46,6 +56,10 @@ Network::serveHeader(Message &msg)
         if (hdr.stalled > cfg_.stallLimit && proto_->abortsOnStall(msg)) {
             msg.inRcu = false;
             abortSetup(msg);
+        } else if (cwg_) {
+            // Commit the busy trios route() observed as wait edges of
+            // the channel-wait-for graph.
+            cwg_->onBlocked(msg);
         }
         return false;
 

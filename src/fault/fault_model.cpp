@@ -109,6 +109,21 @@ Network::salvageControlFlit(const Flit &flit)
         finalizeKillWalk(*msg);
         break;
 
+      case FlitType::Header:
+        // A probe retreating over this wire dies with it. The probe
+        // released its frontier hop when it decided to backtrack, so it
+        // owns no trio on either direction of this link and the
+        // ownership sweep above cannot see its message: silently
+        // discarding the flit would leave the circuit Active but with
+        // no probe in flight and no RCU entry — stranded forever.
+        // killMessage's no-faulty-hop branch tears the remaining
+        // circuit down from the frontier (forward-travelling headers
+        // ride the trio they just reserved, so the sweep already
+        // killed them and the beingKilled guard makes this a no-op).
+        ++counters_.headersSalvaged;
+        killMessage(*msg);
+        break;
+
       default:
         break;
     }

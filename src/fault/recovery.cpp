@@ -29,6 +29,8 @@ Network::abortSetup(Message &msg)
     ++counters_.setupAborts;
     if (trace_)
         trace_->probeEvent(now_, msg, ProbeEvent::Aborted);
+    if (cwg_)
+        cwg_->onMessageGone(msg.id);
 
     if (msg.path.empty()) {
         // Probe never left the source (or fully unwound): no circuit to
@@ -63,6 +65,11 @@ Network::killMessage(Message &msg)
     msg.beingKilled = true;
     msg.killIsAbort = false;
     ++counters_.messagesKilled;
+    // A killed circuit's probe stops competing for channels: its wait
+    // edges must go with it or they would read as phantom deadlock
+    // members for as long as the teardown walks take.
+    if (cwg_)
+        cwg_->onMessageGone(msg.id);
 
     // Hops on or adjacent to failed components are released by the
     // spanning routers the moment the failure is detected.
@@ -225,6 +232,8 @@ Network::scheduleRetry(Message &msg)
 void
 Network::resetForRetry(Message &msg)
 {
+    if (cwg_)
+        cwg_->onMessageGone(msg.id);
     ++msg.epoch;
     msg.hdr = HeaderState{};
     msg.hdr.cur = msg.src;
@@ -251,6 +260,8 @@ Network::dropMessage(Message &msg, bool lost)
 {
     if (msg.terminal())
         return;
+    if (cwg_)
+        cwg_->onMessageGone(msg.id);
     msg.state = MsgState::Dropped;
     msg.lostToFault = lost;
     if (lost)

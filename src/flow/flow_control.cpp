@@ -89,6 +89,13 @@ Network::processCtrlArrival(Link &wire, Flit flit)
 
         // Backtracking probe retreated one hop over the complementary
         // channel (Section 2.2: it must send a negative acknowledgment).
+        // CWG hook: edges were already retracted when the Backtrack
+        // decision was applied; the arrival re-asserts an empty wait
+        // set in case recovery re-routed the probe mid-flight. (A
+        // scout-gap stall — the probe waiting on its own data to catch
+        // up — is a self-wait and never creates an edge.)
+        if (cwg_)
+            cwg_->onRetreat(msg);
         hdr.backtrack = false;
         hdr.cur = wire.dst;
         hdr.offset = topo_.offsets(wire.dst, msg.dst);
@@ -161,20 +168,37 @@ Network::applyUpstream(Message &msg, const Flit &flit)
     VcState &vc = link(hop.link).vcs[static_cast<std::size_t>(hop.vc)];
     const bool owned = vc.owner == msg.id;
 
+    // "The RCU does not propagate the acknowledgment beyond the first
+    // data flit" (Section 5.0). The walker moves upstream one hop per
+    // cycle while the lead data flit moves downstream, so they can
+    // cross on a wire: by the time the walker applies here the front
+    // may already have moved past. A hop the front has left has a dead
+    // counter — the front proved it >= K when it crossed, later
+    // walkers all stop at the new front and can never rebalance it —
+    // so the walker must be dropped, not applied (in hardware the ack
+    // and the data cross the same physical link and the RCU sees both
+    // atomically; an AckNeg applied behind the front would gate the
+    // follower flits below K forever).
+    const bool behindFront = j < msg.leadHop;
+
     switch (flit.type) {
       case FlitType::AckPos:
+        if (behindFront)
+            return true;
         if (owned)
             ++vc.counter;
-        // "The RCU does not propagate the acknowledgment beyond the
-        // first data flit" (Section 5.0).
         return j == msg.leadHop;
 
       case FlitType::AckNeg:
+        if (behindFront)
+            return true;
         if (owned)
             --vc.counter;
         return j == msg.leadHop;
 
       case FlitType::PathDone:
+        if (behindFront)
+            return true;  // front only crosses unheld hops with ctr >= K
         if (owned) {
             vc.counter = std::max(vc.counter, vc.kReg);
             vc.hold = false;
@@ -241,20 +265,33 @@ Network::relayUpstream(Message &msg, Flit flit)
 void
 Network::upstreamReachedSource(Message &msg, const Flit &flit)
 {
+    // Same crossing race as applyUpstream, one wire from the PE: a
+    // counter walker that was still upstream of the lead data flit
+    // when it crossed the first wire can arrive after the front has
+    // been injected. The injection gate was provably open (srcCounter
+    // >= srcK, no hold) when the front left, and no later walker can
+    // reach the source again, so a stale decrement would close the
+    // gate for the follower flits permanently. Drop dead walkers.
+    const bool frontLeft = msg.leadHop != -1;
+
     switch (flit.type) {
       case FlitType::AckPos:
-        ++msg.srcCounter;
+        if (!frontLeft)
+            ++msg.srcCounter;
         break;
 
       case FlitType::AckNeg:
-        --msg.srcCounter;
+        if (!frontLeft)
+            --msg.srcCounter;
         break;
 
       case FlitType::PathDone:
         // PCS path setup complete: data may enter the network
         // (Section 2.2, t_PCS = 3l + L - 1).
-        msg.srcCounter = std::max(msg.srcCounter, msg.srcK);
-        msg.srcHold = false;
+        if (!frontLeft) {
+            msg.srcCounter = std::max(msg.srcCounter, msg.srcK);
+            msg.srcHold = false;
+        }
         break;
 
       case FlitType::Release:

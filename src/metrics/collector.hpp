@@ -54,6 +54,10 @@ struct Counters
     std::uint64_t intermittentFaults = 0;  ///< subset of dynamicFaults
     std::uint64_t linksRestored = 0;       ///< intermittent links back up
     std::uint64_t messagesKilled = 0;
+    /// Header flits caught mid-wire by a link failure and handed to
+    /// recovery (a backtracking probe owns no trio on its wire, so the
+    /// ownership kill sweep cannot see it).
+    std::uint64_t headersSalvaged = 0;
 
     // Measurement window
     std::uint64_t measuredGenerated = 0;

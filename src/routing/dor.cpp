@@ -25,8 +25,10 @@ DimOrderRouting::route(Network &net, Message &msg)
     // (only fault-free validation runs use this protocol).
     if (net.channelFaulty(msg.hdr.cur, port))
         return Decision::block();
-    if (!net.escapeVcFree(msg, port))
+    if (!net.escapeVcFree(msg, port)) {
+        net.cwgNoteBusy(msg.hdr.cur, port, net.escapeClass(msg, port));
         return Decision::block();
+    }
     return Decision::forward(port, net.escapeClass(msg, port));
 }
 

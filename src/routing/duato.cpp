@@ -34,10 +34,24 @@ duatoSelect(Network &net, Message &msg)
     const int ep = net.ecubePort(msg);
     if (ep < 0)
         return Decision::eject();
-    if (net.channelFaulty(msg.hdr.cur, ep))
-        return Decision::block();  // DP itself is not fault tolerant
-    if (!net.escapeVcFree(msg, ep))
+    if (net.channelFaulty(msg.hdr.cur, ep)) {
+        // DP itself is not fault tolerant: there is no detour and no
+        // backtracking, so a faulty escape channel is a wait that can
+        // never be satisfied. Blocking here would wedge the header (and
+        // everything queued behind its circuit) forever — the stall
+        // limit never fires because DP headers legitimately wait
+        // unboundedly on *busy* escapes. Abort instead: recovery tears
+        // the partial circuit down and the message retries or is
+        // counted undeliverable.
+        return Decision::abort();
+    }
+    if (!net.escapeVcFree(msg, ep)) {
+        // Busy escape: the RCU re-polls it (and the adaptive set) every
+        // cycle, so the decision can never go stale — but the wait on
+        // the escape class is a CWG edge that must stay cycle-free.
+        net.cwgNoteBusy(msg.hdr.cur, ep, net.escapeClass(msg, ep));
         return Decision::block();
+    }
     return Decision::forward(ep, net.escapeClass(msg, ep));
 }
 
@@ -67,6 +81,7 @@ ScoutingRouting::route(Network &net, Message &msg)
         !(tried & (1u << ep))) {
         if (net.escapeVcFree(msg, ep))
             return Decision::forward(ep, net.escapeClass(msg, ep));
+        net.cwgNoteBusy(msg.hdr.cur, ep, net.escapeClass(msg, ep));
         return Decision::block();  // healthy but busy: wait
     }
 

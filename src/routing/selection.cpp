@@ -22,8 +22,20 @@ profitableByOffset(const Network &net, const Message &msg)
     return ports;
 }
 
+namespace {
+
+/** CWG hook: an eligible port had no free VC in [lo, hi). */
+void
+noteBusyRange(Network &net, NodeId cur, int port, int lo, int hi)
+{
+    for (int vc = lo; vc < hi; ++vc)
+        net.cwgNoteBusy(cur, port, vc);
+}
+
+} // namespace
+
 std::optional<Candidate>
-adaptiveProfitable(const Network &net, const Message &msg, Safety safety)
+adaptiveProfitable(Network &net, const Message &msg, Safety safety)
 {
     const NodeId cur = msg.hdr.cur;
     for (int port : profitableByOffset(net, msg)) {
@@ -34,6 +46,8 @@ adaptiveProfitable(const Network &net, const Message &msg, Safety safety)
         const int vc = net.freeAdaptiveVc(cur, port);
         if (vc >= 0)
             return Candidate{port, vc};
+        noteBusyRange(net, cur, port, net.escapeVcCount(),
+                      net.vcCount());
     }
     return std::nullopt;
 }
@@ -52,6 +66,7 @@ anyVcProfitableUntried(Network &net, Message &msg)
             net.linkAt(cur, port).firstFreeVc(0, net.vcCount());
         if (vc >= 0)
             return Candidate{port, vc};
+        noteBusyRange(net, cur, port, 0, net.vcCount());
     }
     return std::nullopt;
 }
@@ -69,6 +84,8 @@ anyAdaptiveProfitableUntried(Network &net, Message &msg)
         const int vc = net.freeAdaptiveVc(cur, port);
         if (vc >= 0)
             return Candidate{port, vc};
+        noteBusyRange(net, cur, port, net.escapeVcCount(),
+                      net.vcCount());
     }
     return std::nullopt;
 }
@@ -113,6 +130,7 @@ misrouteUntried(Network &net, Message &msg, bool adaptive_only,
                                                          net.vcCount());
         if (vc >= 0)
             return Candidate{port, vc};
+        noteBusyRange(net, cur, port, lo, net.vcCount());
     }
     return std::nullopt;
 }

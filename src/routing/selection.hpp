@@ -43,7 +43,7 @@ std::vector<int> profitableByOffset(const Network &net, const Message &msg);
  * First free adaptive VC on a profitable channel meeting @p safety,
  * scanning dimensions by decreasing remaining offset.
  */
-std::optional<Candidate> adaptiveProfitable(const Network &net,
+std::optional<Candidate> adaptiveProfitable(Network &net,
                                             const Message &msg,
                                             Safety safety);
 

@@ -181,6 +181,8 @@ SimConfig::summary() const
            << intermittentDownCycles;
     if (tailAck)
         os << ", TAck";
+    if (verifyCwg)
+        os << ", CWG";
     return os.str();
 }
 

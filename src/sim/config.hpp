@@ -132,6 +132,14 @@ struct SimConfig
     /// (deadlock watchdog, Theorem 3 check). 0 disables.
     Cycle watchdog = 20000;
 
+    // --- Verification --------------------------------------------------
+    /// Run the channel-wait-for-graph deadlock analyzer (src/verify/):
+    /// every Block decision records wait edges, cycles are detected
+    /// incrementally and classified against Theorem 3. Read-only with
+    /// respect to the simulation (results are bit-identical either
+    /// way); off by default so the common path pays nothing.
+    bool verifyCwg = false;
+
     // --- Derived helpers ---------------------------------------------------
     int nodes() const;            ///< k^n
     int radix() const { return 2 * n; }

@@ -1,0 +1,716 @@
+#include "verify/cwg.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/network.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+namespace verify {
+
+const char *
+cycleClassName(CycleClass c)
+{
+    switch (c) {
+      case CycleClass::Benign:      return "benign-transient";
+      case CycleClass::EscapeCycle: return "escape-cycle";
+      case CycleClass::Stranded:    return "stranded";
+      case CycleClass::Persistent:  return "persistent";
+    }
+    return "?";
+}
+
+CwgTracker::CwgTracker(Network &net, CwgConfig cfg)
+    : net_(net), cfg_(cfg)
+{
+}
+
+VcKey
+CwgTracker::keyOf(LinkId link, int vc) const
+{
+    return static_cast<VcKey>(link) *
+               static_cast<VcKey>(net_.vcCount()) +
+           static_cast<VcKey>(vc);
+}
+
+// --- Hook protocol ---------------------------------------------------------
+
+void
+CwgTracker::beginEvaluation(const Message &msg)
+{
+    evalMsg_ = msg.id;
+    scratch_.clear();
+}
+
+void
+CwgTracker::noteBusyVc(NodeId node, int port, int vc)
+{
+    if (evalMsg_ == invalidMsg)
+        return;  // route() called outside an RCU evaluation (tests)
+    scratch_.push_back(keyOf(net_.linkAt(node, port).id, vc));
+}
+
+void
+CwgTracker::onBlocked(const Message &msg)
+{
+    if (msg.id != evalMsg_)
+        return;
+    evalMsg_ = invalidMsg;
+
+    // Resolve owners at commit time; free or self-owned trios are not
+    // waits (the latter would be a self-loop, never a deadlock edge).
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    std::vector<WaitRec> next;
+    next.reserve(scratch_.size());
+    for (VcKey key : scratch_) {
+        const LinkId link =
+            static_cast<LinkId>(key / static_cast<VcKey>(net_.vcCount()));
+        const int vc =
+            static_cast<int>(key % static_cast<VcKey>(net_.vcCount()));
+        const MsgId owner =
+            net_.link(link).vcs[static_cast<std::size_t>(vc)].owner;
+        if (owner == invalidMsg || owner == msg.id)
+            continue;
+        next.push_back({key, owner});
+    }
+    commitWaits(msg.id, std::move(next));
+}
+
+void
+CwgTracker::onGranted(const Message &msg)
+{
+    if (msg.id == evalMsg_)
+        evalMsg_ = invalidMsg;
+    clearWaits(msg.id);
+}
+
+void
+CwgTracker::onRetreat(const Message &msg)
+{
+    if (msg.id == evalMsg_)
+        evalMsg_ = invalidMsg;
+    clearWaits(msg.id);
+}
+
+void
+CwgTracker::onVcReleased(LinkId link, int vc)
+{
+    const VcKey key = keyOf(link, vc);
+    auto it = waiters_.find(key);
+    if (it == waiters_.end())
+        return;
+    const std::vector<MsgId> waiting = std::move(it->second);
+    waiters_.erase(it);
+    for (MsgId id : waiting) {
+        auto wit = waits_.find(id);
+        if (wit == waits_.end())
+            continue;
+        auto &recs = wit->second;
+        for (std::size_t i = 0; i < recs.size();) {
+            if (recs[i].key == key) {
+                removeEdge(id, recs[i].owner);
+                recs[i] = recs.back();
+                recs.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        if (recs.empty())
+            waits_.erase(wit);
+    }
+}
+
+void
+CwgTracker::onMessageGone(MsgId id)
+{
+    if (id == evalMsg_)
+        evalMsg_ = invalidMsg;
+    clearWaits(id);
+}
+
+// --- Wait-set maintenance --------------------------------------------------
+
+void
+CwgTracker::commitWaits(MsgId id, std::vector<WaitRec> next)
+{
+    // Diff against the previous wait set so unchanged waits insert no
+    // edges (the common case for a message blocked over many cycles).
+    auto countOwners = [](const std::vector<WaitRec> &recs) {
+        std::unordered_map<MsgId, int> c;
+        for (const WaitRec &r : recs)
+            ++c[r.owner];
+        return c;
+    };
+
+    auto &prev = waits_[id];
+    const auto before = countOwners(prev);
+    const auto after = countOwners(next);
+
+    // Reverse index: drop stale entries, add fresh ones.
+    std::unordered_set<VcKey> prevKeys, nextKeys;
+    for (const WaitRec &r : prev)
+        prevKeys.insert(r.key);
+    for (const WaitRec &r : next)
+        nextKeys.insert(r.key);
+    for (VcKey key : prevKeys) {
+        if (nextKeys.count(key))
+            continue;
+        auto it = waiters_.find(key);
+        if (it == waiters_.end())
+            continue;
+        auto &v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), id), v.end());
+        if (v.empty())
+            waiters_.erase(it);
+    }
+    for (VcKey key : nextKeys) {
+        if (prevKeys.count(key))
+            continue;
+        waiters_[key].push_back(id);
+    }
+
+    prev = std::move(next);
+    if (prev.empty())
+        waits_.erase(id);
+
+    for (const auto &[owner, n] : before) {
+        auto it = after.find(owner);
+        const int have = it == after.end() ? 0 : it->second;
+        for (int i = have; i < n; ++i)
+            removeEdge(id, owner);
+    }
+    for (const auto &[owner, n] : after) {
+        auto it = before.find(owner);
+        const int had = it == before.end() ? 0 : it->second;
+        for (int i = had; i < n; ++i)
+            addEdge(id, owner);
+    }
+}
+
+void
+CwgTracker::clearWaits(MsgId id)
+{
+    auto it = waits_.find(id);
+    if (it == waits_.end())
+        return;
+    for (const WaitRec &r : it->second) {
+        removeEdge(id, r.owner);
+        auto wit = waiters_.find(r.key);
+        if (wit == waiters_.end())
+            continue;
+        auto &v = wit->second;
+        v.erase(std::remove(v.begin(), v.end(), id), v.end());
+        if (v.empty())
+            waiters_.erase(wit);
+    }
+    waits_.erase(it);
+}
+
+// --- Incremental cycle detection (Pearce–Kelly) ---------------------------
+
+int
+CwgTracker::ordOf(MsgId id)
+{
+    auto [it, fresh] = ord_.emplace(id, nextOrd_);
+    if (fresh)
+        ++nextOrd_;
+    return it->second;
+}
+
+void
+CwgTracker::addEdge(MsgId u, MsgId v)
+{
+    const EdgeKey e{u, v};
+    const int n = ++edgeCount_[e];
+    if (n > 1)
+        return;  // multiplicity only; the DAG edge already exists
+    std::vector<MsgId> cycle;
+    if (insertOrdered(u, v, &cycle)) {
+        inDag_[e] = true;
+        dagOut_[u].push_back(v);
+        dagIn_[v].push_back(u);
+    } else {
+        // The edge closes a cycle: keep the DAG invariant by leaving it
+        // out of the order (the true graph still holds it; the periodic
+        // sweep tracks its persistence) and report the cycle now.
+        inDag_[e] = false;
+        reportCycle(cycle, false);
+    }
+}
+
+void
+CwgTracker::removeEdge(MsgId u, MsgId v)
+{
+    const EdgeKey e{u, v};
+    auto it = edgeCount_.find(e);
+    if (it == edgeCount_.end())
+        return;
+    if (--it->second > 0)
+        return;
+    edgeCount_.erase(it);
+    auto flag = inDag_.find(e);
+    const bool dag = flag != inDag_.end() && flag->second;
+    if (flag != inDag_.end())
+        inDag_.erase(flag);
+    if (dag) {
+        auto &outs = dagOut_[u];
+        outs.erase(std::remove(outs.begin(), outs.end(), v), outs.end());
+        if (outs.empty())
+            dagOut_.erase(u);
+        auto &ins = dagIn_[v];
+        ins.erase(std::remove(ins.begin(), ins.end(), u), ins.end());
+        if (ins.empty())
+            dagIn_.erase(v);
+    }
+}
+
+bool
+CwgTracker::insertOrdered(MsgId u, MsgId v, std::vector<MsgId> *cycle_out)
+{
+    const int ou = ordOf(u);
+    const int ov = ordOf(v);
+    if (ov > ou)
+        return true;  // already consistent: O(1), the common case
+
+    // Forward discovery from v, bounded by ord <= ord[u] — the affected
+    // region. Reaching u closes a cycle.
+    std::unordered_map<MsgId, MsgId> parent;
+    std::vector<MsgId> deltaF;
+    std::unordered_set<MsgId> seenF{v};
+    std::vector<MsgId> stack{v};
+    while (!stack.empty()) {
+        const MsgId w = stack.back();
+        stack.pop_back();
+        deltaF.push_back(w);
+        auto it = dagOut_.find(w);
+        if (it == dagOut_.end())
+            continue;
+        for (MsgId x : it->second) {
+            if (x == u) {
+                // Cycle: u -> v -> ... -> w -> u.
+                cycle_out->clear();
+                for (MsgId y = w;; y = parent.at(y)) {
+                    cycle_out->push_back(y);
+                    if (y == v)
+                        break;
+                }
+                std::reverse(cycle_out->begin(), cycle_out->end());
+                cycle_out->push_back(u);
+                // Rotate so the blocked inserter leads the report.
+                std::rotate(cycle_out->begin(), cycle_out->end() - 1,
+                            cycle_out->end());
+                return false;
+            }
+            if (ord_[x] <= ou && seenF.insert(x).second) {
+                parent[x] = w;
+                stack.push_back(x);
+            }
+        }
+    }
+
+    // Backward discovery from u, bounded by ord >= ord[v].
+    std::vector<MsgId> deltaB;
+    std::unordered_set<MsgId> seenB{u};
+    stack.push_back(u);
+    while (!stack.empty()) {
+        const MsgId w = stack.back();
+        stack.pop_back();
+        deltaB.push_back(w);
+        auto it = dagIn_.find(w);
+        if (it == dagIn_.end())
+            continue;
+        for (MsgId x : it->second) {
+            if (ord_[x] >= ov && seenB.insert(x).second)
+                stack.push_back(x);
+        }
+    }
+
+    // Reorder the affected region only: the nodes of deltaB keep their
+    // relative order, then the nodes of deltaF, packed into the sorted
+    // pool of the positions both sets already occupy.
+    auto byOrd = [this](MsgId a, MsgId b) { return ord_[a] < ord_[b]; };
+    std::sort(deltaB.begin(), deltaB.end(), byOrd);
+    std::sort(deltaF.begin(), deltaF.end(), byOrd);
+    std::vector<int> pool;
+    pool.reserve(deltaB.size() + deltaF.size());
+    for (MsgId w : deltaB)
+        pool.push_back(ord_[w]);
+    for (MsgId w : deltaF)
+        pool.push_back(ord_[w]);
+    std::sort(pool.begin(), pool.end());
+    std::size_t slot = 0;
+    for (MsgId w : deltaB)
+        ord_[w] = pool[slot++];
+    for (MsgId w : deltaF)
+        ord_[w] = pool[slot++];
+    return true;
+}
+
+// --- Classification and diagnosis -----------------------------------------
+
+CycleClass
+CwgTracker::classify(const std::vector<MsgId> &members) const
+{
+    const int escapeVcs = net_.escapeVcCount();
+    const int vcsPerLink = net_.vcCount();
+    bool strandedMember = false;
+    bool allEscapeCommitted = true;
+
+    const std::size_t n = members.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const MsgId id = members[i];
+        // Theorem 3 demands that the *escape* channel dependency graph
+        // stay acyclic; adaptive cycles are expressly permitted because
+        // every blocked header re-polls an OR-set of candidates. A
+        // member is committed to the escape subnetwork only when every
+        // wait it holds is on an escape-class trio — one live adaptive
+        // alternative means some owner outside the escape CDG can
+        // still dissolve the cycle, which is the benign-transient case
+        // (and the persistence sweep catches it empirically if it
+        // never does).
+        auto wit = waits_.find(id);
+        bool escapeCommitted = wit != waits_.end() &&
+                               !wit->second.empty();
+        if (wit != waits_.end()) {
+            for (const WaitRec &r : wit->second) {
+                const int vc = static_cast<int>(
+                    r.key % static_cast<VcKey>(vcsPerLink));
+                if (vc >= escapeVcs)
+                    escapeCommitted = false;
+            }
+        }
+        if (!escapeCommitted)
+            allEscapeCommitted = false;
+        const Message *msg = net_.findMessage(id);
+        if (msg && !hasFallback(*msg))
+            strandedMember = true;
+    }
+
+    if (allEscapeCommitted)
+        return CycleClass::EscapeCycle;
+    if (strandedMember)
+        return CycleClass::Stranded;
+    return CycleClass::Benign;
+}
+
+bool
+CwgTracker::hasFallback(const Message &msg) const
+{
+    if (msg.hdr.detour) {
+        // Theorem 3's detour phase: the probe can retreat, or the stall
+        // limit hands the circuit to recovery.
+        return net_.canBacktrack(msg) ||
+               net_.protocol().abortsOnStall(msg);
+    }
+    // Duato's argument: a cycle over adaptive lanes is harmless while
+    // the member can still fall back onto a structurally healthy
+    // deterministic escape path.
+    const int ep = net_.ecubePort(msg);
+    if (ep >= 0 && !net_.channelFaulty(msg.hdr.cur, ep))
+        return true;
+    return net_.canBacktrack(msg) || net_.protocol().abortsOnStall(msg);
+}
+
+std::string
+CwgTracker::diagnose(const std::vector<MsgId> &members,
+                     CycleClass cls) const
+{
+    const int escapeVcs = net_.escapeVcCount();
+    const int vcsPerLink = net_.vcCount();
+    std::ostringstream os;
+    os << "wait cycle (" << cycleClassName(cls) << ", "
+       << members.size() << " members): ";
+
+    const std::size_t n = members.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const MsgId id = members[i];
+        const MsgId next = members[(i + 1) % n];
+        if (i)
+            os << "; ";
+        os << "msg " << id;
+        if (const Message *msg = net_.findMessage(id)) {
+            const char *phase =
+                msg->hdr.detour                      ? "detour"
+                : msg->hdr.sr                        ? "SR"
+                : msg->hdr.flow == FlowMode::PcsSetup ? "PCS"
+                                                      : "WR";
+            os << " [node " << msg->hdr.cur << ", phase " << phase
+               << ", K=" << msg->srcK << "]";
+        }
+        bool found = false;
+        auto wit = waits_.find(id);
+        if (wit != waits_.end()) {
+            for (const WaitRec &r : wit->second) {
+                if (r.owner != next)
+                    continue;
+                const LinkId link = static_cast<LinkId>(
+                    r.key / static_cast<VcKey>(vcsPerLink));
+                const int vc = static_cast<int>(
+                    r.key % static_cast<VcKey>(vcsPerLink));
+                const VcState &trio =
+                    net_.link(link).vcs[static_cast<std::size_t>(vc)];
+                os << " waits on link " << link << " vc " << vc;
+                if (vc < escapeVcs)
+                    os << " (escape class " << vc << ")";
+                else
+                    os << " (adaptive)";
+                os << " [kReg=" << trio.kReg << "] owned by msg "
+                   << next;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            os << " -> msg " << next;
+    }
+    if (traceOffset_)
+        os << "; trace offset " << traceOffset_();
+    return os.str();
+}
+
+std::string
+CwgTracker::describeWaits(MsgId id) const
+{
+    auto it = waits_.find(id);
+    if (it == waits_.end() || it->second.empty())
+        return "";
+    const int escapeVcs = net_.escapeVcCount();
+    const int vcsPerLink = net_.vcCount();
+    std::ostringstream os;
+    bool first = true;
+    for (const WaitRec &r : it->second) {
+        if (!first)
+            os << ", ";
+        first = false;
+        const LinkId link =
+            static_cast<LinkId>(r.key / static_cast<VcKey>(vcsPerLink));
+        const int vc =
+            static_cast<int>(r.key % static_cast<VcKey>(vcsPerLink));
+        os << "link " << link << " vc " << vc
+           << (vc < escapeVcs ? " (escape)" : " (adaptive)")
+           << " owned by msg " << r.owner;
+    }
+    return os.str();
+}
+
+std::size_t
+CwgTracker::waitCount(MsgId id) const
+{
+    auto it = waits_.find(id);
+    return it == waits_.end() ? 0 : it->second.size();
+}
+
+std::size_t
+CwgTracker::edgeCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[e, c] : edgeCount_)
+        n += static_cast<std::size_t>(c);
+    return n;
+}
+
+std::uint64_t
+CwgTracker::memberHash(const std::vector<MsgId> &members)
+{
+    std::vector<MsgId> sorted = members;
+    std::sort(sorted.begin(), sorted.end());
+    std::uint64_t h = 14695981039346656037ull;
+    for (MsgId id : sorted) {
+        h ^= static_cast<std::uint64_t>(id);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+CwgTracker::reportCycle(const std::vector<MsgId> &members, bool from_sweep)
+{
+    const std::uint64_t hash = memberHash(members);
+    const CycleClass cls = classify(members);
+    const std::string diag = diagnose(members, cls);
+    lastDiagnosis_ = diag;
+
+    if (!reported_.count(hash)) {
+        ++cyclesDetected_;
+        if (!isViolation(cls))
+            ++benignDetected_;
+    }
+
+    if (isViolation(cls)) {
+        if (!reported_[hash] && violations_.size() < cfg_.maxViolations) {
+            CwgCycle c;
+            c.cls = cls;
+            c.at = net_.now();
+            c.hash = hash;
+            c.members = members;
+            c.diagnosis = diag;
+            violations_.push_back(std::move(c));
+        }
+        reported_[hash] = true;
+        return;
+    }
+
+    // Benign: remember when we first saw it so the sweep can escalate
+    // a "transient" that refuses to resolve.
+    reported_.emplace(hash, false);
+    benignSeen_.emplace(hash, net_.now());
+    (void)from_sweep;
+}
+
+void
+CwgTracker::onCycleEnd(Cycle now)
+{
+    if (cfg_.sweepEvery == 0)
+        return;
+    if (now - lastSweep_ < cfg_.sweepEvery)
+        return;
+    lastSweep_ = now;
+    sweep(now);
+}
+
+void
+CwgTracker::sweep(Cycle now)
+{
+    // Tarjan over the *true* wait graph (rejected edges included): a
+    // cycle whose wait set never changes inserts no new edges, so only
+    // this sweep observes it persisting.
+    std::unordered_map<MsgId, std::vector<MsgId>> adj;
+    for (const auto &[e, c] : edgeCount_) {
+        if (c > 0)
+            adj[e.u].push_back(e.v);
+    }
+
+    std::unordered_map<MsgId, int> index, low;
+    std::unordered_map<MsgId, bool> onStack;
+    std::vector<MsgId> tarjanStack;
+    int counter = 0;
+    std::vector<std::vector<MsgId>> sccs;
+
+    // Iterative Tarjan (frame: node + next-child cursor).
+    struct Frame
+    {
+        MsgId v;
+        std::size_t child;
+    };
+    for (const auto &[root, outs] : adj) {
+        if (index.count(root))
+            continue;
+        std::vector<Frame> frames{{root, 0}};
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const MsgId v = f.v;
+            if (f.child == 0) {
+                index[v] = low[v] = counter++;
+                tarjanStack.push_back(v);
+                onStack[v] = true;
+            }
+            const auto &outs2 = adj[v];
+            bool descended = false;
+            while (f.child < outs2.size()) {
+                const MsgId w = outs2[f.child++];
+                if (!index.count(w)) {
+                    frames.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (onStack[w])
+                    low[v] = std::min(low[v], index[w]);
+            }
+            if (descended)
+                continue;
+            if (low[v] == index[v]) {
+                std::vector<MsgId> scc;
+                for (;;) {
+                    const MsgId w = tarjanStack.back();
+                    tarjanStack.pop_back();
+                    onStack[w] = false;
+                    scc.push_back(w);
+                    if (w == v)
+                        break;
+                }
+                if (scc.size() > 1)
+                    sccs.push_back(std::move(scc));
+            }
+            frames.pop_back();
+            if (!frames.empty()) {
+                Frame &pf = frames.back();
+                low[pf.v] = std::min(low[pf.v], low[v]);
+            }
+        }
+    }
+
+    std::unordered_set<std::uint64_t> present;
+    for (const std::vector<MsgId> &scc : sccs) {
+        // Extract one cycle order inside the SCC: follow in-SCC edges
+        // until a node repeats (every SCC node has one, size > 1).
+        std::unordered_set<MsgId> inScc(scc.begin(), scc.end());
+        std::vector<MsgId> walk{scc.front()};
+        std::unordered_map<MsgId, std::size_t> pos{{scc.front(), 0}};
+        std::vector<MsgId> cycle;
+        for (;;) {
+            const MsgId cur = walk.back();
+            MsgId nxt = invalidMsg;
+            for (MsgId w : adj[cur]) {
+                if (inScc.count(w)) {
+                    nxt = w;
+                    break;
+                }
+            }
+            if (nxt == invalidMsg)
+                break;  // defensive: should not happen in an SCC
+            auto it = pos.find(nxt);
+            if (it != pos.end()) {
+                cycle.assign(walk.begin() +
+                                 static_cast<std::ptrdiff_t>(it->second),
+                             walk.end());
+                break;
+            }
+            pos[nxt] = walk.size();
+            walk.push_back(nxt);
+        }
+        if (cycle.empty())
+            continue;
+
+        const std::uint64_t hash = memberHash(cycle);
+        present.insert(hash);
+        reportCycle(cycle, true);
+
+        // Escalate benign cycles that outlived the persistence bound.
+        auto seen = benignSeen_.find(hash);
+        if (seen != benignSeen_.end() &&
+            now - seen->second >= cfg_.persistBound &&
+            !reported_[hash]) {
+            const std::string diag =
+                diagnose(cycle, CycleClass::Persistent);
+            lastDiagnosis_ = diag;
+            if (violations_.size() < cfg_.maxViolations) {
+                CwgCycle c;
+                c.cls = CycleClass::Persistent;
+                c.at = now;
+                c.hash = hash;
+                c.members = cycle;
+                c.diagnosis = diag;
+                violations_.push_back(std::move(c));
+            }
+            reported_[hash] = true;
+        }
+    }
+
+    // Benign cycles that dissolved stop being tracked (and may be
+    // re-reported if they ever re-form).
+    for (auto it = benignSeen_.begin(); it != benignSeen_.end();) {
+        if (!present.count(it->first)) {
+            reported_.erase(it->first);
+            it = benignSeen_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace verify
+} // namespace tpnet

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Channel-wait-for-graph (CWG) deadlock analyzer — the online check of
+ * the paper's Theorem 3 ("TP routing is deadlock-free with no extra
+ * virtual channels beyond Duato's protocol").
+ *
+ * The tracker mirrors every RCU routing evaluation: while a protocol's
+ * route() runs, each candidate virtual channel it observed *busy* is
+ * noted; if the decision is Block, those notes commit as wait edges
+ * (blocked message -> owner of the busy trio). Edges retract when the
+ * probe is granted a channel, retreats, or its circuit is torn down,
+ * and when the waited trio is released.
+ *
+ * Cycle-freeness of the resulting message wait-for graph is maintained
+ * with an incremental topological order (Pearce–Kelly): inserting an
+ * edge u->v only does work when ord[v] <= ord[u], and then only over
+ * the affected region between them. An edge that would close a cycle
+ * is rejected from the order (keeping the DAG invariant) and the cycle
+ * is extracted and classified on the spot. A low-frequency full SCC
+ * sweep over the true wait graph catches persistence: a cycle whose
+ * wait set never changes inserts no new edges, so only the sweep can
+ * observe it lingering.
+ *
+ * Theorem 3 classification of a detected cycle:
+ *  - any member waiting on an escape-class (dateline) trio: the escape
+ *    network's acyclic dependency order is broken — EscapeCycle, a
+ *    protocol violation;
+ *  - all-adaptive cycle where every member still has a fallback (a
+ *    structurally healthy e-cube escape path, or a teardown/abort path
+ *    while in detour): Benign — exactly the transient the theorem
+ *    argues resolves itself;
+ *  - all-adaptive cycle with some member that has no fallback:
+ *    Stranded, a violation;
+ *  - a Benign cycle persisting beyond a bound: Persistent, a violation
+ *    (the "transient" never resolved).
+ */
+
+#ifndef TPNET_VERIFY_CWG_HPP
+#define TPNET_VERIFY_CWG_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Network;
+struct Message;
+
+namespace verify {
+
+/** Identifies one VC trio network-wide: link * vcsPerLink + vc. */
+using VcKey = std::uint64_t;
+
+/** Theorem 3 classification of a wait cycle. */
+enum class CycleClass : std::uint8_t {
+    Benign,      ///< adaptive-only, every member has an escape/fallback
+    EscapeCycle, ///< crosses an escape (dateline) class: violation
+    Stranded,    ///< adaptive-only but some member has no way out
+    Persistent,  ///< a Benign cycle that outlived the persistence bound
+};
+
+const char *cycleClassName(CycleClass c);
+
+/** True for the classes that indicate a protocol violation. */
+inline bool
+isViolation(CycleClass c)
+{
+    return c != CycleClass::Benign;
+}
+
+/** One detected wait cycle, classified and diagnosed. */
+struct CwgCycle
+{
+    CycleClass cls = CycleClass::Benign;
+    Cycle at = 0;                 ///< simulation cycle of detection
+    std::uint64_t hash = 0;       ///< order-independent member hash
+    std::vector<MsgId> members;   ///< in cycle order
+    /** Full human diagnosis: VCs, owners, K values, phases, trace offset. */
+    std::string diagnosis;
+};
+
+/** Tunables of the analyzer. */
+struct CwgConfig
+{
+    /// Cadence of the full SCC persistence sweep (cycles; 0 disables).
+    Cycle sweepEvery = 64;
+    /// A Benign cycle still present after this many cycles escalates
+    /// to Persistent (a violation).
+    Cycle persistBound = 4000;
+    /// Stop recording after this many violations (the run is doomed).
+    std::size_t maxViolations = 64;
+};
+
+/**
+ * Live channel-wait-for-graph tracker for one Network.
+ *
+ * Strictly read-only with respect to the simulation: it never touches
+ * network state or the RNG, so enabling it cannot perturb results
+ * (golden-trace digests are identical with the tracker on or off).
+ */
+class CwgTracker
+{
+  public:
+    explicit CwgTracker(Network &net, CwgConfig cfg = {});
+
+    // --- Hook protocol (all called via null-gated Network hooks) -------
+    /** An RCU evaluation of @p msg starts; reset the scratch notes. */
+    void beginEvaluation(const Message &msg);
+
+    /** route() observed a busy candidate trio on (node, port, vc). */
+    void noteBusyVc(NodeId node, int port, int vc);
+
+    /** The evaluation ended in Block: commit the notes as wait edges. */
+    void onBlocked(const Message &msg);
+
+    /** The probe advanced (Forward/Eject): its wait edges retract. */
+    void onGranted(const Message &msg);
+
+    /** The probe retreats (Backtrack): its wait edges retract. */
+    void onRetreat(const Message &msg);
+
+    /** A trio was released: edges waiting on it retract. */
+    void onVcReleased(LinkId link, int vc);
+
+    /** A message was killed/reset/dropped/retired: forget its edges. */
+    void onMessageGone(MsgId id);
+
+    /** End-of-cycle housekeeping: periodic SCC/persistence sweep. */
+    void onCycleEnd(Cycle now);
+
+    // --- Results -------------------------------------------------------
+    /** Cycles classified as protocol violations, in detection order. */
+    const std::vector<CwgCycle> &violations() const { return violations_; }
+
+    /** Every cycle ever detected (violations and benign alike). */
+    std::uint64_t cyclesDetected() const { return cyclesDetected_; }
+    std::uint64_t benignCycles() const { return benignDetected_; }
+
+    /**
+     * Diagnosis of the most recently observed cycle (violating or
+     * benign), or "" — the chaos watchdog attaches this to its stall
+     * reports.
+     */
+    const std::string &lastCycleDiagnosis() const { return lastDiagnosis_; }
+
+    /**
+     * One-line description of what @p id is currently waiting on
+     * ("link 12 vc 3 (adaptive) owned by msg 7, ..."), or "" when it
+     * holds no wait edges.
+     */
+    std::string describeWaits(MsgId id) const;
+
+    /** Number of live wait records for @p id (tests). */
+    std::size_t waitCount(MsgId id) const;
+
+    /** Total wait edges in the graph (tests). */
+    std::size_t edgeCount() const;
+
+    /**
+     * Cross-reference diagnoses to a trace stream: @p fn returns the
+     * current event offset (e.g. TraceRecorder::size). Optional.
+     */
+    void
+    setTraceOffsetProvider(std::function<std::size_t()> fn)
+    {
+        traceOffset_ = std::move(fn);
+    }
+
+  private:
+    struct WaitRec
+    {
+        VcKey key;
+        MsgId owner;
+    };
+
+    /** Directed edge u->v: u waits on a trio owned by v. */
+    struct EdgeKey
+    {
+        MsgId u;
+        MsgId v;
+        bool operator==(const EdgeKey &o) const
+        {
+            return u == o.u && v == o.v;
+        }
+    };
+    struct EdgeKeyHash
+    {
+        std::size_t
+        operator()(const EdgeKey &e) const
+        {
+            return std::hash<std::uint64_t>()(
+                (static_cast<std::uint64_t>(e.u) << 32) ^
+                static_cast<std::uint64_t>(e.v));
+        }
+    };
+
+    VcKey keyOf(LinkId link, int vc) const;
+
+    /** Replace @p id's wait set with @p next (diff-based edge update). */
+    void commitWaits(MsgId id, std::vector<WaitRec> next);
+
+    /** Remove every wait record (and edge) of @p id. */
+    void clearWaits(MsgId id);
+
+    void addEdge(MsgId u, MsgId v);
+    void removeEdge(MsgId u, MsgId v);
+
+    /**
+     * Pearce–Kelly insertion of u->v into the maintained topological
+     * order. @return false when the edge closes a cycle — the cycle
+     * (in wait order, starting at u) is written to @p cycle_out and
+     * the edge is left out of the DAG.
+     */
+    bool insertOrdered(MsgId u, MsgId v, std::vector<MsgId> *cycle_out);
+
+    int ordOf(MsgId id);
+
+    /** Classify, diagnose, and record one detected cycle. */
+    void reportCycle(const std::vector<MsgId> &members, bool from_sweep);
+
+    CycleClass classify(const std::vector<MsgId> &members) const;
+
+    /** True when @p msg can still make progress outside the cycle. */
+    bool hasFallback(const Message &msg) const;
+
+    std::string diagnose(const std::vector<MsgId> &members,
+                         CycleClass cls) const;
+
+    /** Full-graph SCC sweep: persistence tracking + escalation. */
+    void sweep(Cycle now);
+
+    static std::uint64_t memberHash(const std::vector<MsgId> &members);
+
+    Network &net_;
+    CwgConfig cfg_;
+
+    // Scratch of the evaluation currently in flight.
+    MsgId evalMsg_ = invalidMsg;
+    std::vector<VcKey> scratch_;
+
+    // Wait records per blocked message.
+    std::unordered_map<MsgId, std::vector<WaitRec>> waits_;
+    // Reverse index: trio -> messages with a wait record on it.
+    std::unordered_map<VcKey, std::vector<MsgId>> waiters_;
+
+    // True wait-for graph: edge multiplicity per (u, v).
+    std::unordered_map<EdgeKey, int, EdgeKeyHash> edgeCount_;
+    // DAG adjacency of the maintained order (rejected edges excluded).
+    std::unordered_map<MsgId, std::vector<MsgId>> dagOut_;
+    std::unordered_map<MsgId, std::vector<MsgId>> dagIn_;
+    std::unordered_map<EdgeKey, bool, EdgeKeyHash> inDag_;
+
+    // Pearce–Kelly topological order.
+    std::unordered_map<MsgId, int> ord_;
+    int nextOrd_ = 0;
+
+    // Persistence tracking of benign cycles (hash -> first seen).
+    std::unordered_map<std::uint64_t, Cycle> benignSeen_;
+    std::unordered_map<std::uint64_t, bool> reported_;
+
+    std::vector<CwgCycle> violations_;
+    std::string lastDiagnosis_;
+    std::uint64_t cyclesDetected_ = 0;
+    std::uint64_t benignDetected_ = 0;
+    Cycle lastSweep_ = 0;
+
+    std::function<std::size_t()> traceOffset_;
+};
+
+} // namespace verify
+} // namespace tpnet
+
+#endif // TPNET_VERIFY_CWG_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Regressions pinned from the tpnet_verify fuzz campaign (ISSUE 4).
+ *
+ * Each campaign test replays a shrunken failing seed exactly as the
+ * fuzzer's --replay-seed path would build it. Both seeds wedged the
+ * drain before their fixes landed; both must now run to quiescence
+ * with a clean wait graph.
+ *
+ *  - seed 36 (DP): duatoSelect blocked forever on a *faulty* escape
+ *    channel. DP headers legitimately wait unboundedly on busy
+ *    escapes, so the stall limit never fired and the circuit (plus
+ *    everything queued behind it) wedged. Fixed by aborting setup
+ *    when the escape is faulty and no adaptive candidate exists.
+ *
+ *  - seed 49 (SR K=2): an upstream Ack walker and the lead data flit
+ *    crossed on a wire, so the "stop at the first data flit" test
+ *    (Section 5.0) never fired; an AckNeg applied behind the front
+ *    decremented counters no later walker could ever reach again,
+ *    gating the follower flits below K forever. Fixed by dropping
+ *    walkers that fall behind the data front.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.hpp"
+#include "helpers.hpp"
+#include "verify/cwg.hpp"
+
+namespace tpnet {
+namespace {
+
+using test::runToQuiescent;
+using test::smallConfig;
+
+chaos::CampaignSpec
+replaySpec(Protocol proto, int k, int scoutK, double load,
+           Cycle inject, std::uint64_t seed, int nodeKills,
+           int linkKills, int intermittents)
+{
+    chaos::CampaignSpec spec;
+    spec.cfg.protocol = proto;
+    spec.cfg.k = k;
+    spec.cfg.n = 2;
+    spec.cfg.scoutK = scoutK;
+    spec.cfg.load = load;
+    spec.cfg.maxRetries = 6;
+    spec.seed = seed;
+    spec.injectCycles = inject;
+    spec.drainCycles = 200000;
+    spec.verifyCwg = true;
+    spec.faults.horizon = inject;
+    spec.faults.earliest = inject / 100;
+    spec.faults.nodeKills = nodeKills;
+    spec.faults.linkKills = linkKills;
+    spec.faults.intermittents = intermittents;
+    spec.faults.downMin = 100;
+    spec.faults.downMax = 2000;
+    return spec;
+}
+
+// tpnet_verify --replay-seed 36 --protocol DP --scout-k 0 --k 4
+//   --load 0.0500 --inject 2000 --node-kills 2 --link-kills 0
+//   --intermittents 3
+TEST(FuzzRegressions, DpFaultyEscapeNoLongerWedges)
+{
+    const chaos::CampaignSpec spec = replaySpec(
+        Protocol::Duato, 4, 0, 0.05, 2000, 36, 2, 0, 3);
+    const chaos::CampaignResult r = chaos::runCampaign(spec);
+    EXPECT_TRUE(r.passed) << r.summary();
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(r.cwgViolations, 0u);
+}
+
+// tpnet_verify --replay-seed 49 --protocol SR --scout-k 2 --k 8
+//   --load 0.0500 --inject 8000 --node-kills 4 --link-kills 4
+//   --intermittents 6
+TEST(FuzzRegressions, SrAckWalkerCrossingRaceNoLongerWedges)
+{
+    const chaos::CampaignSpec spec = replaySpec(
+        Protocol::Scouting, 8, 2, 0.05, 8000, 49, 4, 4, 6);
+    const chaos::CampaignResult r = chaos::runCampaign(spec);
+    EXPECT_TRUE(r.passed) << r.summary();
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(r.cwgViolations, 0u);
+}
+
+/**
+ * Deterministic distillation of the DP wedge: a message whose only
+ * minimal direction is +X hits a faulty escape channel mid-path.
+ * Adaptive candidates (Safety::Healthy) skip the faulty channel, the
+ * escape IS the faulty channel, and DP cannot backtrack or misroute —
+ * before the fix the header blocked forever (Active, no wait edges,
+ * invisible to the stall limit). Now it aborts, retries against the
+ * same fault, and is finally dropped as undeliverable.
+ */
+TEST(FuzzRegressions, DpAbortsSetupOnFaultyEscapeChannel)
+{
+    SimConfig cfg = smallConfig(Protocol::Duato);
+    cfg.watchdog = 0;
+    cfg.verifyCwg = true;
+    Network net(cfg);
+
+    // Cut the 1 -> 2 wire: every minimal route 0 -> 3 crosses it.
+    const int links = net.topo().links();
+    bool cut = false;
+    for (LinkId l = 0; l < links; ++l) {
+        const Link &lk = net.link(l);
+        if (lk.src == 1 && lk.dst == 2) {
+            net.failLink(lk.src, lk.srcPort);
+            cut = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(cut);
+
+    net.offerMessage(0, 3);
+    EXPECT_TRUE(runToQuiescent(net, 50000));
+    const Counters &ctr = net.counters();
+    EXPECT_EQ(ctr.delivered, 0u);
+    EXPECT_EQ(ctr.dropped, 1u);
+    ASSERT_NE(net.cwg(), nullptr);
+    EXPECT_TRUE(net.cwg()->violations().empty());
+    EXPECT_EQ(net.cwg()->edgeCount(), 0u);
+}
+
+} // namespace
+} // namespace tpnet

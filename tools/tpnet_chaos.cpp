@@ -100,6 +100,7 @@ main(int argc, char **argv)
     bool no_vary_size = false;
     bool verbose = false;
     bool hook_skip_kills = false;
+    bool verify_cwg = false;
     std::string protocol = "TP";
 
     OptionParser parser(
@@ -132,6 +133,11 @@ main(int argc, char **argv)
     parser.addFlag("no-vary-size", "keep the topology fixed at --k",
                    &no_vary_size);
     parser.addFlag("verbose", "print every violation in full", &verbose);
+    parser.addFlag("verify-cwg",
+                   "arm the channel-wait-for-graph deadlock analyzer; "
+                   "Theorem 3 violations fail the campaign with a full "
+                   "cycle diagnosis",
+                   &verify_cwg);
     parser.addFlag("hook-skip-kills",
                    "TEST HOOK: break recovery on purpose to prove the "
                    "oracle detects it (campaigns must FAIL)",
@@ -194,6 +200,7 @@ main(int argc, char **argv)
         spec.injectCycles = max_cycles;
         spec.drainCycles = drain_cycles;
         spec.injectSkipKillBug = hook_skip_kills;
+        spec.verifyCwg = verify_cwg;
 
         const double fx = fault_scale * g.faultScale;
         spec.faults.horizon = max_cycles;

@@ -101,6 +101,10 @@ main(int argc, char **argv)
                    &cfg.tailAck);
     parser.addFlag("hw-acks", "dedicated acknowledgment signalling",
                    &cfg.hardwareAcks);
+    parser.addFlag("verify-cwg",
+                   "run the channel-wait-for-graph deadlock analyzer "
+                   "(Theorem 3 checked online; violations panic)",
+                   &cfg.verifyCwg);
     parser.addUint64("seed", "RNG seed", &cfg.seed);
     parser.addUint64("warmup", "warmup cycles", &cfg.warmup);
     parser.addUint64("measure", "measurement window cycles",

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * tpnet_verify — fuzz the CWG deadlock analyzer across protocol grids.
+ *
+ * Runs N seeded chaos campaigns with the channel-wait-for-graph tracker
+ * armed, sweeping {DP, PCS, SR K=1..5, TP K=0, TP K=3} x offered load x
+ * fault intensity. Every campaign audits Theorem 3 online: any wait
+ * cycle through an escape class, any stranded adaptive cycle, and any
+ * "transient" cycle that persists past its bound is a violation. The
+ * watchdog and delivery oracle run too, so ordinary chaos violations
+ * are also caught.
+ *
+ * When a campaign fails (and --no-shrink is not given), the tool
+ * greedily shrinks it to a minimal still-failing case: halving the
+ * injection window, dropping fault classes one at a time, shrinking
+ * the topology, and halving the load — accepting each reduction only
+ * if the failure reproduces. The minimal case is printed as a single
+ * replayable command.
+ *
+ * Examples:
+ *   tpnet_verify --campaigns 200 --jobs 8
+ *   tpnet_verify --campaigns 25 --max-cycles 6000
+ *   tpnet_verify --replay-seed 42 --verbose
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "sim/options.hpp"
+
+namespace {
+
+using namespace tpnet;
+using namespace tpnet::chaos;
+
+/** One cell of the fuzz grid. */
+struct GridPoint
+{
+    Protocol proto;
+    int scoutK;
+    double load;
+    double faultScale;
+};
+
+std::string
+describe(const GridPoint &g)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%-4s K=%d load=%.2f fx%.1f",
+                  protocolName(g.proto), g.scoutK, g.load,
+                  g.faultScale);
+    return buf;
+}
+
+/**
+ * Protocol coverage is the point here: every flow-control mechanism
+ * the paper configures (Duato baseline, circuit setup, scouting at
+ * each K, two-phase with and without scouting) gets fuzzed against
+ * the same fault timelines.
+ */
+std::vector<GridPoint>
+buildGrid()
+{
+    struct ProtoCell
+    {
+        Protocol proto;
+        int scoutK;
+    };
+    const ProtoCell protos[] = {
+        {Protocol::Duato, 0},    {Protocol::Pcs, 0},
+        {Protocol::Scouting, 1}, {Protocol::Scouting, 2},
+        {Protocol::Scouting, 3}, {Protocol::Scouting, 4},
+        {Protocol::Scouting, 5}, {Protocol::TwoPhase, 0},
+        {Protocol::TwoPhase, 3},
+    };
+    const double loads[] = {0.05, 0.15};
+    const double scales[] = {1.0, 2.0};
+
+    std::vector<GridPoint> grid;
+    for (const ProtoCell &p : protos)
+        for (double load : loads)
+            for (double fx : scales)
+                grid.push_back({p.proto, p.scoutK, load, fx});
+    return grid;
+}
+
+CampaignSpec
+buildSpec(const SimConfig &base, const GridPoint &g, std::uint64_t seed,
+          Cycle inject, Cycle drain, double fault_scale)
+{
+    CampaignSpec spec;
+    spec.cfg = base;
+    spec.cfg.protocol = g.proto;
+    spec.cfg.scoutK = g.scoutK;
+    spec.cfg.load = g.load;
+    spec.seed = seed;
+    spec.injectCycles = inject;
+    spec.drainCycles = drain;
+    spec.verifyCwg = true;
+
+    const double fx = fault_scale * g.faultScale;
+    spec.faults.horizon = inject;
+    spec.faults.earliest = inject / 100;
+    spec.faults.nodeKills = static_cast<int>(std::lround(2.0 * fx));
+    spec.faults.linkKills = static_cast<int>(std::lround(2.0 * fx));
+    spec.faults.intermittents = static_cast<int>(std::lround(3.0 * fx));
+    spec.faults.downMin = 100;
+    spec.faults.downMax = 2000;
+    return spec;
+}
+
+std::string
+replayCommand(const CampaignSpec &spec)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "tpnet_verify --replay-seed %llu --protocol %s "
+                  "--scout-k %d --k %d --load %.4f --inject %llu "
+                  "--node-kills %d --link-kills %d --intermittents %d",
+                  static_cast<unsigned long long>(spec.seed),
+                  protocolName(spec.cfg.protocol), spec.cfg.scoutK,
+                  spec.cfg.k, spec.cfg.load,
+                  static_cast<unsigned long long>(spec.injectCycles),
+                  spec.faults.nodeKills, spec.faults.linkKills,
+                  spec.faults.intermittents);
+    return buf;
+}
+
+bool
+stillFails(const CampaignSpec &spec)
+{
+    return !runCampaign(spec).passed;
+}
+
+/**
+ * Greedy 1-ply shrink: propose one reduction at a time and keep it only
+ * if the campaign still fails. Each accepted reduction restarts the
+ * pass, so e.g. the injection window keeps halving until it stops
+ * reproducing. Drain budget is never shrunk — a short drain fabricates
+ * "not quiescent" failures that have nothing to do with the bug.
+ */
+CampaignSpec
+shrink(CampaignSpec spec, int *steps_out)
+{
+    int steps = 0;
+    bool improved = true;
+    while (improved) {
+        improved = false;
+
+        if (spec.injectCycles >= 1000) {
+            CampaignSpec cand = spec;
+            cand.injectCycles /= 2;
+            cand.faults.horizon = cand.injectCycles;
+            cand.faults.earliest = cand.injectCycles / 100;
+            if (stillFails(cand)) {
+                spec = cand;
+                improved = true;
+                ++steps;
+                continue;
+            }
+        }
+        for (int dim = 0; dim < 3; ++dim) {
+            int *field = dim == 0   ? &spec.faults.nodeKills
+                         : dim == 1 ? &spec.faults.linkKills
+                                    : &spec.faults.intermittents;
+            if (*field == 0)
+                continue;
+            CampaignSpec cand = spec;
+            int *cfield = dim == 0   ? &cand.faults.nodeKills
+                          : dim == 1 ? &cand.faults.linkKills
+                                     : &cand.faults.intermittents;
+            *cfield = 0;
+            if (stillFails(cand)) {
+                spec = cand;
+                improved = true;
+                ++steps;
+                break;
+            }
+        }
+        if (improved)
+            continue;
+
+        if (spec.cfg.k > 4) {
+            CampaignSpec cand = spec;
+            cand.cfg.k = 4;
+            if (stillFails(cand)) {
+                spec = cand;
+                improved = true;
+                ++steps;
+                continue;
+            }
+        }
+        if (spec.cfg.load > 0.02) {
+            CampaignSpec cand = spec;
+            cand.cfg.load /= 2.0;
+            if (stillFails(cand)) {
+                spec = cand;
+                improved = true;
+                ++steps;
+            }
+        }
+    }
+    if (steps_out != nullptr)
+        *steps_out = steps;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig base;
+    base.k = 8;
+    base.n = 2;
+    base.maxRetries = 6;
+
+    int campaigns = 50;
+    int jobs = 0;
+    std::uint64_t max_cycles = 8000;
+    std::uint64_t drain_cycles = 200000;
+    std::uint64_t seed = 1;
+    std::uint64_t replay_seed = 0;
+    double fault_scale = 1.0;
+    double load_override = -1.0;
+    std::uint64_t inject_override = 0;
+    int node_kills = -1;
+    int link_kills = -1;
+    int intermittents = -1;
+    int scout_k = -1;
+    bool no_shrink = false;
+    bool verbose = false;
+    std::string protocol;
+
+    OptionParser parser(
+        "tpnet_verify",
+        "fuzz the online channel-wait-for-graph deadlock analyzer "
+        "(Theorem 3) across protocol / K / load / fault grids; failing "
+        "seeds are shrunk to a minimal replayable case");
+    parser.addInt("campaigns", "number of seeded campaigns", &campaigns);
+    parser.addJobs(&jobs);
+    parser.addUint64("max-cycles", "traffic injection window per campaign",
+                     &max_cycles);
+    parser.addUint64("drain", "extra cycles allowed to reach quiescence",
+                     &drain_cycles);
+    parser.addUint64("seed", "base seed (campaign i uses seed + i)",
+                     &seed);
+    parser.addUint64("replay-seed",
+                     "replay exactly one campaign by its seed",
+                     &replay_seed);
+    parser.addString("protocol",
+                     "replay override: DOR | DP | SR | PCS | MB-m | TP",
+                     &protocol);
+    parser.addInt("scout-k", "replay override: scouting distance K",
+                  &scout_k);
+    parser.addInt("k", "radix", &base.k);
+    parser.addInt("n", "dimensions", &base.n);
+    parser.addDouble("load", "replay override: offered load",
+                     &load_override);
+    parser.addUint64("inject", "replay override: injection window",
+                     &inject_override);
+    parser.addInt("node-kills", "replay override: node kill count",
+                  &node_kills);
+    parser.addInt("link-kills", "replay override: link kill count",
+                  &link_kills);
+    parser.addInt("intermittents",
+                  "replay override: intermittent fault count",
+                  &intermittents);
+    parser.addDouble("fault-scale",
+                     "global multiplier on the per-campaign fault mix",
+                     &fault_scale);
+    parser.addFlag("no-shrink", "report failures without minimizing",
+                   &no_shrink);
+    parser.addFlag("verbose", "print every violation in full", &verbose);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 2;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    const std::vector<GridPoint> grid = buildGrid();
+
+    std::vector<std::uint64_t> seeds;
+    const bool replay = replay_seed != 0;
+    if (replay) {
+        seeds.push_back(replay_seed);
+    } else {
+        if (campaigns < 1) {
+            std::fprintf(stderr, "error: --campaigns must be >= 1\n");
+            return 2;
+        }
+        for (int i = 0; i < campaigns; ++i)
+            seeds.push_back(seed + static_cast<std::uint64_t>(i));
+    }
+
+    std::vector<CampaignSpec> specs;
+    specs.reserve(seeds.size());
+    for (std::uint64_t s : seeds) {
+        GridPoint g = grid[s % grid.size()];
+        CampaignSpec spec = buildSpec(base, g, s, max_cycles,
+                                      drain_cycles, fault_scale);
+        // Replay overrides reproduce a shrunk case exactly.
+        if (!protocol.empty() &&
+            !parseProtocolName(protocol, &spec.cfg.protocol)) {
+            std::fprintf(stderr, "error: unknown protocol '%s'\n",
+                         protocol.c_str());
+            return 2;
+        }
+        if (scout_k >= 0)
+            spec.cfg.scoutK = scout_k;
+        if (load_override >= 0.0)
+            spec.cfg.load = load_override;
+        if (inject_override > 0) {
+            spec.injectCycles = inject_override;
+            spec.faults.horizon = inject_override;
+            spec.faults.earliest = inject_override / 100;
+        }
+        if (node_kills >= 0)
+            spec.faults.nodeKills = node_kills;
+        if (link_kills >= 0)
+            spec.faults.linkKills = link_kills;
+        if (intermittents >= 0)
+            spec.faults.intermittents = intermittents;
+        specs.push_back(spec);
+    }
+
+    std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells, "
+                "inject %llu + drain %llu cycles, CWG armed\n",
+                seeds.size(), grid.size(),
+                static_cast<unsigned long long>(max_cycles),
+                static_cast<unsigned long long>(drain_cycles));
+
+    const std::vector<CampaignResult> results =
+        runCampaigns(specs, jobs);
+
+    int failures = 0;
+    std::uint64_t cycles_seen = 0;
+    std::uint64_t benign_seen = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CampaignResult &r = results[i];
+        cycles_seen += r.cwgCycles;
+        benign_seen += r.cwgBenign;
+        std::printf("%-26s %s\n",
+                    describe(grid[seeds[i] % grid.size()]).c_str(),
+                    r.summary().c_str());
+        if (r.passed) {
+            std::fflush(stdout);
+            continue;
+        }
+        ++failures;
+        const std::size_t show =
+            verbose ? r.violations.size()
+                    : std::min<std::size_t>(r.violations.size(), 5);
+        for (std::size_t j = 0; j < show; ++j)
+            std::printf("    ! %s\n", r.violations[j].c_str());
+        if (show < r.violations.size()) {
+            std::printf("    ! ... %zu more (--verbose for all)\n",
+                        r.violations.size() - show);
+        }
+        const std::size_t dump =
+            verbose ? r.liveDump.size()
+                    : std::min<std::size_t>(r.liveDump.size(), 10);
+        for (std::size_t j = 0; j < dump; ++j)
+            std::printf("    live %s\n", r.liveDump[j].c_str());
+        if (dump < r.liveDump.size()) {
+            std::printf("    live ... %zu more (--verbose for all)\n",
+                        r.liveDump.size() - dump);
+        }
+        if (!no_shrink) {
+            int steps = 0;
+            const CampaignSpec minimal = shrink(specs[i], &steps);
+            std::printf("    shrunk %d step(s) -> minimal replay:\n"
+                        "      %s\n",
+                        steps, replayCommand(minimal).c_str());
+        } else if (!replay) {
+            std::printf("    replay: tpnet_verify --replay-seed %llu\n",
+                        static_cast<unsigned long long>(seeds[i]));
+        }
+        std::fflush(stdout);
+    }
+
+    std::printf("# cwg: %llu wait cycle(s) observed across all "
+                "campaigns, %llu benign\n",
+                static_cast<unsigned long long>(cycles_seen),
+                static_cast<unsigned long long>(benign_seen));
+    if (failures == 0) {
+        std::printf("# all %zu campaign(s) clean\n", seeds.size());
+        return 0;
+    }
+    std::printf("# %d of %zu campaign(s) FAILED\n", failures,
+                seeds.size());
+    return 1;
+}
