@@ -23,7 +23,10 @@ CampaignResult::summary() const
        << " intermittent, " << counters.linksRestored << " restored)";
     if (cwgCycles > 0 || cwgViolations > 0) {
         os << ", cwg " << cwgCycles << " cycles (" << cwgBenign
-           << " benign, " << cwgViolations << " violations)";
+           << " benign, " << cwgViolations << " violations";
+        if (cwgWarnings > 0)
+            os << ", " << cwgWarnings << " warnings";
+        os << ")";
     }
     if (!quiescent)
         os << ", NOT QUIESCENT";
@@ -50,12 +53,20 @@ runCampaign(const CampaignSpec &spec)
         net.testHookSkipKillSweep(true);
 
     // The fault timeline gets its own stream, decorrelated from the
-    // traffic RNG but fully determined by the campaign seed.
+    // traffic RNG but fully determined by the campaign seed. A
+    // scripted (pinned-victim) timeline consumes no fault RNG at all,
+    // so replaying a subset of fired events perturbs nothing else.
     Rng faultRng = Rng(spec.seed ^ 0xC4A0C4A0C4A0C4A0ull).split();
-    ScheduleSpec faults = spec.faults;
-    if (faults.horizon > spec.injectCycles)
-        faults.horizon = spec.injectCycles;
-    FaultSchedule schedule = FaultSchedule::randomized(faults, faultRng);
+    FaultSchedule schedule;
+    if (!spec.scriptedFaults.empty()) {
+        for (const FaultEvent &ev : spec.scriptedFaults)
+            schedule.add(ev);
+    } else {
+        ScheduleSpec faults = spec.faults;
+        if (faults.horizon > spec.injectCycles)
+            faults.horizon = spec.injectCycles;
+        schedule = FaultSchedule::randomized(faults, faultRng);
+    }
 
     DeliveryOracle oracle(net);
     net.attachTrace(&oracle);
@@ -84,6 +95,7 @@ runCampaign(const CampaignSpec &spec)
     result.cycles = net.now();
     result.faultsFired = schedule.fired();
     result.faultsSkipped = schedule.skipped();
+    result.firedEvents = schedule.firedEvents();
 
     watchdog.finalCheck();
     oracle.finalCheck();
@@ -95,10 +107,16 @@ runCampaign(const CampaignSpec &spec)
         result.cwgCycles = cwg->cyclesDetected();
         result.cwgBenign = cwg->benignCycles();
         result.cwgViolations = cwg->violations().size();
+        result.cwgWarnings = cwg->warnings().size();
         for (const verify::CwgCycle &c : cwg->violations()) {
             std::ostringstream os;
             os << "cwg: cycle " << c.at << ": " << c.diagnosis;
             result.violations.push_back(os.str());
+        }
+        for (const verify::CwgCycle &c : cwg->warnings()) {
+            std::ostringstream os;
+            os << "cwg: cycle " << c.at << ": " << c.diagnosis;
+            result.warnings.push_back(os.str());
         }
     }
     if (!result.quiescent && !watchdog.deadlocked()) {

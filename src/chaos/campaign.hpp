@@ -40,6 +40,14 @@ struct CampaignSpec
     Cycle drainCycles = 100000;  ///< extra budget to reach quiescence
 
     ScheduleSpec faults;         ///< randomized fault timeline shape
+
+    /// When non-empty, this exact pinned event list replaces the
+    /// randomized timeline (victims must be resolved; no fault RNG is
+    /// consumed). This is how shrunken fault schedules replay: the
+    /// traffic stream is untouched, so the run is bit-identical to the
+    /// original up to the removed events.
+    std::vector<FaultEvent> scriptedFaults;
+
     WatchdogConfig watchdog;
 
     /// TEST ONLY: arm Network::testHookSkipKillSweep, deliberately
@@ -48,9 +56,9 @@ struct CampaignSpec
     bool injectSkipKillBug = false;
 
     /// Run the CWG deadlock analyzer alongside the campaign: every
-    /// Theorem 3 violation it detects (escape-class cycle, stranded
-    /// adaptive cycle, persistent "transient") joins the campaign's
-    /// violation list with its full diagnosis.
+    /// violation it detects (escape-class cycle, knot) joins the
+    /// campaign's violation list with its full diagnosis; persistent
+    /// benign cycles are collected as warnings (advisory, non-fatal).
     bool verifyCwg = false;
 };
 
@@ -60,6 +68,9 @@ struct CampaignResult
     std::uint64_t seed = 0;
     bool passed = false;
     std::vector<std::string> violations;
+    /// Advisory diagnoses (CWG persistent-cycle warnings): never fail
+    /// a campaign, but worth a look when a run is slow or saturated.
+    std::vector<std::string> warnings;
 
     Cycle cycles = 0;            ///< total cycles simulated
     bool quiescent = false;      ///< network drained completely
@@ -71,7 +82,14 @@ struct CampaignResult
     /// CWG statistics (all zero unless spec.verifyCwg).
     std::uint64_t cwgCycles = 0;        ///< wait cycles detected
     std::uint64_t cwgBenign = 0;        ///< classified benign-transient
-    std::size_t cwgViolations = 0;      ///< Theorem 3 violations
+    std::size_t cwgViolations = 0;      ///< escape cycles + knots
+    std::size_t cwgWarnings = 0;        ///< persistent-cycle warnings
+
+    /// The fault timeline as it actually played out: every event that
+    /// fired, victims resolved. Feed back into
+    /// CampaignSpec::scriptedFaults to replay (or shrink) the exact
+    /// fault history of this run.
+    std::vector<FaultEvent> firedEvents;
 
     /// When the drain failed, one line of state per live message (what
     /// it is, where it is, and what the CWG says it waits on) — the

@@ -74,6 +74,7 @@ FaultSchedule::fire(const FaultEvent &ev, Network &net, Rng &rng)
             return false;
         net.counters().dynamicFaults++;
         net.failNode(victim);
+        firedEvents_.push_back({ev.at, FaultKind::NodeKill, victim, -1, 0});
         return true;
     }
 
@@ -108,10 +109,89 @@ FaultSchedule::fire(const FaultEvent &ev, Network &net, Rng &rng)
     net.counters().dynamicFaults++;
     if (ev.kind == FaultKind::LinkKill) {
         net.failLink(node, port);
+        firedEvents_.push_back({ev.at, FaultKind::LinkKill, node, port, 0});
     } else {
         net.counters().intermittentFaults++;
-        net.failLinkIntermittent(node, port,
-                                 ev.downFor > 0 ? ev.downFor : 1);
+        const Cycle down = ev.downFor > 0 ? ev.downFor : 1;
+        net.failLinkIntermittent(node, port, down);
+        firedEvents_.push_back(
+            {ev.at, FaultKind::LinkIntermittent, node, port, down});
+    }
+    return true;
+}
+
+std::string
+formatFaultEvents(const std::vector<FaultEvent> &events)
+{
+    std::string out;
+    for (const FaultEvent &ev : events) {
+        if (!out.empty())
+            out += ',';
+        const char kind = ev.kind == FaultKind::NodeKill       ? 'n'
+                          : ev.kind == FaultKind::LinkKill     ? 'l'
+                                                               : 'i';
+        out += std::to_string(ev.at);
+        out += ':';
+        out += kind;
+        out += ':';
+        out += std::to_string(ev.node == invalidNode
+                                  ? -1
+                                  : static_cast<long long>(ev.node));
+        out += ':';
+        out += std::to_string(ev.port);
+        out += ':';
+        out += std::to_string(ev.downFor);
+    }
+    return out;
+}
+
+bool
+parseFaultEvents(const std::string &spec, std::vector<FaultEvent> *out)
+{
+    out->clear();
+    if (spec.empty())
+        return true;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string tok = spec.substr(pos, end - pos);
+        // Five colon-separated fields: at:kind:node:port:down.
+        std::vector<std::string> fields;
+        std::size_t f = 0;
+        while (f <= tok.size()) {
+            std::size_t fe = tok.find(':', f);
+            if (fe == std::string::npos)
+                fe = tok.size();
+            fields.push_back(tok.substr(f, fe - f));
+            f = fe + 1;
+            if (fe == tok.size())
+                break;
+        }
+        if (fields.size() != 5 || fields[1].size() != 1)
+            return false;
+        FaultEvent ev;
+        try {
+            ev.at = static_cast<Cycle>(std::stoull(fields[0]));
+            switch (fields[1][0]) {
+              case 'n': ev.kind = FaultKind::NodeKill; break;
+              case 'l': ev.kind = FaultKind::LinkKill; break;
+              case 'i': ev.kind = FaultKind::LinkIntermittent; break;
+              default: return false;
+            }
+            const long long node = std::stoll(fields[2]);
+            ev.node = node < 0 ? invalidNode
+                               : static_cast<NodeId>(node);
+            ev.port = std::stoi(fields[3]);
+            ev.downFor = static_cast<Cycle>(std::stoull(fields[4]));
+        } catch (...) {
+            return false;
+        }
+        out->push_back(ev);
+        if (end == spec.size())
+            break;
+        pos = end + 1;
     }
     return true;
 }

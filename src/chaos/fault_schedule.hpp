@@ -19,6 +19,7 @@
 #define TPNET_CHAOS_FAULT_SCHEDULE_HPP
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -93,15 +94,39 @@ class FaultSchedule
     std::size_t size() const { return events_.size(); }
     const std::vector<FaultEvent> &events() const { return events_; }
 
+    /**
+     * Every event that actually fired, with its victim *resolved*
+     * (open victims pinned to the node/port that was drawn). Replaying
+     * these as scripted events reproduces the exact fault timeline
+     * without consuming any fault RNG — the basis of event-level
+     * shrinking.
+     */
+    const std::vector<FaultEvent> &firedEvents() const
+    {
+        return firedEvents_;
+    }
+
   private:
     bool fire(const FaultEvent &ev, Network &net, Rng &rng);
 
     std::vector<FaultEvent> events_;
+    std::vector<FaultEvent> firedEvents_;
     std::size_t next_ = 0;
     std::size_t fired_ = 0;
     std::size_t skipped_ = 0;
     bool sorted_ = false;
 };
+
+/**
+ * Compact one-line spec of a pinned event list, for replay command
+ * lines: `at:kind:node:port:down` per event, comma-separated, kind in
+ * {n, l, i} (e.g. "120:n:5:-1:0,450:i:7:3:900").
+ */
+std::string formatFaultEvents(const std::vector<FaultEvent> &events);
+
+/** Inverse of formatFaultEvents. @return false on malformed input. */
+bool parseFaultEvents(const std::string &spec,
+                      std::vector<FaultEvent> *out);
 
 } // namespace chaos
 } // namespace tpnet

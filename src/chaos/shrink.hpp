@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Campaign shrinking: reduce a failing CampaignSpec to a minimal
+ * still-failing case.
+ *
+ * Two phases. The *class-level* phase is the classic greedy 1-ply
+ * reducer: halve the injection window, drop whole fault classes, shrink
+ * the topology, halve the load — keeping each reduction only if the
+ * failure reproduces. The *event-level* phase then pins the fault
+ * timeline to the events that actually fired (victims resolved, no
+ * fault RNG) and delta-debugs it event by event: each individual
+ * kill/restore event is removed in turn and the removal kept when the
+ * failure survives. The result is a spec whose scripted fault list is
+ * at most as large as any class-level reduction could reach — and
+ * usually far smaller — while still replaying from one command line.
+ *
+ * The runner is injected so unit tests can shrink against a synthetic
+ * failure predicate without simulating anything.
+ */
+
+#ifndef TPNET_CHAOS_SHRINK_HPP
+#define TPNET_CHAOS_SHRINK_HPP
+
+#include <functional>
+
+#include "chaos/campaign.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+/** How a candidate spec is evaluated (normally runCampaign). */
+using CampaignRunner =
+    std::function<CampaignResult(const CampaignSpec &)>;
+
+/** Outcome of a shrink. */
+struct ShrinkOutcome
+{
+    CampaignSpec spec;   ///< minimal still-failing spec
+    int classSteps = 0;  ///< accepted class-level reductions
+    int eventSteps = 0;  ///< fault events removed event-by-event
+    /// True when the fault timeline was pinned (spec.scriptedFaults is
+    /// the minimized event list); false when pinning failed to
+    /// reproduce, leaving a class-level-only result.
+    bool eventsPinned = false;
+};
+
+/**
+ * Shrink @p spec to a minimal spec for which @p run still fails.
+ * @p spec itself must fail under @p run; the drain budget is never
+ * shrunk (a short drain fabricates "not quiescent" failures that have
+ * nothing to do with the bug).
+ */
+ShrinkOutcome shrinkCampaign(CampaignSpec spec,
+                             const CampaignRunner &run);
+
+} // namespace chaos
+} // namespace tpnet
+
+#endif // TPNET_CHAOS_SHRINK_HPP

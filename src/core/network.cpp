@@ -136,11 +136,12 @@ Network::step()
     retireMessages();
     if (cwg_) {
         cwg_->onCycleEnd(now_);
-        // In strict/CLI mode a Theorem 3 violation is fatal, like the
-        // plain watchdog. Campaigns run with watchdog == 0 and collect
-        // the diagnoses instead.
+        // In strict/CLI mode a violation (escape cycle or knot) is
+        // fatal, like the plain watchdog. Campaigns run with
+        // watchdog == 0 and collect the diagnoses instead. Persistent
+        // warnings are never fatal.
         if (cfg_.watchdog != 0 && !cwg_->violations().empty()) {
-            tpnet_panic("CWG Theorem 3 violation at cycle ", now_, ": ",
+            tpnet_panic("CWG deadlock violation at cycle ", now_, ": ",
                         cwg_->violations().front().diagnosis);
         }
     }

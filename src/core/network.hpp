@@ -139,14 +139,18 @@ class Network
     verify::CwgTracker *cwg() { return cwg_.get(); }
 
     /**
-     * CWG hook for routing protocols: route() observed a busy candidate
-     * trio on (node, port, vc). No-op when the analyzer is off.
+     * CWG hook for routing protocols: route() observed a
+     * legal-but-busy candidate trio on (node, port, vc). Protocols
+     * must report *every* trio the message could legally acquire
+     * before returning Block — the committed set is the message's
+     * full candidate set, which the knot-based deadlock verdict
+     * reasons over. No-op when the analyzer is off.
      */
     void
-    cwgNoteBusy(NodeId node, int port, int vc)
+    cwgNoteCandidate(NodeId node, int port, int vc)
     {
         if (cwg_)
-            cwg_->noteBusyVc(node, port, vc);
+            cwg_->noteCandidate(node, port, vc);
     }
 
     /** Link out of @p node through @p port. */

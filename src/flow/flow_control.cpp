@@ -54,8 +54,16 @@ Network::phaseControl()
                 trace_->flitCrossed(now_, wire, -1, flit, true);
             processCtrlArrival(wire, flit);
         }
-        // Dedicated acknowledgment signals (hardware-ack design).
-        if (!wire.ackQ.empty() && wire.ackQ.front().readyAt <= now_) {
+        // Dedicated acknowledgment signals (hardware-ack design). Each
+        // trio has its own ack wires, so acks of different circuits do
+        // not contend: every ready flit crosses this cycle. Draining
+        // only one per cycle would let a walker queue behind unrelated
+        // acks and fall behind the retreating header on the control
+        // lane — the header could then re-advance and re-acquire a trio
+        // at a hop index the stale walker still addresses, corrupting
+        // the fresh CMU counter. Flits pushed during the drain carry
+        // readyAt = now + 1 and stop the loop at the front.
+        while (!wire.ackQ.empty() && wire.ackQ.front().readyAt <= now_) {
             const Flit flit = wire.ackQ.front();
             wire.ackQ.pop_front();
             ++wire.ctrlCrossings;

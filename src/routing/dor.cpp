@@ -26,7 +26,7 @@ DimOrderRouting::route(Network &net, Message &msg)
     if (net.channelFaulty(msg.hdr.cur, port))
         return Decision::block();
     if (!net.escapeVcFree(msg, port)) {
-        net.cwgNoteBusy(msg.hdr.cur, port, net.escapeClass(msg, port));
+        net.cwgNoteCandidate(msg.hdr.cur, port, net.escapeClass(msg, port));
         return Decision::block();
     }
     return Decision::forward(port, net.escapeClass(msg, port));

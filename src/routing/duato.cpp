@@ -49,7 +49,7 @@ duatoSelect(Network &net, Message &msg)
         // Busy escape: the RCU re-polls it (and the adaptive set) every
         // cycle, so the decision can never go stale — but the wait on
         // the escape class is a CWG edge that must stay cycle-free.
-        net.cwgNoteBusy(msg.hdr.cur, ep, net.escapeClass(msg, ep));
+        net.cwgNoteCandidate(msg.hdr.cur, ep, net.escapeClass(msg, ep));
         return Decision::block();
     }
     return Decision::forward(ep, net.escapeClass(msg, ep));
@@ -81,7 +81,7 @@ ScoutingRouting::route(Network &net, Message &msg)
         !(tried & (1u << ep))) {
         if (net.escapeVcFree(msg, ep))
             return Decision::forward(ep, net.escapeClass(msg, ep));
-        net.cwgNoteBusy(msg.hdr.cur, ep, net.escapeClass(msg, ep));
+        net.cwgNoteCandidate(msg.hdr.cur, ep, net.escapeClass(msg, ep));
         return Decision::block();  // healthy but busy: wait
     }
 

@@ -24,12 +24,15 @@ profitableByOffset(const Network &net, const Message &msg)
 
 namespace {
 
-/** CWG hook: an eligible port had no free VC in [lo, hi). */
+/**
+ * CWG hook: an eligible port had no free VC in [lo, hi) — report each
+ * as a legal candidate so a Block commits the full candidate set.
+ */
 void
-noteBusyRange(Network &net, NodeId cur, int port, int lo, int hi)
+noteCandidateRange(Network &net, NodeId cur, int port, int lo, int hi)
 {
     for (int vc = lo; vc < hi; ++vc)
-        net.cwgNoteBusy(cur, port, vc);
+        net.cwgNoteCandidate(cur, port, vc);
 }
 
 } // namespace
@@ -46,7 +49,7 @@ adaptiveProfitable(Network &net, const Message &msg, Safety safety)
         const int vc = net.freeAdaptiveVc(cur, port);
         if (vc >= 0)
             return Candidate{port, vc};
-        noteBusyRange(net, cur, port, net.escapeVcCount(),
+        noteCandidateRange(net, cur, port, net.escapeVcCount(),
                       net.vcCount());
     }
     return std::nullopt;
@@ -66,7 +69,7 @@ anyVcProfitableUntried(Network &net, Message &msg)
             net.linkAt(cur, port).firstFreeVc(0, net.vcCount());
         if (vc >= 0)
             return Candidate{port, vc};
-        noteBusyRange(net, cur, port, 0, net.vcCount());
+        noteCandidateRange(net, cur, port, 0, net.vcCount());
     }
     return std::nullopt;
 }
@@ -84,7 +87,7 @@ anyAdaptiveProfitableUntried(Network &net, Message &msg)
         const int vc = net.freeAdaptiveVc(cur, port);
         if (vc >= 0)
             return Candidate{port, vc};
-        noteBusyRange(net, cur, port, net.escapeVcCount(),
+        noteCandidateRange(net, cur, port, net.escapeVcCount(),
                       net.vcCount());
     }
     return std::nullopt;
@@ -130,7 +133,7 @@ misrouteUntried(Network &net, Message &msg, bool adaptive_only,
                                                          net.vcCount());
         if (vc >= 0)
             return Candidate{port, vc};
-        noteBusyRange(net, cur, port, lo, net.vcCount());
+        noteCandidateRange(net, cur, port, lo, net.vcCount());
     }
     return std::nullopt;
 }

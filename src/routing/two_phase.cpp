@@ -57,7 +57,7 @@ TwoPhaseRouting::route(Network &net, Message &msg)
         if (!ep_faulty && !ep_unsafe) {
             if (net.escapeVcFree(msg, ep))
                 return Decision::forward(ep, net.escapeClass(msg, ep));
-            net.cwgNoteBusy(hdr.cur, ep, net.escapeClass(msg, ep));
+            net.cwgNoteCandidate(hdr.cur, ep, net.escapeClass(msg, ep));
             return Decision::block();
         }
 

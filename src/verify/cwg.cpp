@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_set>
 
 #include "core/network.hpp"
 #include "sim/log.hpp"
@@ -16,7 +15,7 @@ cycleClassName(CycleClass c)
     switch (c) {
       case CycleClass::Benign:      return "benign-transient";
       case CycleClass::EscapeCycle: return "escape-cycle";
-      case CycleClass::Stranded:    return "stranded";
+      case CycleClass::Knot:        return "knot";
       case CycleClass::Persistent:  return "persistent";
     }
     return "?";
@@ -45,7 +44,7 @@ CwgTracker::beginEvaluation(const Message &msg)
 }
 
 void
-CwgTracker::noteBusyVc(NodeId node, int port, int vc)
+CwgTracker::noteCandidate(NodeId node, int port, int vc)
 {
     if (evalMsg_ == invalidMsg)
         return;  // route() called outside an RCU evaluation (tests)
@@ -61,11 +60,15 @@ CwgTracker::onBlocked(const Message &msg)
 
     // Resolve owners at commit time; free or self-owned trios are not
     // waits (the latter would be a self-loop, never a deadlock edge).
+    // The committed candidate count excludes only self-owned trios: a
+    // candidate that is free at commit (or freed later) is an exit,
+    // which the knot check reads off as waitCount < committed.
     std::sort(scratch_.begin(), scratch_.end());
     scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
                    scratch_.end());
     std::vector<WaitRec> next;
     next.reserve(scratch_.size());
+    std::size_t committed = 0;
     for (VcKey key : scratch_) {
         const LinkId link =
             static_cast<LinkId>(key / static_cast<VcKey>(net_.vcCount()));
@@ -73,10 +76,14 @@ CwgTracker::onBlocked(const Message &msg)
             static_cast<int>(key % static_cast<VcKey>(net_.vcCount()));
         const MsgId owner =
             net_.link(link).vcs[static_cast<std::size_t>(vc)].owner;
-        if (owner == invalidMsg || owner == msg.id)
+        if (owner == msg.id)
+            continue;
+        ++committed;
+        if (owner == invalidMsg)
             continue;
         next.push_back({key, owner});
     }
+    blocked_[msg.id] = committed;
     commitWaits(msg.id, std::move(next));
 }
 
@@ -85,6 +92,7 @@ CwgTracker::onGranted(const Message &msg)
 {
     if (msg.id == evalMsg_)
         evalMsg_ = invalidMsg;
+    blocked_.erase(msg.id);
     clearWaits(msg.id);
 }
 
@@ -93,6 +101,7 @@ CwgTracker::onRetreat(const Message &msg)
 {
     if (msg.id == evalMsg_)
         evalMsg_ = invalidMsg;
+    blocked_.erase(msg.id);
     clearWaits(msg.id);
 }
 
@@ -129,6 +138,7 @@ CwgTracker::onMessageGone(MsgId id)
 {
     if (id == evalMsg_)
         evalMsg_ = invalidMsg;
+    blocked_.erase(id);
     clearWaits(id);
 }
 
@@ -227,7 +237,8 @@ CwgTracker::addEdge(MsgId u, MsgId v)
     const EdgeKey e{u, v};
     const int n = ++edgeCount_[e];
     if (n > 1)
-        return;  // multiplicity only; the DAG edge already exists
+        return;  // multiplicity only; the graph edge already exists
+    trueOut_[u].push_back(v);
     std::vector<MsgId> cycle;
     if (insertOrdered(u, v, &cycle)) {
         inDag_[e] = true;
@@ -252,6 +263,13 @@ CwgTracker::removeEdge(MsgId u, MsgId v)
     if (--it->second > 0)
         return;
     edgeCount_.erase(it);
+    auto tout = trueOut_.find(u);
+    if (tout != trueOut_.end()) {
+        auto &outs = tout->second;
+        outs.erase(std::remove(outs.begin(), outs.end(), v), outs.end());
+        if (outs.empty())
+            trueOut_.erase(tout);
+    }
     auto flag = inDag_.find(e);
     const bool dag = flag != inDag_.end() && flag->second;
     if (flag != inDag_.end())
@@ -352,26 +370,66 @@ CwgTracker::insertOrdered(MsgId u, MsgId v, std::vector<MsgId> *cycle_out)
 
 // --- Classification and diagnosis -----------------------------------------
 
+std::vector<MsgId>
+CwgTracker::closureOf(const std::vector<MsgId> &members) const
+{
+    std::vector<MsgId> closure;
+    std::unordered_set<MsgId> seen;
+    std::vector<MsgId> stack;
+    for (MsgId id : members) {
+        if (seen.insert(id).second)
+            stack.push_back(id);
+    }
+    while (!stack.empty()) {
+        const MsgId v = stack.back();
+        stack.pop_back();
+        closure.push_back(v);
+        auto it = trueOut_.find(v);
+        if (it == trueOut_.end())
+            continue;
+        for (MsgId w : it->second) {
+            if (seen.insert(w).second)
+                stack.push_back(w);
+        }
+    }
+    return closure;
+}
+
+bool
+CwgTracker::hasExit(MsgId id) const
+{
+    const Message *msg = net_.findMessage(id);
+    if (!msg)
+        return true;  // retired while its edges drain: progressing
+    auto bit = blocked_.find(id);
+    if (bit == blocked_.end())
+        return true;  // owns trios but is not blocked: progressing
+    if (bit->second == 0)
+        return true;  // blocked with an unknown candidate set:
+                      // conservatively assume a way out (every such
+                      // block site is stall-limit-guarded)
+    if (waitCount(id) < bit->second)
+        return true;  // a committed candidate has been freed
+    if (net_.canBacktrack(*msg))
+        return true;
+    if (net_.protocol().abortsOnStall(*msg))
+        return true;
+    return false;
+}
+
 CycleClass
 CwgTracker::classify(const std::vector<MsgId> &members) const
 {
     const int escapeVcs = net_.escapeVcCount();
     const int vcsPerLink = net_.vcCount();
-    bool strandedMember = false;
     bool allEscapeCommitted = true;
 
-    const std::size_t n = members.size();
-    for (std::size_t i = 0; i < n; ++i) {
-        const MsgId id = members[i];
+    for (MsgId id : members) {
         // Theorem 3 demands that the *escape* channel dependency graph
-        // stay acyclic; adaptive cycles are expressly permitted because
-        // every blocked header re-polls an OR-set of candidates. A
-        // member is committed to the escape subnetwork only when every
-        // wait it holds is on an escape-class trio — one live adaptive
-        // alternative means some owner outside the escape CDG can
-        // still dissolve the cycle, which is the benign-transient case
-        // (and the persistence sweep catches it empirically if it
-        // never does).
+        // stay acyclic. A member is committed to the escape subnetwork
+        // only when every wait it holds is on an escape-class trio; a
+        // cycle of such members breaks Duato's acyclic escape order
+        // outright, no reachability argument needed.
         auto wit = waits_.find(id);
         bool escapeCommitted = wit != waits_.end() &&
                                !wit->second.empty();
@@ -383,36 +441,25 @@ CwgTracker::classify(const std::vector<MsgId> &members) const
                     escapeCommitted = false;
             }
         }
-        if (!escapeCommitted)
+        if (!escapeCommitted) {
             allEscapeCommitted = false;
-        const Message *msg = net_.findMessage(id);
-        if (msg && !hasFallback(*msg))
-            strandedMember = true;
+            break;
+        }
     }
-
     if (allEscapeCommitted)
         return CycleClass::EscapeCycle;
-    if (strandedMember)
-        return CycleClass::Stranded;
-    return CycleClass::Benign;
-}
 
-bool
-CwgTracker::hasFallback(const Message &msg) const
-{
-    if (msg.hdr.detour) {
-        // Theorem 3's detour phase: the probe can retreat, or the stall
-        // limit hands the circuit to recovery.
-        return net_.canBacktrack(msg) ||
-               net_.protocol().abortsOnStall(msg);
+    // Knot check: the cycle is a true deadlock only if *nothing* in its
+    // reachable closure can progress — every member's entire candidate
+    // set is owned inside the closure (owners of committed candidates
+    // are reachable by construction), and no closure member has an
+    // exit. One exit anywhere dissolves the whole region eventually:
+    // the benign OR-wait transient of Theorem 3.
+    for (MsgId id : closureOf(members)) {
+        if (hasExit(id))
+            return CycleClass::Benign;
     }
-    // Duato's argument: a cycle over adaptive lanes is harmless while
-    // the member can still fall back onto a structurally healthy
-    // deterministic escape path.
-    const int ep = net_.ecubePort(msg);
-    if (ep >= 0 && !net_.channelFaulty(msg.hdr.cur, ep))
-        return true;
-    return net_.canBacktrack(msg) || net_.protocol().abortsOnStall(msg);
+    return CycleClass::Knot;
 }
 
 std::string
@@ -467,6 +514,9 @@ CwgTracker::diagnose(const std::vector<MsgId> &members,
         if (!found)
             os << " -> msg " << next;
     }
+    if (cls == CycleClass::Knot)
+        os << "; knot closure: " << closureOf(members).size()
+           << " message(s), no exit";
     if (traceOffset_)
         os << "; trace offset " << traceOffset_();
     return os.str();
@@ -554,8 +604,8 @@ CwgTracker::reportCycle(const std::vector<MsgId> &members, bool from_sweep)
         return;
     }
 
-    // Benign: remember when we first saw it so the sweep can escalate
-    // a "transient" that refuses to resolve.
+    // Benign: remember when we first saw it so the sweep can flag a
+    // "transient" that refuses to resolve.
     reported_.emplace(hash, false);
     benignSeen_.emplace(hash, net_.now());
     (void)from_sweep;
@@ -577,12 +627,16 @@ CwgTracker::sweep(Cycle now)
 {
     // Tarjan over the *true* wait graph (rejected edges included): a
     // cycle whose wait set never changes inserts no new edges, so only
-    // this sweep observes it persisting.
-    std::unordered_map<MsgId, std::vector<MsgId>> adj;
-    for (const auto &[e, c] : edgeCount_) {
-        if (c > 0)
-            adj[e.u].push_back(e.v);
-    }
+    // this sweep observes it persisting — and only this sweep can see
+    // a benign cycle degenerate into a knot when an exit evaporates
+    // without any edge churn (reportCycle below re-classifies every
+    // SCC it finds, so a cycle first seen benign is promoted the
+    // moment the knot condition starts to hold).
+    static const std::vector<MsgId> kNoOuts;
+    auto outsOf = [this](MsgId v) -> const std::vector<MsgId> & {
+        auto it = trueOut_.find(v);
+        return it == trueOut_.end() ? kNoOuts : it->second;
+    };
 
     std::unordered_map<MsgId, int> index, low;
     std::unordered_map<MsgId, bool> onStack;
@@ -596,7 +650,7 @@ CwgTracker::sweep(Cycle now)
         MsgId v;
         std::size_t child;
     };
-    for (const auto &[root, outs] : adj) {
+    for (const auto &[root, outs] : trueOut_) {
         if (index.count(root))
             continue;
         std::vector<Frame> frames{{root, 0}};
@@ -608,7 +662,7 @@ CwgTracker::sweep(Cycle now)
                 tarjanStack.push_back(v);
                 onStack[v] = true;
             }
-            const auto &outs2 = adj[v];
+            const auto &outs2 = outsOf(v);
             bool descended = false;
             while (f.child < outs2.size()) {
                 const MsgId w = outs2[f.child++];
@@ -654,7 +708,7 @@ CwgTracker::sweep(Cycle now)
         for (;;) {
             const MsgId cur = walk.back();
             MsgId nxt = invalidMsg;
-            for (MsgId w : adj[cur]) {
+            for (MsgId w : outsOf(cur)) {
                 if (inScc.count(w)) {
                     nxt = w;
                     break;
@@ -679,24 +733,26 @@ CwgTracker::sweep(Cycle now)
         present.insert(hash);
         reportCycle(cycle, true);
 
-        // Escalate benign cycles that outlived the persistence bound.
+        // A benign cycle that outlived the persistence bound is worth
+        // a warning — suspicious longevity, but not a deadlock unless
+        // the knot check above says so.
         auto seen = benignSeen_.find(hash);
         if (seen != benignSeen_.end() &&
             now - seen->second >= cfg_.persistBound &&
-            !reported_[hash]) {
+            !reported_[hash] && !warned_.count(hash)) {
             const std::string diag =
                 diagnose(cycle, CycleClass::Persistent);
             lastDiagnosis_ = diag;
-            if (violations_.size() < cfg_.maxViolations) {
+            if (warnings_.size() < cfg_.maxViolations) {
                 CwgCycle c;
                 c.cls = CycleClass::Persistent;
                 c.at = now;
                 c.hash = hash;
                 c.members = cycle;
                 c.diagnosis = diag;
-                violations_.push_back(std::move(c));
+                warnings_.push_back(std::move(c));
             }
-            reported_[hash] = true;
+            warned_.insert(hash);
         }
     }
 
@@ -705,6 +761,7 @@ CwgTracker::sweep(Cycle now)
     for (auto it = benignSeen_.begin(); it != benignSeen_.end();) {
         if (!present.count(it->first)) {
             reported_.erase(it->first);
+            warned_.erase(it->first);
             it = benignSeen_.erase(it);
         } else {
             ++it;

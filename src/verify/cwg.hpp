@@ -5,11 +5,12 @@
  * virtual channels beyond Duato's protocol").
  *
  * The tracker mirrors every RCU routing evaluation: while a protocol's
- * route() runs, each candidate virtual channel it observed *busy* is
- * noted; if the decision is Block, those notes commit as wait edges
- * (blocked message -> owner of the busy trio). Edges retract when the
- * probe is granted a channel, retreats, or its circuit is torn down,
- * and when the waited trio is released.
+ * route() runs, each candidate virtual channel it could legally acquire
+ * (adaptive and escape trios alike) is noted; if the decision is Block,
+ * those notes commit as wait edges (blocked message -> owner of the
+ * busy trio) and the committed candidate count is remembered. Edges
+ * retract when the probe is granted a channel, retreats, or its circuit
+ * is torn down, and when the waited trio is released.
  *
  * Cycle-freeness of the resulting message wait-for graph is maintained
  * with an incremental topological order (Pearce–Kelly): inserting an
@@ -17,22 +18,34 @@
  * the affected region between them. An edge that would close a cycle
  * is rejected from the order (keeping the DAG invariant) and the cycle
  * is extracted and classified on the spot. A low-frequency full SCC
- * sweep over the true wait graph catches persistence: a cycle whose
- * wait set never changes inserts no new edges, so only the sweep can
- * observe it lingering.
+ * sweep over the true wait graph re-classifies cycles that linger: a
+ * cycle can degenerate into a knot without inserting a single new edge
+ * (an exit evaporates when its holder blocks), so only the sweep can
+ * observe that transition.
  *
- * Theorem 3 classification of a detected cycle:
- *  - any member waiting on an escape-class (dateline) trio: the escape
- *    network's acyclic dependency order is broken — EscapeCycle, a
- *    protocol violation;
- *  - all-adaptive cycle where every member still has a fallback (a
- *    structurally healthy e-cube escape path, or a teardown/abort path
- *    while in detour): Benign — exactly the transient the theorem
- *    argues resolves itself;
- *  - all-adaptive cycle with some member that has no fallback:
- *    Stranded, a violation;
- *  - a Benign cycle persisting beyond a bound: Persistent, a violation
- *    (the "transient" never resolved).
+ * Classification of a detected cycle:
+ *  - every member waits solely on escape-class (dateline) trios: the
+ *    escape network's acyclic dependency order is broken —
+ *    EscapeCycle, a protocol violation (Theorem 3 / Duato);
+ *  - the cycle's reachable closure over the wait graph contains no
+ *    message with an exit — every member's *entire* candidate set is
+ *    owned inside the closure, and no closure member can progress,
+ *    backtrack, or abort: Knot, a true deadlock and a violation;
+ *  - otherwise Benign — some closure member still has a way out, which
+ *    is exactly the OR-wait transient Theorem 3 argues resolves
+ *    itself;
+ *  - a Benign cycle persisting beyond a bound: Persistent — a
+ *    *warning* (suspicious longevity, e.g. livelock pressure), not a
+ *    violation: the knot check, not wall-clock age, decides deadlock.
+ *
+ * An exit, precisely: a closure member M has an exit when (a) M is not
+ * blocked at all (it owns trios and is progressing), (b) some
+ * committed candidate of M has been released since M blocked (its live
+ * wait count fell below the committed candidate count), (c) M can
+ * backtrack, (d) M's protocol aborts the setup on a stall timeout, or
+ * (e) M retired. A blocked message that reported no candidates is
+ * conservatively treated as having an exit (its candidate set is
+ * unknown; all such block sites are stall-limit-guarded).
  */
 
 #ifndef TPNET_VERIFY_CWG_HPP
@@ -42,6 +55,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -56,11 +70,11 @@ namespace verify {
 /** Identifies one VC trio network-wide: link * vcsPerLink + vc. */
 using VcKey = std::uint64_t;
 
-/** Theorem 3 classification of a wait cycle. */
+/** Classification of a wait cycle. */
 enum class CycleClass : std::uint8_t {
-    Benign,      ///< adaptive-only, every member has an escape/fallback
+    Benign,      ///< some closure member still has an exit
     EscapeCycle, ///< crosses an escape (dateline) class: violation
-    Stranded,    ///< adaptive-only but some member has no way out
+    Knot,        ///< no exit anywhere in the reachable closure: deadlock
     Persistent,  ///< a Benign cycle that outlived the persistence bound
 };
 
@@ -70,7 +84,7 @@ const char *cycleClassName(CycleClass c);
 inline bool
 isViolation(CycleClass c)
 {
-    return c != CycleClass::Benign;
+    return c == CycleClass::EscapeCycle || c == CycleClass::Knot;
 }
 
 /** One detected wait cycle, classified and diagnosed. */
@@ -87,10 +101,11 @@ struct CwgCycle
 /** Tunables of the analyzer. */
 struct CwgConfig
 {
-    /// Cadence of the full SCC persistence sweep (cycles; 0 disables).
+    /// Cadence of the full SCC re-classification sweep (cycles;
+    /// 0 disables).
     Cycle sweepEvery = 64;
-    /// A Benign cycle still present after this many cycles escalates
-    /// to Persistent (a violation).
+    /// A Benign cycle still present after this many cycles is recorded
+    /// as a Persistent *warning* (not a violation).
     Cycle persistBound = 4000;
     /// Stop recording after this many violations (the run is doomed).
     std::size_t maxViolations = 64;
@@ -112,8 +127,15 @@ class CwgTracker
     /** An RCU evaluation of @p msg starts; reset the scratch notes. */
     void beginEvaluation(const Message &msg);
 
-    /** route() observed a busy candidate trio on (node, port, vc). */
-    void noteBusyVc(NodeId node, int port, int vc);
+    /**
+     * route() observed a legal-but-busy candidate trio on
+     * (node, port, vc). The contract with the routing functions is
+     * that by the time a Block decision is returned, *every* trio the
+     * message could legally acquire has been noted — the committed set
+     * is the message's full candidate set, which is what the knot
+     * check reasons over.
+     */
+    void noteCandidate(NodeId node, int port, int vc);
 
     /** The evaluation ended in Block: commit the notes as wait edges. */
     void onBlocked(const Message &msg);
@@ -136,6 +158,13 @@ class CwgTracker
     // --- Results -------------------------------------------------------
     /** Cycles classified as protocol violations, in detection order. */
     const std::vector<CwgCycle> &violations() const { return violations_; }
+
+    /**
+     * Persistent-cycle warnings (benign cycles that outlived the
+     * persistence bound without ever forming a knot), in detection
+     * order. Advisory only — not violations.
+     */
+    const std::vector<CwgCycle> &warnings() const { return warnings_; }
 
     /** Every cycle ever detected (violations and benign alike). */
     std::uint64_t cyclesDetected() const { return cyclesDetected_; }
@@ -225,13 +254,19 @@ class CwgTracker
 
     CycleClass classify(const std::vector<MsgId> &members) const;
 
-    /** True when @p msg can still make progress outside the cycle. */
-    bool hasFallback(const Message &msg) const;
+    /**
+     * Reachable closure of @p members over the true wait graph
+     * (members included), in deterministic discovery order.
+     */
+    std::vector<MsgId> closureOf(const std::vector<MsgId> &members) const;
+
+    /** True when closure member @p id can still make progress. */
+    bool hasExit(MsgId id) const;
 
     std::string diagnose(const std::vector<MsgId> &members,
                          CycleClass cls) const;
 
-    /** Full-graph SCC sweep: persistence tracking + escalation. */
+    /** Full-graph SCC sweep: re-classification + persistence. */
     void sweep(Cycle now);
 
     static std::uint64_t memberHash(const std::vector<MsgId> &members);
@@ -247,9 +282,17 @@ class CwgTracker
     std::unordered_map<MsgId, std::vector<WaitRec>> waits_;
     // Reverse index: trio -> messages with a wait record on it.
     std::unordered_map<VcKey, std::vector<MsgId>> waiters_;
+    // Blocked message -> committed candidate count (distinct non-self
+    // trios noted at the Block that created its wait set). A live wait
+    // count below this means a candidate has been freed — an exit.
+    std::unordered_map<MsgId, std::size_t> blocked_;
 
-    // True wait-for graph: edge multiplicity per (u, v).
+    // True wait-for graph: edge multiplicity per (u, v), plus a
+    // deduplicated adjacency (one entry per distinct u->v) kept
+    // incrementally so the knot closure walk and the SCC sweep never
+    // rebuild it.
     std::unordered_map<EdgeKey, int, EdgeKeyHash> edgeCount_;
+    std::unordered_map<MsgId, std::vector<MsgId>> trueOut_;
     // DAG adjacency of the maintained order (rejected edges excluded).
     std::unordered_map<MsgId, std::vector<MsgId>> dagOut_;
     std::unordered_map<MsgId, std::vector<MsgId>> dagIn_;
@@ -262,8 +305,10 @@ class CwgTracker
     // Persistence tracking of benign cycles (hash -> first seen).
     std::unordered_map<std::uint64_t, Cycle> benignSeen_;
     std::unordered_map<std::uint64_t, bool> reported_;
+    std::unordered_set<std::uint64_t> warned_;
 
     std::vector<CwgCycle> violations_;
+    std::vector<CwgCycle> warnings_;
     std::string lastDiagnosis_;
     std::uint64_t cyclesDetected_ = 0;
     std::uint64_t benignDetected_ = 0;

@@ -19,12 +19,25 @@
  *    decremented counters no later walker could ever reach again,
  *    gating the follower flits below K forever. Fixed by dropping
  *    walkers that fall behind the data front.
+ *
+ *  - seed 35 (SR K=3, hardware acks; found by the widened ISSUE 5
+ *    grid, shrunk event-by-event to five scripted faults): the
+ *    dedicated ack lane popped one flit per cycle, so an ack walker
+ *    could queue behind unrelated circuits' acks and fall behind the
+ *    header retreating on the control lane; when the probe re-advanced
+ *    and re-acquired a trio at a hop index the stale walker still
+ *    addressed, the walker decremented the fresh CMU counter below
+ *    zero. Fixed by draining every ready ack flit each cycle —
+ *    dedicated per-trio signals do not contend like the shared lane —
+ *    which keeps walkers strictly ahead of the retreating header.
  */
 
 #include <gtest/gtest.h>
 
 #include "chaos/campaign.hpp"
+#include "chaos/fault_schedule.hpp"
 #include "helpers.hpp"
+#include "router/flit.hpp"
 #include "verify/cwg.hpp"
 
 namespace tpnet {
@@ -83,6 +96,63 @@ TEST(FuzzRegressions, SrAckWalkerCrossingRaceNoLongerWedges)
     EXPECT_TRUE(r.passed) << r.summary();
     EXPECT_TRUE(r.quiescent);
     EXPECT_EQ(r.cwgViolations, 0u);
+}
+
+// tpnet_verify --replay-seed 35 --protocol SR --scout-k 3 --k 8 --n 2
+//   --hardware-acks --load 0.1500 --inject 1000 --fault-events
+//   "84:n:35:-1:0,249:l:28:1:0,381:n:58:-1:0,474:n:5:-1:0,812:n:7:-1:0"
+TEST(FuzzRegressions, SrHardwareAckStaleWalkerNoLongerCorruptsCounters)
+{
+    chaos::CampaignSpec spec = replaySpec(
+        Protocol::Scouting, 8, 3, 0.15, 1000, 35, 0, 0, 0);
+    spec.cfg.hardwareAcks = true;
+    ASSERT_TRUE(chaos::parseFaultEvents(
+        "84:n:35:-1:0,249:l:28:1:0,381:n:58:-1:0,474:n:5:-1:0,"
+        "812:n:7:-1:0",
+        &spec.scriptedFaults));
+    const chaos::CampaignResult r = chaos::runCampaign(spec);
+    EXPECT_TRUE(r.passed) << r.summary();
+    EXPECT_TRUE(r.quiescent);
+    EXPECT_EQ(r.cwgViolations, 0u);
+}
+
+/**
+ * Deterministic distillation of the seed-35 wedge's mechanism: the
+ * dedicated acknowledgment signals are per-trio wires, so every ready
+ * ack flit on a link must cross in the same cycle. The shared control
+ * lane, by contrast, stays one flit per cycle (Fig. 2b). Before the
+ * fix the ack lane also moved one per cycle, and the queueing delay is
+ * what let stale walkers fall behind a retreating header.
+ */
+TEST(FuzzRegressions, DedicatedAckSignalsDrainAllReadyFlitsPerCycle)
+{
+    SimConfig cfg = smallConfig(Protocol::Scouting);
+    cfg.hardwareAcks = true;
+    Network net(cfg);
+
+    // Stale flits of a retired message: dropped on arrival (no owner),
+    // but each still consumes a crossing when its lane moves it.
+    Flit ack;
+    ack.type = FlitType::AckPos;
+    ack.msg = invalidMsg;
+    ack.readyAt = 0;
+    Link &wire = net.link(0);
+    for (int i = 0; i < 3; ++i)
+        wire.ackQ.push_back(ack);
+    Flit hdr = ack;
+    hdr.type = FlitType::Header;
+    for (int i = 0; i < 2; ++i)
+        wire.ctrlQ.push_back(hdr);
+
+    net.step();
+    // All three acks drained at once; only one control flit moved.
+    EXPECT_EQ(net.counters().ctrlCrossings, 4u);
+    EXPECT_TRUE(wire.ackQ.empty());
+    EXPECT_EQ(wire.ctrlQ.size(), 1u);
+
+    net.step();
+    EXPECT_EQ(net.counters().ctrlCrossings, 5u);
+    EXPECT_TRUE(wire.ctrlQ.empty());
 }
 
 /**

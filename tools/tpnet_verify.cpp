@@ -3,32 +3,44 @@
  * tpnet_verify — fuzz the CWG deadlock analyzer across protocol grids.
  *
  * Runs N seeded chaos campaigns with the channel-wait-for-graph tracker
- * armed, sweeping {DP, PCS, SR K=1..5, TP K=0, TP K=3} x offered load x
- * fault intensity. Every campaign audits Theorem 3 online: any wait
- * cycle through an escape class, any stranded adaptive cycle, and any
- * "transient" cycle that persists past its bound is a violation. The
+ * armed, sweeping {DP, PCS, SR K=1..5, TP K=0, TP K=3} x topology
+ * (8-ary 2-cube, binary and 4-ary 3-cubes, 16-ary 2-cube) x offered
+ * load x fault intensity x ack configuration (TAck, hardware acks).
+ * Every campaign audits deadlock freedom online: any wait cycle through
+ * an escape class and any knot (a blocked set whose entire candidate
+ * ownership closes over itself with no exit) is a violation; benign
+ * cycles that persist past their bound surface as warnings. The
  * watchdog and delivery oracle run too, so ordinary chaos violations
  * are also caught.
  *
+ * The grid interleaves its topology blocks round-robin, so any window
+ * of consecutive seeds (e.g. a 25-campaign CI smoke) samples every
+ * topology, including the 3-cubes and the 16-ary torus.
+ *
  * When a campaign fails (and --no-shrink is not given), the tool
- * greedily shrinks it to a minimal still-failing case: halving the
- * injection window, dropping fault classes one at a time, shrinking
- * the topology, and halving the load — accepting each reduction only
- * if the failure reproduces. The minimal case is printed as a single
- * replayable command.
+ * shrinks it to a minimal still-failing case: class-level reductions
+ * first (halve the injection window, drop fault classes, shrink the
+ * topology, halve the load), then event-level delta debugging of the
+ * pinned fault timeline — each individual kill/restore event is
+ * removed if the failure survives without it. The minimal case is
+ * printed as a single replayable command, topology-qualified and with
+ * the surviving events inline.
  *
  * Examples:
  *   tpnet_verify --campaigns 200 --jobs 8
  *   tpnet_verify --campaigns 25 --max-cycles 6000
- *   tpnet_verify --replay-seed 42 --verbose
+ *   tpnet_verify --replay-seed 42 --k 16 --n 2 --verbose
+ *   tpnet_verify --replay-seed 42 --fault-events "120:n:5:-1:0"
  */
 
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "chaos/campaign.hpp"
+#include "chaos/shrink.hpp"
 #include "sim/options.hpp"
 
 namespace {
@@ -43,23 +55,30 @@ struct GridPoint
     int scoutK;
     double load;
     double faultScale;
+    int k;                    ///< radix
+    int n;                    ///< dimensions
+    bool tailAck = false;
+    bool hardwareAcks = false;
 };
 
 std::string
 describe(const GridPoint &g)
 {
     char buf[96];
-    std::snprintf(buf, sizeof buf, "%-4s K=%d load=%.2f fx%.1f",
-                  protocolName(g.proto), g.scoutK, g.load,
-                  g.faultScale);
+    std::snprintf(buf, sizeof buf,
+                  "%-4s %2d-ary %d-cube K=%d load=%.2f fx%.1f%s%s",
+                  protocolName(g.proto), g.k, g.n, g.scoutK, g.load,
+                  g.faultScale, g.tailAck ? " TAck" : "",
+                  g.hardwareAcks ? " HWAck" : "");
     return buf;
 }
 
 /**
- * Protocol coverage is the point here: every flow-control mechanism
- * the paper configures (Duato baseline, circuit setup, scouting at
- * each K, two-phase with and without scouting) gets fuzzed against
- * the same fault timelines.
+ * Protocol and topology coverage is the point here: every flow-control
+ * mechanism the paper configures (Duato baseline, circuit setup,
+ * scouting at each K, two-phase with and without scouting) gets fuzzed
+ * against the same fault timelines, on the paper's own topologies
+ * (Section 6 evaluates 16-ary 2-cubes; Section 5.0 walks a 3-cube).
  */
 std::vector<GridPoint>
 buildGrid()
@@ -76,14 +95,69 @@ buildGrid()
         {Protocol::Scouting, 5}, {Protocol::TwoPhase, 0},
         {Protocol::TwoPhase, 3},
     };
-    const double loads[] = {0.05, 0.15};
-    const double scales[] = {1.0, 2.0};
 
-    std::vector<GridPoint> grid;
+    // Block 0: the original 8-ary 2-cube grid.
+    std::vector<std::vector<GridPoint>> blocks(1);
     for (const ProtoCell &p : protos)
-        for (double load : loads)
-            for (double fx : scales)
-                grid.push_back({p.proto, p.scoutK, load, fx});
+        for (double load : {0.05, 0.15})
+            for (double fx : {1.0, 2.0})
+                blocks[0].push_back(
+                    {p.proto, p.scoutK, load, fx, 8, 2});
+
+    // Block 1: binary 3-cube (the n=3 hypercube of Section 5.0 —
+    // 8 nodes, so faults bite hard).
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos)
+        blocks.back().push_back({p.proto, p.scoutK, 0.10, 1.0, 2, 3});
+
+    // Block 2: 4-ary 3-cube (64 nodes, three dimensions of adaptivity).
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos)
+        blocks.back().push_back({p.proto, p.scoutK, 0.15, 2.0, 4, 3});
+
+    // Block 3: 16-ary 2-cube (the Section 6 evaluation topology) at a
+    // higher injection load.
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos)
+        blocks.back().push_back({p.proto, p.scoutK, 0.25, 2.0, 16, 2});
+
+    // Block 4: high load on the base torus — saturation transients.
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos)
+        blocks.back().push_back({p.proto, p.scoutK, 0.30, 1.0, 8, 2});
+
+    // Block 5: ack-configuration cells — tail acks and hardware ack
+    // signalling change teardown timing, the raw material of kill
+    // races.
+    blocks.emplace_back();
+    const ProtoCell ackProtos[] = {
+        {Protocol::Duato, 0},
+        {Protocol::Pcs, 0},
+        {Protocol::Scouting, 3},
+        {Protocol::TwoPhase, 3},
+    };
+    for (const ProtoCell &p : ackProtos) {
+        GridPoint tack{p.proto, p.scoutK, 0.15, 2.0, 8, 2};
+        tack.tailAck = true;
+        blocks.back().push_back(tack);
+        GridPoint hw{p.proto, p.scoutK, 0.15, 2.0, 8, 2};
+        hw.hardwareAcks = true;
+        blocks.back().push_back(hw);
+    }
+
+    // Interleave the blocks round-robin so consecutive seeds sample
+    // every topology.
+    std::vector<GridPoint> grid;
+    std::size_t idx = 0;
+    for (bool any = true; any; ++idx) {
+        any = false;
+        for (const auto &block : blocks) {
+            if (idx < block.size()) {
+                grid.push_back(block[idx]);
+                any = true;
+            }
+        }
+    }
     return grid;
 }
 
@@ -96,6 +170,10 @@ buildSpec(const SimConfig &base, const GridPoint &g, std::uint64_t seed,
     spec.cfg.protocol = g.proto;
     spec.cfg.scoutK = g.scoutK;
     spec.cfg.load = g.load;
+    spec.cfg.k = g.k;
+    spec.cfg.n = g.n;
+    spec.cfg.tailAck = g.tailAck;
+    spec.cfg.hardwareAcks = g.hardwareAcks;
     spec.seed = seed;
     spec.injectCycles = inject;
     spec.drainCycles = drain;
@@ -112,100 +190,35 @@ buildSpec(const SimConfig &base, const GridPoint &g, std::uint64_t seed,
     return spec;
 }
 
+/**
+ * One-line replay of @p spec, topology-qualified (--k AND --n, plus
+ * the ack flags when set) so failures on non-default tori reproduce
+ * exactly. A pinned fault timeline rides along as --fault-events.
+ */
 std::string
 replayCommand(const CampaignSpec &spec)
 {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "tpnet_verify --replay-seed %llu --protocol %s "
-                  "--scout-k %d --k %d --load %.4f --inject %llu "
-                  "--node-kills %d --link-kills %d --intermittents %d",
-                  static_cast<unsigned long long>(spec.seed),
-                  protocolName(spec.cfg.protocol), spec.cfg.scoutK,
-                  spec.cfg.k, spec.cfg.load,
-                  static_cast<unsigned long long>(spec.injectCycles),
-                  spec.faults.nodeKills, spec.faults.linkKills,
-                  spec.faults.intermittents);
-    return buf;
-}
-
-bool
-stillFails(const CampaignSpec &spec)
-{
-    return !runCampaign(spec).passed;
-}
-
-/**
- * Greedy 1-ply shrink: propose one reduction at a time and keep it only
- * if the campaign still fails. Each accepted reduction restarts the
- * pass, so e.g. the injection window keeps halving until it stops
- * reproducing. Drain budget is never shrunk — a short drain fabricates
- * "not quiescent" failures that have nothing to do with the bug.
- */
-CampaignSpec
-shrink(CampaignSpec spec, int *steps_out)
-{
-    int steps = 0;
-    bool improved = true;
-    while (improved) {
-        improved = false;
-
-        if (spec.injectCycles >= 1000) {
-            CampaignSpec cand = spec;
-            cand.injectCycles /= 2;
-            cand.faults.horizon = cand.injectCycles;
-            cand.faults.earliest = cand.injectCycles / 100;
-            if (stillFails(cand)) {
-                spec = cand;
-                improved = true;
-                ++steps;
-                continue;
-            }
-        }
-        for (int dim = 0; dim < 3; ++dim) {
-            int *field = dim == 0   ? &spec.faults.nodeKills
-                         : dim == 1 ? &spec.faults.linkKills
-                                    : &spec.faults.intermittents;
-            if (*field == 0)
-                continue;
-            CampaignSpec cand = spec;
-            int *cfield = dim == 0   ? &cand.faults.nodeKills
-                          : dim == 1 ? &cand.faults.linkKills
-                                     : &cand.faults.intermittents;
-            *cfield = 0;
-            if (stillFails(cand)) {
-                spec = cand;
-                improved = true;
-                ++steps;
-                break;
-            }
-        }
-        if (improved)
-            continue;
-
-        if (spec.cfg.k > 4) {
-            CampaignSpec cand = spec;
-            cand.cfg.k = 4;
-            if (stillFails(cand)) {
-                spec = cand;
-                improved = true;
-                ++steps;
-                continue;
-            }
-        }
-        if (spec.cfg.load > 0.02) {
-            CampaignSpec cand = spec;
-            cand.cfg.load /= 2.0;
-            if (stillFails(cand)) {
-                spec = cand;
-                improved = true;
-                ++steps;
-            }
-        }
+    std::ostringstream os;
+    os << "tpnet_verify --replay-seed " << spec.seed << " --protocol "
+       << protocolName(spec.cfg.protocol) << " --scout-k "
+       << spec.cfg.scoutK << " --k " << spec.cfg.k << " --n "
+       << spec.cfg.n;
+    if (spec.cfg.tailAck)
+        os << " --tail-ack";
+    if (spec.cfg.hardwareAcks)
+        os << " --hardware-acks";
+    char load[32];
+    std::snprintf(load, sizeof load, "%.4f", spec.cfg.load);
+    os << " --load " << load << " --inject " << spec.injectCycles;
+    if (!spec.scriptedFaults.empty()) {
+        os << " --fault-events \""
+           << formatFaultEvents(spec.scriptedFaults) << "\"";
+    } else {
+        os << " --node-kills " << spec.faults.nodeKills
+           << " --link-kills " << spec.faults.linkKills
+           << " --intermittents " << spec.faults.intermittents;
     }
-    if (steps_out != nullptr)
-        *steps_out = steps;
-    return spec;
+    return os.str();
 }
 
 } // namespace
@@ -214,8 +227,6 @@ int
 main(int argc, char **argv)
 {
     SimConfig base;
-    base.k = 8;
-    base.n = 2;
     base.maxRetries = 6;
 
     int campaigns = 50;
@@ -231,15 +242,21 @@ main(int argc, char **argv)
     int link_kills = -1;
     int intermittents = -1;
     int scout_k = -1;
+    int k_override = 0;
+    int n_override = 0;
+    bool tail_ack = false;
+    bool hardware_acks = false;
     bool no_shrink = false;
     bool verbose = false;
     std::string protocol;
+    std::string fault_events;
 
     OptionParser parser(
         "tpnet_verify",
         "fuzz the online channel-wait-for-graph deadlock analyzer "
-        "(Theorem 3) across protocol / K / load / fault grids; failing "
-        "seeds are shrunk to a minimal replayable case");
+        "(knot-based verdicts) across protocol / topology / K / load / "
+        "fault grids; failing seeds are shrunk class-level then "
+        "event-by-event to a minimal replayable case");
     parser.addInt("campaigns", "number of seeded campaigns", &campaigns);
     parser.addJobs(&jobs);
     parser.addUint64("max-cycles", "traffic injection window per campaign",
@@ -256,8 +273,15 @@ main(int argc, char **argv)
                      &protocol);
     parser.addInt("scout-k", "replay override: scouting distance K",
                   &scout_k);
-    parser.addInt("k", "radix", &base.k);
-    parser.addInt("n", "dimensions", &base.n);
+    parser.addInt("k", "replay override: radix (0 = grid cell's)",
+                  &k_override);
+    parser.addInt("n", "replay override: dimensions (0 = grid cell's)",
+                  &n_override);
+    parser.addFlag("tail-ack", "replay override: force tail acks on",
+                   &tail_ack);
+    parser.addFlag("hardware-acks",
+                   "replay override: force hardware ack signalling on",
+                   &hardware_acks);
     parser.addDouble("load", "replay override: offered load",
                      &load_override);
     parser.addUint64("inject", "replay override: injection window",
@@ -269,6 +293,11 @@ main(int argc, char **argv)
     parser.addInt("intermittents",
                   "replay override: intermittent fault count",
                   &intermittents);
+    parser.addString("fault-events",
+                     "replay override: pinned fault timeline "
+                     "(at:kind:node:port:down,... with kind n|l|i); "
+                     "replaces the randomized schedule",
+                     &fault_events);
     parser.addDouble("fault-scale",
                      "global multiplier on the per-campaign fault mix",
                      &fault_scale);
@@ -285,6 +314,13 @@ main(int argc, char **argv)
     if (parser.helpRequested()) {
         std::fputs(parser.usage().c_str(), stdout);
         return 0;
+    }
+
+    std::vector<FaultEvent> scripted;
+    if (!parseFaultEvents(fault_events, &scripted)) {
+        std::fprintf(stderr, "error: malformed --fault-events '%s'\n",
+                     fault_events.c_str());
+        return 2;
     }
 
     const std::vector<GridPoint> grid = buildGrid();
@@ -317,6 +353,14 @@ main(int argc, char **argv)
         }
         if (scout_k >= 0)
             spec.cfg.scoutK = scout_k;
+        if (k_override > 0)
+            spec.cfg.k = k_override;
+        if (n_override > 0)
+            spec.cfg.n = n_override;
+        if (tail_ack)
+            spec.cfg.tailAck = true;
+        if (hardware_acks)
+            spec.cfg.hardwareAcks = true;
         if (load_override >= 0.0)
             spec.cfg.load = load_override;
         if (inject_override > 0) {
@@ -330,11 +374,15 @@ main(int argc, char **argv)
             spec.faults.linkKills = link_kills;
         if (intermittents >= 0)
             spec.faults.intermittents = intermittents;
+        if (!scripted.empty())
+            spec.scriptedFaults = scripted;
         specs.push_back(spec);
     }
 
-    std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells, "
-                "inject %llu + drain %llu cycles, CWG armed\n",
+    std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells "
+                "(8-ary/16-ary 2-cubes, binary/4-ary 3-cubes, ack "
+                "variants), inject %llu + drain %llu cycles, CWG "
+                "armed\n",
                 seeds.size(), grid.size(),
                 static_cast<unsigned long long>(max_cycles),
                 static_cast<unsigned long long>(drain_cycles));
@@ -345,13 +393,19 @@ main(int argc, char **argv)
     int failures = 0;
     std::uint64_t cycles_seen = 0;
     std::uint64_t benign_seen = 0;
+    std::uint64_t warnings_seen = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const CampaignResult &r = results[i];
         cycles_seen += r.cwgCycles;
         benign_seen += r.cwgBenign;
-        std::printf("%-26s %s\n",
+        warnings_seen += r.cwgWarnings;
+        std::printf("%-40s %s\n",
                     describe(grid[seeds[i] % grid.size()]).c_str(),
                     r.summary().c_str());
+        if (verbose) {
+            for (const std::string &w : r.warnings)
+                std::printf("    ~ %s\n", w.c_str());
+        }
         if (r.passed) {
             std::fflush(stdout);
             continue;
@@ -376,11 +430,15 @@ main(int argc, char **argv)
                         r.liveDump.size() - dump);
         }
         if (!no_shrink) {
-            int steps = 0;
-            const CampaignSpec minimal = shrink(specs[i], &steps);
-            std::printf("    shrunk %d step(s) -> minimal replay:\n"
+            const ShrinkOutcome shrunk =
+                shrinkCampaign(specs[i], runCampaign);
+            std::printf("    shrunk %d class step(s) + %d event "
+                        "step(s)%s -> minimal replay:\n"
                         "      %s\n",
-                        steps, replayCommand(minimal).c_str());
+                        shrunk.classSteps, shrunk.eventSteps,
+                        shrunk.eventsPinned ? ""
+                                            : " (timeline not pinned)",
+                        replayCommand(shrunk.spec).c_str());
         } else if (!replay) {
             std::printf("    replay: tpnet_verify --replay-seed %llu\n",
                         static_cast<unsigned long long>(seeds[i]));
@@ -389,9 +447,10 @@ main(int argc, char **argv)
     }
 
     std::printf("# cwg: %llu wait cycle(s) observed across all "
-                "campaigns, %llu benign\n",
+                "campaigns, %llu benign, %llu persistent warning(s)\n",
                 static_cast<unsigned long long>(cycles_seen),
-                static_cast<unsigned long long>(benign_seen));
+                static_cast<unsigned long long>(benign_seen),
+                static_cast<unsigned long long>(warnings_seen));
     if (failures == 0) {
         std::printf("# all %zu campaign(s) clean\n", seeds.size());
         return 0;
