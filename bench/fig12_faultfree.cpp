@@ -39,6 +39,18 @@ main(int argc, char **argv)
         h.add(loadSweep(cfg, "TP+cwg", loads, opt), "offered");
     }
 
+    // TP in knot-triggered recovery mode: the escape VCs join the
+    // adaptive pool and deadlock is healed (detected + victim abort)
+    // instead of avoided. Fault-free, knots essentially never form, so
+    // this series prices the mode itself: the freed escape bandwidth
+    // plus the always-on tracker. Its points carry the "recovery"
+    // JSON object through the report schema.
+    {
+        SimConfig cfg = bench::paperConfig(Protocol::TwoPhase);
+        cfg.recoveryMode = true;
+        h.add(loadSweep(cfg, "TP+recovery", loads, opt), "offered");
+    }
+
     // Zero-load sanity anchors (Section 2.2): average minimal distance
     // of uniform traffic on the 16-ary 2-cube is 8 links.
     std::printf("# zero-load anchors: t_WR(8,32)=%d  t_PCS(8,32)=%d\n",

@@ -120,6 +120,30 @@ jsonVcMetrics(const RunResult &r)
     return os.str();
 }
 
+/**
+ * The per-point "recovery" object (knot-triggered deadlock recovery
+ * stats), or "" when the run was not in recovery mode / healed
+ * nothing. Like "vc", absent keys are ignored by check_bench.py.
+ */
+inline std::string
+jsonRecovery(const RunResult &r)
+{
+    const Counters &c = r.counters;
+    if (c.knotsDetected == 0 && c.victimsAborted == 0 &&
+        c.healRetransmits == 0 && c.healEscalations == 0)
+        return "";
+    std::ostringstream os;
+    os.precision(17);
+    os << "{ \"knots\": " << c.knotsDetected
+       << ", \"victims\": " << c.victimsAborted
+       << ", \"heal_retransmits\": " << c.healRetransmits
+       << ", \"heal_escalations\": " << c.healEscalations
+       << ", \"heal_latency_mean\": " << jsonNum(c.healLatency.mean())
+       << ", \"heal_latency_p95\": "
+       << jsonNum(c.healLatencyHist.percentile(0.95)) << " }";
+    return os.str();
+}
+
 /** Write the bench-result JSON described above. @return false on I/O error. */
 inline bool
 writeBenchJson(const std::string &path, const std::string &benchmark,
@@ -164,6 +188,9 @@ writeBenchJson(const std::string &path, const std::string &benchmark,
             const std::string vc = jsonVcMetrics(r);
             if (!vc.empty())
                 os << ", \"vc\": " << vc;
+            const std::string rec = jsonRecovery(r);
+            if (!rec.empty())
+                os << ", \"recovery\": " << rec;
             os << " }";
         }
         os << " ] }";

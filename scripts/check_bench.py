@@ -117,19 +117,36 @@ def self_test():
 
     cases.append(("identical", doc, doc, 0))
 
-    # New current-side content must never fail: an extra per-point key
-    # (the "vc" metrics object), an extra point, and an extra series.
+    # New current-side content must never fail: extra per-point keys
+    # (the "vc" metrics object and the recovery-mode stats object), an
+    # extra point, an extra series.
     grown = copy.deepcopy(doc)
     for pt in grown["series"][0]["points"]:
         pt["vc"] = {"samples": 9, "occupancy": 0.1,
                     "per_vc_occupancy": [0.1, 0.2]}
+        pt["recovery"] = {"knots": 2, "victims": 2,
+                          "heal_retransmits": 2, "heal_escalations": 0,
+                          "heal_latency_mean": 40.0,
+                          "heal_latency_p95": 96.0}
         pt["p95"] = 200.0
     grown["series"][0]["points"].append(
         {"x": 0.20, "throughput": 0.2, "latency": 300.0})
     grown["series"].append(
-        {"label": "DP", "x_name": "offered", "points": [
-            {"x": 0.05, "throughput": 0.05, "latency": 90.0}]})
+        {"label": "TP+recovery", "x_name": "offered", "points": [
+            {"x": 0.05, "throughput": 0.05, "latency": 90.0,
+             "recovery": {"knots": 0, "victims": 0}}]})
     cases.append(("current grows keys/points/series", doc, grown, 0))
+
+    # A baseline that itself carries a recovery series compares only
+    # the shared numeric keys: recovery sub-objects are never diffed,
+    # so recovery-stats churn cannot trip the perf gate.
+    rec_base = copy.deepcopy(grown)
+    rec_cur = copy.deepcopy(grown)
+    rec_cur["series"][1]["points"][0]["recovery"] = {
+        "knots": 7, "victims": 7, "heal_retransmits": 9,
+        "heal_escalations": 1, "heal_latency_mean": 123.0}
+    cases.append(("recovery stats churn is not a regression",
+                  rec_base, rec_cur, 0))
 
     # A baseline point lacking a comparable key is skipped, not fatal.
     sparse = copy.deepcopy(doc)

@@ -28,6 +28,14 @@ CampaignResult::summary() const
             os << ", " << cwgWarnings << " warnings";
         os << ")";
     }
+    if (counters.knotsDetected > 0) {
+        os << ", recovery " << counters.knotsDetected << " knots ("
+           << counters.victimsAborted << " victims, "
+           << counters.healRetransmits << " retransmits";
+        if (counters.healEscalations > 0)
+            os << ", " << counters.healEscalations << " ESCALATED";
+        os << ")";
+    }
     if (!quiescent)
         os << ", NOT QUIESCENT";
     if (!violations.empty())
@@ -136,7 +144,9 @@ runCampaign(const CampaignSpec &spec)
                << static_cast<int>(msg->state) << ", " << msg->src
                << "->" << msg->dst << " at " << msg->hdr.cur
                << ", epoch " << msg->epoch << ", retries "
-               << msg->retries << ", path " << msg->path.size()
+               << msg->retries << ", heals " << msg->healAttempts
+               << ", lastHealAt " << msg->lastHealAt << ", path "
+               << msg->path.size()
                << " hops, inRcu " << msg->inRcu << ", beingKilled "
                << msg->beingKilled << ", retryAt " << msg->retryAt
                << ", flits " << msg->injectedFlits << "/"
@@ -162,6 +172,10 @@ runCampaign(const CampaignSpec &spec)
             result.liveDump.push_back(os.str());
         }
     }
+
+    for (const Network::HealRecord &h : net.healLog())
+        result.healEvents.push_back(
+            {h.at, h.knotHash, h.victim, h.attempt});
 
     net.attachTrace(nullptr);
     result.messages = net.counters().generated;

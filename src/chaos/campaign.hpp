@@ -79,11 +79,30 @@ struct CampaignResult
     std::size_t faultsSkipped = 0;
     Counters counters;
 
-    /// CWG statistics (all zero unless spec.verifyCwg).
+    /// CWG statistics (all zero unless spec.verifyCwg or recovery).
     std::uint64_t cwgCycles = 0;        ///< wait cycles detected
     std::uint64_t cwgBenign = 0;        ///< classified benign-transient
     std::size_t cwgViolations = 0;      ///< escape cycles + knots
     std::size_t cwgWarnings = 0;        ///< persistent-cycle warnings
+
+    /// One victimization per heal, in simulation order (recovery mode).
+    /// Campaigns are shared-nothing, so this list is bit-identical for
+    /// any --jobs — the determinism regression checks exactly that.
+    struct HealEvent
+    {
+        Cycle at = 0;
+        std::uint64_t knotHash = 0;
+        MsgId victim = invalidMsg;
+        int attempt = 0;
+
+        bool
+        operator==(const HealEvent &o) const
+        {
+            return at == o.at && knotHash == o.knotHash &&
+                   victim == o.victim && attempt == o.attempt;
+        }
+    };
+    std::vector<HealEvent> healEvents;
 
     /// The fault timeline as it actually played out: every event that
     /// fired, victims resolved. Feed back into

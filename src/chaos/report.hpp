@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structured campaign-result emitter shared by tpnet_chaos and
+ * tpnet_verify (`--json out.json`).
+ *
+ * One object per campaign: verdict, cycle/message totals, fault
+ * counts, the CWG tally (cycles / benign / violations / persistent
+ * warnings as structured counts, not log lines), and — in recovery
+ * mode — the recovery block (knots detected, victims aborted,
+ * retransmissions, escalations, heal-latency stats) plus the ordered
+ * heal-event list that the jobs-determinism regression compares.
+ */
+
+#ifndef TPNET_CHAOS_REPORT_HPP
+#define TPNET_CHAOS_REPORT_HPP
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+inline std::string
+campaignJsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += ' ';
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** One campaign as a JSON object (no trailing newline). */
+inline std::string
+campaignJson(const CampaignResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{ \"seed\": " << r.seed
+       << ", \"passed\": " << (r.passed ? "true" : "false")
+       << ", \"cycles\": " << r.cycles
+       << ", \"quiescent\": " << (r.quiescent ? "true" : "false")
+       << ", \"messages\": " << r.messages
+       << ", \"delivered\": " << r.counters.delivered
+       << ", \"undeliverable\": " << r.counters.dropped
+       << ", \"lost\": " << r.counters.lost
+       << ", \"faults_fired\": " << r.faultsFired
+       << ", \"faults_skipped\": " << r.faultsSkipped
+       << ", \"cwg\": { \"cycles\": " << r.cwgCycles
+       << ", \"benign\": " << r.cwgBenign
+       << ", \"violations\": " << r.cwgViolations
+       << ", \"persistent_warnings\": " << r.cwgWarnings << " }";
+    if (r.counters.knotsDetected > 0 || !r.healEvents.empty()) {
+        os << ", \"recovery\": { \"knots\": "
+           << r.counters.knotsDetected
+           << ", \"victims\": " << r.counters.victimsAborted
+           << ", \"heal_retransmits\": " << r.counters.healRetransmits
+           << ", \"heal_escalations\": " << r.counters.healEscalations
+           << ", \"heal_latency_mean\": "
+           << r.counters.healLatency.mean()
+           << ", \"heal_events\": [";
+        for (std::size_t i = 0; i < r.healEvents.size(); ++i) {
+            const CampaignResult::HealEvent &h = r.healEvents[i];
+            os << (i ? ", " : "") << "{ \"at\": " << h.at
+               << ", \"knot\": " << h.knotHash
+               << ", \"victim\": " << h.victim
+               << ", \"attempt\": " << h.attempt << " }";
+        }
+        os << "] }";
+    }
+    os << ", \"violations\": [";
+    for (std::size_t i = 0; i < r.violations.size(); ++i)
+        os << (i ? ", " : "") << "\""
+           << campaignJsonEscape(r.violations[i]) << "\"";
+    os << "], \"warnings\": [";
+    for (std::size_t i = 0; i < r.warnings.size(); ++i)
+        os << (i ? ", " : "") << "\""
+           << campaignJsonEscape(r.warnings[i]) << "\"";
+    os << "] }";
+    return os.str();
+}
+
+/**
+ * Write a campaign batch as one JSON document:
+ *   { "tool": ..., "campaigns": [ {...}, ... ] }
+ * @return false on I/O error.
+ */
+inline bool
+writeCampaignJson(const std::string &path, const std::string &tool,
+                  const std::vector<CampaignResult> &results)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << "{\n  \"tool\": \"" << campaignJsonEscape(tool)
+       << "\",\n  \"campaigns\": [";
+    for (std::size_t i = 0; i < results.size(); ++i)
+        os << (i ? ",\n    " : "\n    ") << campaignJson(results[i]);
+    os << "\n  ]\n}\n";
+    return static_cast<bool>(os);
+}
+
+} // namespace chaos
+} // namespace tpnet
+
+#endif // TPNET_CHAOS_REPORT_HPP

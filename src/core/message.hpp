@@ -122,6 +122,23 @@ struct Message
      *  support (distinguishes Lost from Undeliverable at retirement). */
     bool lostToFault = false;
 
+    // --- Deadlock recovery (cfg.recoveryMode) ----------------------------
+    /** Times this message was sacrificed to heal a knot. */
+    int healAttempts = 0;
+
+    /** Cycle of the most recent victimization (0 = never). */
+    Cycle lastHealAt = 0;
+
+    /** A heal abort walk is in flight; its completion schedules the
+     *  heal retransmission (not the ordinary retry path). */
+    bool healPending = false;
+
+    /** Knot hash the in-flight heal is resolving. */
+    std::uint64_t healKnotHash = 0;
+
+    /** Cycle the in-flight heal started (heal latency = done - this). */
+    Cycle healStartedAt = 0;
+
     // --- Per-message statistics ------------------------------------------
     int detoursBuilt = 0;
     int backtracksTaken = 0;

@@ -8,7 +8,8 @@ Network::Network(const SimConfig &cfg)
     : cfg_(cfg),
       topo_(cfg.k, cfg.n, cfg.wrap),
       rng_(cfg.seed),
-      proto_(makeProtocol(cfg))
+      proto_(makeProtocol(cfg)),
+      victimRng_(cfg.seed ^ 0x5EED5EEDC4A0B0D5ull)
 {
     cfg_.validate();
 
@@ -34,8 +35,10 @@ Network::Network(const SimConfig &cfg)
 
     injQ_.resize(static_cast<std::size_t>(topo_.nodes()));
 
-    if (cfg_.verifyCwg)
+    if (cfg_.verifyCwg || cfg_.recoveryMode)
         cwg_ = std::make_unique<verify::CwgTracker>(*this);
+    if (cfg_.recoveryMode)
+        cwg_->armRecovery();
 
     applyStaticFaults();
 }
@@ -136,6 +139,11 @@ Network::step()
     retireMessages();
     if (cwg_) {
         cwg_->onCycleEnd(now_);
+        // Recovery mode: heal the knots the tracker just confirmed
+        // before the strict check below, so a heal-budget escalation
+        // surfaces as a violation this same cycle.
+        if (cfg_.recoveryMode)
+            stepHeals();
         // In strict/CLI mode a violation (escape cycle or knot) is
         // fatal, like the plain watchdog. Campaigns run with
         // watchdog == 0 and collect the diagnoses instead. Persistent

@@ -185,6 +185,19 @@ class Network
     int escapeVcCount() const { return cfg_.escapeVcs; }
     int vcCount() const { return cfg_.vcsPerLink(); }
 
+    /**
+     * Lowest VC index the adaptive selection functions may use. In
+     * avoidance mode the escape partition [0, escapeVcs) is reserved
+     * for the deterministic subfunction (Theorem 3); recovery mode
+     * frees it — the whole VC range is adaptive, and the CWG knot
+     * detector plus the heal engine stand in for the escape contract.
+     */
+    int
+    adaptiveVcFloor() const
+    {
+        return cfg_.recoveryMode ? 0 : cfg_.escapeVcs;
+    }
+
     /** First free adaptive VC on (node, port), or -1. */
     int freeAdaptiveVc(NodeId node, int port) const;
 
@@ -282,6 +295,24 @@ class Network
     /** Injection queue length at @p node (tests). */
     std::size_t injQueueLen(NodeId node) const;
 
+    // --- Deadlock recovery (flow/heal.cpp) ------------------------------
+    /**
+     * One victimization record, appended per heal so campaigns can
+     * audit determinism across --jobs and dump wedges post-mortem.
+     */
+    struct HealRecord
+    {
+        Cycle at;
+        std::uint64_t knotHash;
+        MsgId victim;
+        int attempt;  ///< victim's healAttempts after this heal
+    };
+
+    const std::vector<HealRecord> &healLog() const { return healLog_; }
+
+    /** Dedicated deterministic RNG stream of the victim layer. */
+    Rng &victimRng() { return victimRng_; }
+
   private:
     // --- Phases (core/network.cpp) -------------------------------------
     void phaseRcu();
@@ -363,6 +394,27 @@ class Network
     void finalizeKillWalk(Message &msg);
     void synchronousRelease(Message &msg, int from_hop, int to_hop);
 
+    /** Tear the circuit down with kill walks (abort semantics); on an
+     *  empty path the retry/heal retransmission fires immediately. */
+    void launchAbortWalk(Message &msg);
+
+    /** Abort walk drained: route to the retry or the heal path. */
+    void finalizeAbortRetry(Message &msg);
+
+    // --- Heal engine (flow/heal.cpp) -----------------------------------
+    /** Drain pending knots from the tracker and heal each one. */
+    void stepHeals();
+
+    /** Sacrifice @p msg to dissolve knot @p hash. */
+    void healVictim(Message &msg, std::uint64_t hash);
+
+    /** Victim's circuit is fully torn down: close the heal episode. */
+    void finishHeal(Message &msg);
+
+    /** Schedule the victim's retransmission (heal backoff; does not
+     *  consume an ordinary retry). */
+    void scheduleHealRetry(Message &msg);
+
     void noteActivity() { lastActivity_ = now_; }
     void checkWatchdog();
 
@@ -382,6 +434,13 @@ class Network
     Counters counters_;
     TraceSink *trace_ = nullptr;
     std::unique_ptr<verify::CwgTracker> cwg_;
+
+    // Deadlock recovery state. The victim RNG is a dedicated stream
+    // (never the traffic RNG) so arming recovery cannot perturb a run
+    // that forms no knots, and campaigns stay jobs-invariant.
+    Rng victimRng_;
+    std::unordered_map<std::uint64_t, int> knotHealCount_;
+    std::vector<HealRecord> healLog_;
     Cycle now_ = 0;
     Cycle lastActivity_ = 0;
     MsgId nextMsgId_ = 0;

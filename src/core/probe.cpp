@@ -342,7 +342,7 @@ Network::channelSafe(NodeId node, int port) const
 int
 Network::freeAdaptiveVc(NodeId node, int port) const
 {
-    return linkAt(node, port).firstFreeVc(cfg_.escapeVcs,
+    return linkAt(node, port).firstFreeVc(adaptiveVcFloor(),
                                           cfg_.vcsPerLink());
 }
 

@@ -90,6 +90,11 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
     RunningStat dfrac;
     VcMetrics vcm;
     std::uint64_t undeliverable = 0;
+    // Recovery-mode totals: summed (not averaged) across replications,
+    // with the heal-latency accumulators merged exactly.
+    std::uint64_t knots = 0, victims = 0, healRetx = 0, healEsc = 0;
+    RunningStat healLat;
+    Histogram healHist{4.0, 64};
     RunResult last;
 
     std::size_t reps = 0;
@@ -102,6 +107,12 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
         dfrac.add(last.deliveredFraction);
         vcm.merge(last.vc);
         undeliverable += last.undeliverable;
+        knots += last.counters.knotsDetected;
+        victims += last.counters.victimsAborted;
+        healRetx += last.counters.healRetransmits;
+        healEsc += last.counters.healEscalations;
+        healLat.merge(last.counters.healLatency);
+        healHist.merge(last.counters.healLatencyHist);
         if (reps >= min_reps && lat.acceptable(min_reps) &&
             thr.acceptable(min_reps)) {
             out.converged = true;
@@ -116,6 +127,12 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
     out.mean.deliveredFraction = dfrac.mean();
     out.mean.vc = vcm;
     out.mean.undeliverable = undeliverable / reps;
+    out.mean.counters.knotsDetected = knots;
+    out.mean.counters.victimsAborted = victims;
+    out.mean.counters.healRetransmits = healRetx;
+    out.mean.counters.healEscalations = healEsc;
+    out.mean.counters.healLatency = healLat;
+    out.mean.counters.healLatencyHist = healHist;
     out.latencyHw95 = lat.halfWidth95();
     out.throughputHw95 = thr.halfWidth95();
     out.replications = reps;

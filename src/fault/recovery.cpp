@@ -31,11 +31,16 @@ Network::abortSetup(Message &msg)
         trace_->probeEvent(now_, msg, ProbeEvent::Aborted);
     if (cwg_)
         cwg_->onMessageGone(msg.id);
+    launchAbortWalk(msg);
+}
 
+void
+Network::launchAbortWalk(Message &msg)
+{
     if (msg.path.empty()) {
         // Probe never left the source (or fully unwound): no circuit to
         // tear down.
-        scheduleRetry(msg);
+        finalizeAbortRetry(msg);
         return;
     }
 
@@ -55,6 +60,19 @@ Network::abortSetup(Message &msg)
     kill.epoch = msg.epoch;
     kill.readyAt = now_ + 1;
     relayUpstream(msg, kill);
+}
+
+void
+Network::finalizeAbortRetry(Message &msg)
+{
+    if (msg.healPending) {
+        // A heal abort: close the heal episode, then retransmit on the
+        // heal backoff schedule (heals do not consume ordinary retries).
+        finishHeal(msg);
+        scheduleHealRetry(msg);
+        return;
+    }
+    scheduleRetry(msg);
 }
 
 void
@@ -166,7 +184,7 @@ Network::finalizeKillWalk(Message &msg)
 
     if (msg.killIsAbort) {
         msg.killIsAbort = false;
-        scheduleRetry(msg);
+        finalizeAbortRetry(msg);
         return;
     }
 

@@ -59,6 +59,14 @@ struct Counters
     /// ownership kill sweep cannot see it).
     std::uint64_t headersSalvaged = 0;
 
+    // Deadlock recovery (cfg.recoveryMode)
+    std::uint64_t knotsDetected = 0;    ///< confirmed knots (heal episodes)
+    std::uint64_t victimsAborted = 0;   ///< circuits sacrificed to heals
+    std::uint64_t healRetransmits = 0;  ///< victim retransmissions scheduled
+    std::uint64_t healEscalations = 0;  ///< heal budget exhausted: verdict
+    RunningStat healLatency;            ///< knot confirm -> circuit torn down
+    Histogram healLatencyHist{4.0, 64};
+
     // Measurement window
     std::uint64_t measuredGenerated = 0;
     std::uint64_t measuredDelivered = 0;

@@ -34,6 +34,16 @@ duatoSelect(Network &net, Message &msg)
     const int ep = net.ecubePort(msg);
     if (ep < 0)
         return Decision::eject();
+    if (net.config().recoveryMode) {
+        // Recovery mode: the escape partition is part of the adaptive
+        // scan above (adaptiveVcFloor() == 0), so there is no separate
+        // escape fallback — a blocked header just waits, and the knot
+        // detector heals any deadlock that forms. A faulty e-cube port
+        // still aborts: DP has no detour or backtracking.
+        if (net.channelFaulty(msg.hdr.cur, ep))
+            return Decision::abort();
+        return Decision::block();
+    }
     if (net.channelFaulty(msg.hdr.cur, ep)) {
         // DP itself is not fault tolerant: there is no detour and no
         // backtracking, so a faulty escape channel is a wait that can
@@ -77,7 +87,11 @@ ScoutingRouting::route(Network &net, Message &msg)
 
     const int ep = net.ecubePort(msg);
     const std::uint32_t tried = net.triedHere(msg);
-    if (!net.channelFaulty(msg.hdr.cur, ep) &&
+    // Recovery mode folds the escape VCs into the adaptive scan above,
+    // so the escape-class fallback disappears; the untried-healthy
+    // wait and the backtracking search below still apply unchanged.
+    if (!net.config().recoveryMode &&
+        !net.channelFaulty(msg.hdr.cur, ep) &&
         !(tried & (1u << ep))) {
         if (net.escapeVcFree(msg, ep))
             return Decision::forward(ep, net.escapeClass(msg, ep));

@@ -49,7 +49,7 @@ adaptiveProfitable(Network &net, const Message &msg, Safety safety)
         const int vc = net.freeAdaptiveVc(cur, port);
         if (vc >= 0)
             return Candidate{port, vc};
-        noteCandidateRange(net, cur, port, net.escapeVcCount(),
+        noteCandidateRange(net, cur, port, net.adaptiveVcFloor(),
                       net.vcCount());
     }
     return std::nullopt;
@@ -87,7 +87,7 @@ anyAdaptiveProfitableUntried(Network &net, Message &msg)
         const int vc = net.freeAdaptiveVc(cur, port);
         if (vc >= 0)
             return Candidate{port, vc};
-        noteCandidateRange(net, cur, port, net.escapeVcCount(),
+        noteCandidateRange(net, cur, port, net.adaptiveVcFloor(),
                       net.vcCount());
     }
     return std::nullopt;
@@ -128,7 +128,7 @@ misrouteUntried(Network &net, Message &msg, bool adaptive_only,
             continue;  // handled by the profitable step
         if (net.channelFaulty(cur, port))
             continue;
-        const int lo = adaptive_only ? net.escapeVcCount() : 0;
+        const int lo = adaptive_only ? net.adaptiveVcFloor() : 0;
         const int vc = net.linkAt(cur, port).firstFreeVc(lo,
                                                          net.vcCount());
         if (vc >= 0)

@@ -54,7 +54,13 @@ TwoPhaseRouting::route(Network &net, Message &msg)
         const bool ep_unsafe = !ep_faulty && net.channelUnsafe(hdr.cur, ep);
 
         // 2. Safe deterministic channel; block while it is merely busy.
+        //    Recovery mode folds the escape VCs into step 1's adaptive
+        //    scan (adaptiveVcFloor() == 0), so a healthy safe e-cube
+        //    port simply means "wait" — its candidates are already
+        //    committed, and a knot that forms is healed, not avoided.
         if (!ep_faulty && !ep_unsafe) {
+            if (net.config().recoveryMode)
+                return Decision::block();
             if (net.escapeVcFree(msg, ep))
                 return Decision::forward(ep, net.escapeClass(msg, ep));
             net.cwgNoteCandidate(hdr.cur, ep, net.escapeClass(msg, ep));
@@ -69,7 +75,9 @@ TwoPhaseRouting::route(Network &net, Message &msg)
         }
 
         // 4. Unsafe deterministic channel -> switch to SR mode.
-        if (ep_unsafe && net.escapeVcFree(msg, ep)) {
+        //    (Recovery mode: subsumed by step 3's full-range scan.)
+        if (!net.config().recoveryMode && ep_unsafe &&
+            net.escapeVcFree(msg, ep)) {
             net.enterSrMode(msg);
             return Decision::forward(ep, net.escapeClass(msg, ep));
         }

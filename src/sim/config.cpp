@@ -88,6 +88,13 @@ SimConfig::validate() const
     }
     if (intermittentDownCycles < 1)
         tpnet_fatal("intermittentDownCycles must be >= 1");
+    if (recoveryMode && protocol == Protocol::DimOrder)
+        tpnet_fatal("recovery mode requires an adaptive protocol "
+                    "(DOR has no knot-forming freedom to reclaim)");
+    if (maxHealAttempts < 1)
+        tpnet_fatal("maxHealAttempts must be >= 1");
+    if (healBackoffBase < 1)
+        tpnet_fatal("healBackoffBase must be >= 1");
 }
 
 const char *
@@ -139,6 +146,38 @@ parseProtocolName(const std::string &name, Protocol *out)
     return false;
 }
 
+const char *
+victimPolicyName(VictimPolicy p)
+{
+    switch (p) {
+      case VictimPolicy::YoungestMessage: return "youngest";
+      case VictimPolicy::FewestHopsHeld:  return "fewest-hops";
+      case VictimPolicy::RandomSeeded:    return "random";
+    }
+    return "?";
+}
+
+bool
+parseVictimPolicyName(const std::string &name, VictimPolicy *out)
+{
+    const struct
+    {
+        const char *name;
+        VictimPolicy policy;
+    } table[] = {
+        {"youngest", VictimPolicy::YoungestMessage},
+        {"fewest-hops", VictimPolicy::FewestHopsHeld},
+        {"random", VictimPolicy::RandomSeeded},
+    };
+    for (const auto &row : table) {
+        if (name == row.name) {
+            *out = row.policy;
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 parsePatternName(const std::string &name, TrafficPattern *out)
 {
@@ -183,6 +222,8 @@ SimConfig::summary() const
         os << ", TAck";
     if (verifyCwg)
         os << ", CWG";
+    if (recoveryMode)
+        os << ", recovery(" << victimPolicyName(victimPolicy) << ")";
     return os.str();
 }
 

@@ -40,6 +40,18 @@ enum class FlowMode : std::uint8_t {
     PcsSetup,  ///< data held at source until full path acknowledgment
 };
 
+/**
+ * Recovery-mode victim selection policy: which member of a confirmed
+ * knot gets its circuit aborted and retransmitted. All policies are
+ * deterministic functions of (knot closure, config, seed) so campaign
+ * results are bit-identical for any --jobs.
+ */
+enum class VictimPolicy : std::uint8_t {
+    YoungestMessage, ///< most recently created (least sunk cost)
+    FewestHopsHeld,  ///< holds the fewest VC trios (cheapest teardown)
+    RandomSeeded,    ///< uniform over the closure, dedicated RNG stream
+};
+
 /** Synthetic destination distribution. */
 enum class TrafficPattern : std::uint8_t {
     Uniform,       ///< uniform over healthy nodes != source (paper)
@@ -140,6 +152,23 @@ struct SimConfig
     /// way); off by default so the common path pays nothing.
     bool verifyCwg = false;
 
+    // --- Deadlock recovery ---------------------------------------------
+    /// Detect-and-heal instead of avoidance: the escape partition is
+    /// released for fully adaptive use (deadlock can now actually form)
+    /// and the CWG knot classifier becomes an active protocol layer —
+    /// a confirmed knot selects a victim, aborts its circuit through
+    /// the kill-walk machinery, and retransmits it from the source.
+    /// Off by default; when off, behavior is bit-identical to before.
+    bool recoveryMode = false;
+    /// Which knot member is sacrificed per heal.
+    VictimPolicy victimPolicy = VictimPolicy::YoungestMessage;
+    /// Livelock guard: if the same knot re-forms more than this many
+    /// times, healing escalates to a watchdog-style verdict.
+    int maxHealAttempts = 8;
+    /// Base of the per-victim exponential retransmission backoff, in
+    /// cycles (doubles per heal of the same message, capped).
+    int healBackoffBase = 16;
+
     // --- Derived helpers ---------------------------------------------------
     int nodes() const;            ///< k^n
     int radix() const { return 2 * n; }
@@ -161,6 +190,12 @@ const char *protocolName(Protocol p);
 
 /** Human-readable traffic pattern name. */
 const char *patternName(TrafficPattern p);
+
+/** Human-readable victim policy name. */
+const char *victimPolicyName(VictimPolicy p);
+
+/** Parse a victim policy name (youngest | fewest-hops | random). */
+bool parseVictimPolicyName(const std::string &name, VictimPolicy *out);
 
 /** Parse a protocol name (DOR | DP | SR | PCS | MB-m | TP). */
 bool parseProtocolName(const std::string &name, Protocol *out);

@@ -422,32 +422,39 @@ CwgTracker::classify(const std::vector<MsgId> &members) const
 {
     const int escapeVcs = net_.escapeVcCount();
     const int vcsPerLink = net_.vcCount();
-    bool allEscapeCommitted = true;
 
-    for (MsgId id : members) {
-        // Theorem 3 demands that the *escape* channel dependency graph
-        // stay acyclic. A member is committed to the escape subnetwork
-        // only when every wait it holds is on an escape-class trio; a
-        // cycle of such members breaks Duato's acyclic escape order
-        // outright, no reachability argument needed.
-        auto wit = waits_.find(id);
-        bool escapeCommitted = wit != waits_.end() &&
-                               !wit->second.empty();
-        if (wit != waits_.end()) {
-            for (const WaitRec &r : wit->second) {
-                const int vc = static_cast<int>(
-                    r.key % static_cast<VcKey>(vcsPerLink));
-                if (vc >= escapeVcs)
-                    escapeCommitted = false;
+    // Recovery mode frees the escape partition for fully adaptive use:
+    // there is no acyclic escape order left to violate, so the
+    // EscapeCycle verdict is meaningless and only the knot check
+    // decides deadlock.
+    if (!recovery_) {
+        bool allEscapeCommitted = true;
+        for (MsgId id : members) {
+            // Theorem 3 demands that the *escape* channel dependency
+            // graph stay acyclic. A member is committed to the escape
+            // subnetwork only when every wait it holds is on an
+            // escape-class trio; a cycle of such members breaks
+            // Duato's acyclic escape order outright, no reachability
+            // argument needed.
+            auto wit = waits_.find(id);
+            bool escapeCommitted = wit != waits_.end() &&
+                                   !wit->second.empty();
+            if (wit != waits_.end()) {
+                for (const WaitRec &r : wit->second) {
+                    const int vc = static_cast<int>(
+                        r.key % static_cast<VcKey>(vcsPerLink));
+                    if (vc >= escapeVcs)
+                        escapeCommitted = false;
+                }
+            }
+            if (!escapeCommitted) {
+                allEscapeCommitted = false;
+                break;
             }
         }
-        if (!escapeCommitted) {
-            allEscapeCommitted = false;
-            break;
-        }
+        if (allEscapeCommitted)
+            return CycleClass::EscapeCycle;
     }
-    if (allEscapeCommitted)
-        return CycleClass::EscapeCycle;
 
     // Knot check: the cycle is a true deadlock only if *nothing* in its
     // reachable closure can progress — every member's entire candidate
@@ -584,6 +591,25 @@ CwgTracker::reportCycle(const std::vector<MsgId> &members, bool from_sweep)
     const std::string diag = diagnose(members, cls);
     lastDiagnosis_ = diag;
 
+    // Recovery mode: a knot is the heal engine's problem, not (yet) a
+    // violation. Queue it once per formation; while the heal is in
+    // flight re-detections are suppressed, and knotHealed() re-arms
+    // the hash so a re-formed knot is queued (and counted) again.
+    if (recovery_ && cls == CycleClass::Knot) {
+        if (healing_.insert(hash).second) {
+            ++cyclesDetected_;
+            PendingKnot pk;
+            pk.cycle.cls = cls;
+            pk.cycle.at = net_.now();
+            pk.cycle.hash = hash;
+            pk.cycle.members = members;
+            pk.cycle.diagnosis = diag;
+            pk.closure = closureOf(members);
+            pendingKnots_.push_back(std::move(pk));
+        }
+        return;
+    }
+
     if (!reported_.count(hash)) {
         ++cyclesDetected_;
         if (!isViolation(cls))
@@ -609,6 +635,39 @@ CwgTracker::reportCycle(const std::vector<MsgId> &members, bool from_sweep)
     reported_.emplace(hash, false);
     benignSeen_.emplace(hash, net_.now());
     (void)from_sweep;
+}
+
+// --- Recovery mode ---------------------------------------------------------
+
+std::vector<PendingKnot>
+CwgTracker::takePendingKnots()
+{
+    std::vector<PendingKnot> out;
+    out.swap(pendingKnots_);
+    return out;
+}
+
+void
+CwgTracker::knotHealed(std::uint64_t hash)
+{
+    healing_.erase(hash);
+}
+
+void
+CwgTracker::escalate(const PendingKnot &knot)
+{
+    const std::uint64_t hash = knot.cycle.hash;
+    // The hash stays in healing_: once escalated, further re-detections
+    // of the same knot are noise — the verdict is already terminal.
+    healing_.insert(hash);
+    if (!reported_[hash] && violations_.size() < cfg_.maxViolations) {
+        CwgCycle c = knot.cycle;
+        c.at = net_.now();
+        c.diagnosis += "; heal budget exhausted (livelock escalation)";
+        lastDiagnosis_ = c.diagnosis;
+        violations_.push_back(std::move(c));
+    }
+    reported_[hash] = true;
 }
 
 void
@@ -739,7 +798,8 @@ CwgTracker::sweep(Cycle now)
         auto seen = benignSeen_.find(hash);
         if (seen != benignSeen_.end() &&
             now - seen->second >= cfg_.persistBound &&
-            !reported_[hash] && !warned_.count(hash)) {
+            !reported_[hash] && !warned_.count(hash) &&
+            !healing_.count(hash)) {
             const std::string diag =
                 diagnose(cycle, CycleClass::Persistent);
             lastDiagnosis_ = diag;

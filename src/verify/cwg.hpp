@@ -98,6 +98,17 @@ struct CwgCycle
     std::string diagnosis;
 };
 
+/**
+ * A confirmed knot queued for healing (recovery mode): the classified
+ * cycle plus its full reachable closure, from which the victim layer
+ * picks the message to sacrifice.
+ */
+struct PendingKnot
+{
+    CwgCycle cycle;
+    std::vector<MsgId> closure;  ///< deterministic discovery order
+};
+
 /** Tunables of the analyzer. */
 struct CwgConfig
 {
@@ -199,6 +210,34 @@ class CwgTracker
     {
         traceOffset_ = std::move(fn);
     }
+
+    // --- Recovery mode (cfg.recoveryMode) ------------------------------
+    /**
+     * Arm detect-and-heal: a confirmed knot is queued as a PendingKnot
+     * for the heal engine instead of being recorded as a violation,
+     * and the EscapeCycle verdict is disabled (recovery mode frees the
+     * escape partition for adaptive use, so no escape contract exists
+     * to violate). Knots only become violations again via escalate().
+     */
+    void armRecovery() { recovery_ = true; }
+    bool recoveryArmed() const { return recovery_; }
+
+    /** Drain the knots detected since the last call (heal engine). */
+    std::vector<PendingKnot> takePendingKnots();
+
+    /**
+     * The heal of knot @p hash completed (victim aborted and its trios
+     * released) or was abandoned: if the same member set deadlocks
+     * again, it is re-detected and re-queued as a fresh PendingKnot.
+     */
+    void knotHealed(std::uint64_t hash);
+
+    /**
+     * Livelock guard tripped: the same knot re-formed past the heal
+     * budget. Records the knot as a real violation (once per hash) so
+     * the watchdog/strict-mode machinery takes over.
+     */
+    void escalate(const PendingKnot &knot);
 
   private:
     struct WaitRec
@@ -306,6 +345,13 @@ class CwgTracker
     std::unordered_map<std::uint64_t, Cycle> benignSeen_;
     std::unordered_map<std::uint64_t, bool> reported_;
     std::unordered_set<std::uint64_t> warned_;
+
+    // Recovery mode: knots currently being healed (suppresses
+    // re-detection churn while the abort walk drains) and the queue
+    // the heal engine consumes.
+    bool recovery_ = false;
+    std::unordered_set<std::uint64_t> healing_;
+    std::vector<PendingKnot> pendingKnots_;
 
     std::vector<CwgCycle> violations_;
     std::vector<CwgCycle> warnings_;

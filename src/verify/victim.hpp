@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Victim selection for knot-triggered deadlock recovery.
+ *
+ * Given the reachable closure of a confirmed knot, pick the message to
+ * sacrifice. Every policy is a deterministic function of (closure,
+ * config, seed): candidates are canonicalized by id before any policy
+ * runs, and the random policy draws from the network's dedicated
+ * victim RNG stream (never the traffic RNG), so campaign results are
+ * bit-identical for any --jobs and arming recovery cannot perturb a
+ * run that forms no knots.
+ */
+
+#ifndef TPNET_VERIFY_VICTIM_HPP
+#define TPNET_VERIFY_VICTIM_HPP
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Network;
+
+namespace verify {
+
+/**
+ * Pick the knot member to abort, or invalidMsg when no closure member
+ * is eligible (all retired, terminal, or already being killed — the
+ * knot is dissolving on its own).
+ */
+MsgId selectVictim(Network &net, const std::vector<MsgId> &closure,
+                   VictimPolicy policy, Rng &rng);
+
+} // namespace verify
+} // namespace tpnet
+
+#endif // TPNET_VERIFY_VICTIM_HPP

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "chaos/campaign.hpp"
+#include "chaos/report.hpp"
 #include "sim/options.hpp"
 
 namespace {
@@ -101,6 +102,9 @@ main(int argc, char **argv)
     bool verbose = false;
     bool hook_skip_kills = false;
     bool verify_cwg = false;
+    bool recovery = false;
+    std::string victim = "youngest";
+    std::string json_path;
     std::string protocol = "TP";
 
     OptionParser parser(
@@ -138,6 +142,19 @@ main(int argc, char **argv)
                    "Theorem 3 violations fail the campaign with a full "
                    "cycle diagnosis",
                    &verify_cwg);
+    parser.addFlag("recovery",
+                   "knot-triggered deadlock recovery mode: free the "
+                   "escape bandwidth and heal knots by victim abort + "
+                   "retransmit (livelock escalations still fail)",
+                   &recovery);
+    parser.addString("victim",
+                     "recovery victim policy: youngest | fewest-hops "
+                     "| random",
+                     &victim);
+    parser.addString("json",
+                     "write per-campaign structured results (CWG "
+                     "counts, warnings, recovery stats) to this file",
+                     &json_path);
     parser.addFlag("hook-skip-kills",
                    "TEST HOOK: break recovery on purpose to prove the "
                    "oracle detects it (campaigns must FAIL)",
@@ -158,6 +175,18 @@ main(int argc, char **argv)
                      protocol.c_str());
         return 2;
     }
+    if (!parseVictimPolicyName(victim, &base.victimPolicy)) {
+        std::fprintf(stderr, "error: unknown victim policy '%s'\n",
+                     victim.c_str());
+        return 2;
+    }
+    if (recovery && base.protocol == Protocol::DimOrder) {
+        std::fprintf(stderr, "error: --recovery requires an adaptive "
+                             "protocol (DOR has no knot to heal "
+                             "around)\n");
+        return 2;
+    }
+    base.recoveryMode = recovery;
 
     const std::vector<GridPoint> grid =
         buildGrid(base.k, !no_vary_size);
@@ -177,10 +206,11 @@ main(int argc, char **argv)
     }
 
     std::printf("# tpnet_chaos: %zu campaign(s), protocol %s, grid of "
-                "%zu cells, inject %llu + drain %llu cycles\n",
+                "%zu cells, inject %llu + drain %llu cycles%s\n",
                 seeds.size(), protocolName(base.protocol), grid.size(),
                 static_cast<unsigned long long>(max_cycles),
-                static_cast<unsigned long long>(drain_cycles));
+                static_cast<unsigned long long>(drain_cycles),
+                recovery ? ", RECOVERY mode" : "");
 
     // Build every campaign spec up front, fan the independent,
     // seed-replayable campaigns out across the pool, then report in
@@ -239,15 +269,22 @@ main(int argc, char **argv)
             }
             if (!replay) {
                 std::printf("    replay: tpnet_chaos --replay-seed %llu"
-                            "%s%s\n",
+                            "%s%s%s\n",
                             static_cast<unsigned long long>(s),
                             hook_skip_kills ? " --hook-skip-kills" : "",
-                            no_vary_size ? " --no-vary-size" : "");
+                            no_vary_size ? " --no-vary-size" : "",
+                            recovery ? " --recovery" : "");
             }
         }
         std::fflush(stdout);
     }
 
+    if (!json_path.empty() &&
+        !writeCampaignJson(json_path, "tpnet_chaos", results)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     json_path.c_str());
+        return 2;
+    }
     if (failures == 0) {
         std::printf("# all %zu campaign(s) clean\n", seeds.size());
         return 0;

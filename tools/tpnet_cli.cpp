@@ -50,6 +50,7 @@ main(int argc, char **argv)
     SimConfig cfg;
     std::string protocol = "TP";
     std::string pattern = "uniform";
+    std::string victim = "youngest";
     std::string sweep;
     int reps = 1;
     int jobs = 0;
@@ -105,6 +106,18 @@ main(int argc, char **argv)
                    "run the channel-wait-for-graph deadlock analyzer "
                    "(Theorem 3 checked online; violations panic)",
                    &cfg.verifyCwg);
+    parser.addFlag("recovery",
+                   "knot-triggered deadlock recovery: free the escape "
+                   "bandwidth for adaptive use and heal detected knots "
+                   "by victim abort + source retransmit",
+                   &cfg.recoveryMode);
+    parser.addString("victim",
+                     "recovery victim policy: youngest | fewest-hops "
+                     "| random",
+                     &victim);
+    parser.addInt("heal-budget",
+                  "max heals per knot before livelock escalation",
+                  &cfg.maxHealAttempts);
     parser.addUint64("seed", "RNG seed", &cfg.seed);
     parser.addUint64("warmup", "warmup cycles", &cfg.warmup);
     parser.addUint64("measure", "measurement window cycles",
@@ -134,6 +147,11 @@ main(int argc, char **argv)
     if (!parsePatternName(pattern, &cfg.pattern)) {
         std::fprintf(stderr, "error: unknown pattern '%s'\n",
                      pattern.c_str());
+        return 1;
+    }
+    if (!parseVictimPolicyName(victim, &cfg.victimPolicy)) {
+        std::fprintf(stderr, "error: unknown victim policy '%s'\n",
+                     victim.c_str());
         return 1;
     }
     cfg.dynamicNodeFaults = dynamic_faults;

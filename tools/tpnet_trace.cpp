@@ -101,7 +101,18 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
     std::uint64_t seed = 1;
     int jobs = 1;
     int cycles = 0;
+    bool recovery = false;
+    std::string victim = "youngest";
     parser.addString("out", "output trace file", &out);
+    parser.addFlag("recovery",
+                   "record the scenario in knot-triggered deadlock "
+                   "recovery mode (digest comparison across --jobs "
+                   "checks recovery determinism)",
+                   &recovery);
+    parser.addString("victim",
+                     "recovery victim policy: youngest | fewest-hops "
+                     "| random",
+                     &victim);
     parser.addString("jsonl", "also write a JSONL text dump here",
                      &jsonl);
     parser.addString("scenario",
@@ -133,6 +144,14 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
         obs::goldenSpecs(seed)[static_cast<std::size_t>(idx)];
     if (cycles > 0)
         spec.cycles = static_cast<Cycle>(cycles);
+    if (recovery) {
+        spec.cfg.recoveryMode = true;
+        if (!parseVictimPolicyName(victim, &spec.cfg.victimPolicy)) {
+            std::fprintf(stderr, "error: unknown victim policy '%s'\n",
+                         victim.c_str());
+            return 1;
+        }
+    }
 
     const obs::TraceRecorder rec =
         obs::recordRun(spec, resolveJobs(jobs));

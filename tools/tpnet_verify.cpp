@@ -26,9 +26,19 @@
  * printed as a single replayable command, topology-qualified and with
  * the surviving events inline.
  *
+ * With --recovery the same grid runs in knot-triggered deadlock
+ * recovery mode (DESIGN.md Section 6g): escape bandwidth is released
+ * to the adaptive pool, and every confirmed knot is healed by aborting
+ * a victim instead of being reported as a violation — only heal-budget
+ * escalations (livelock) fail a campaign. --compare runs the headline
+ * avoidance-vs-recovery experiment: both modes over the full grid at
+ * each point of a fault-intensity axis, summarized as one table.
+ *
  * Examples:
  *   tpnet_verify --campaigns 200 --jobs 8
  *   tpnet_verify --campaigns 25 --max-cycles 6000
+ *   tpnet_verify --campaigns 200 --recovery --victim fewest-hops
+ *   tpnet_verify --compare --campaigns 80 --jobs 8
  *   tpnet_verify --replay-seed 42 --k 16 --n 2 --verbose
  *   tpnet_verify --replay-seed 42 --fault-events "120:n:5:-1:0"
  */
@@ -40,6 +50,7 @@
 #include <vector>
 
 #include "chaos/campaign.hpp"
+#include "chaos/report.hpp"
 #include "chaos/shrink.hpp"
 #include "sim/options.hpp"
 
@@ -207,6 +218,9 @@ replayCommand(const CampaignSpec &spec)
         os << " --tail-ack";
     if (spec.cfg.hardwareAcks)
         os << " --hardware-acks";
+    if (spec.cfg.recoveryMode)
+        os << " --recovery --victim "
+           << victimPolicyName(spec.cfg.victimPolicy);
     char load[32];
     std::snprintf(load, sizeof load, "%.4f", spec.cfg.load);
     os << " --load " << load << " --inject " << spec.injectCycles;
@@ -219,6 +233,129 @@ replayCommand(const CampaignSpec &spec)
            << " --intermittents " << spec.faults.intermittents;
     }
     return os.str();
+}
+
+/** Aggregate one mode x fault-intensity cell of the comparison. */
+struct ModeTotals
+{
+    int failures = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t undeliverable = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t knots = 0;
+    std::uint64_t victims = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t escalations = 0;
+    RunningStat healLat;
+
+    void
+    fold(const CampaignResult &r)
+    {
+        if (!r.passed)
+            ++failures;
+        violations += r.violations.size();
+        delivered += r.counters.delivered;
+        undeliverable += r.counters.dropped;
+        lost += r.counters.lost;
+        knots += r.counters.knotsDetected;
+        victims += r.counters.victimsAborted;
+        retransmits += r.counters.healRetransmits;
+        escalations += r.counters.healEscalations;
+        healLat.merge(r.counters.healLatency);
+    }
+};
+
+/**
+ * The headline experiment: avoidance (reserved escape bandwidth,
+ * Theorem 3 contract verified online) vs recovery (escape pool freed,
+ * knots detected and healed) over the full grid, swept across a fault-
+ * intensity axis. Each (fx, mode) cell runs the same seeds, so the
+ * fault timelines and traffic streams are shared between the columns.
+ */
+int
+runComparison(const SimConfig &base, const std::vector<GridPoint> &grid,
+              std::uint64_t seed, int campaigns, int jobs,
+              Cycle inject, Cycle drain, VictimPolicy victim_policy,
+              const std::string &json_path)
+{
+    const double axis[] = {0.5, 1.0, 2.0, 4.0};
+
+    std::printf("# avoidance vs recovery: %d campaign(s) per cell over "
+                "the %zu-cell grid, fault-intensity axis x{0.5, 1, 2, "
+                "4}, victim policy %s\n",
+                campaigns, grid.size(),
+                victimPolicyName(victim_policy));
+    std::printf("# %-4s %-10s %5s %5s %7s %8s %8s %5s %10s %8s %7s %9s\n",
+                "fx", "mode", "fail", "viol", "knots", "victims",
+                "retx", "esc", "delivered", "undeliv", "lost",
+                "heal_lat");
+
+    std::vector<CampaignResult> all_results;
+    int failures = 0;
+    for (double fx : axis) {
+        for (int mode = 0; mode < 2; ++mode) {
+            const bool recovery = mode == 1;
+            std::vector<CampaignSpec> specs;
+            specs.reserve(static_cast<std::size_t>(campaigns));
+            for (int i = 0; i < campaigns; ++i) {
+                const std::uint64_t s =
+                    seed + static_cast<std::uint64_t>(i);
+                const GridPoint &g = grid[s % grid.size()];
+                CampaignSpec spec =
+                    buildSpec(base, g, s, inject, drain, fx);
+                if (recovery) {
+                    spec.cfg.recoveryMode = true;
+                    spec.cfg.victimPolicy = victim_policy;
+                }
+                specs.push_back(spec);
+            }
+            const std::vector<CampaignResult> results =
+                runCampaigns(specs, jobs);
+            ModeTotals t;
+            for (const CampaignResult &r : results)
+                t.fold(r);
+            failures += t.failures;
+            char lat[32];
+            if (t.healLat.count() > 0)
+                std::snprintf(lat, sizeof lat, "%9.1f",
+                              t.healLat.mean());
+            else
+                std::snprintf(lat, sizeof lat, "%9s", "-");
+            std::printf("  %-4.1f %-10s %5d %5llu %7llu %8llu %8llu "
+                        "%5llu %10llu %8llu %7llu %s\n",
+                        fx, recovery ? "recovery" : "avoidance",
+                        t.failures,
+                        static_cast<unsigned long long>(t.violations),
+                        static_cast<unsigned long long>(t.knots),
+                        static_cast<unsigned long long>(t.victims),
+                        static_cast<unsigned long long>(t.retransmits),
+                        static_cast<unsigned long long>(t.escalations),
+                        static_cast<unsigned long long>(t.delivered),
+                        static_cast<unsigned long long>(
+                            t.undeliverable),
+                        static_cast<unsigned long long>(t.lost), lat);
+            std::fflush(stdout);
+            for (const CampaignResult &r : results)
+                all_results.push_back(r);
+        }
+    }
+
+    if (!json_path.empty() &&
+        !writeCampaignJson(json_path, "tpnet_verify --compare",
+                           all_results)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     json_path.c_str());
+        return 2;
+    }
+    if (failures == 0) {
+        std::printf("# comparison clean: no violations in either "
+                    "mode\n");
+        return 0;
+    }
+    std::printf("# %d campaign(s) FAILED across the comparison\n",
+                failures);
+    return 1;
 }
 
 } // namespace
@@ -248,6 +385,10 @@ main(int argc, char **argv)
     bool hardware_acks = false;
     bool no_shrink = false;
     bool verbose = false;
+    bool recovery = false;
+    bool compare = false;
+    std::string victim = "youngest";
+    std::string json_path;
     std::string protocol;
     std::string fault_events;
 
@@ -301,6 +442,23 @@ main(int argc, char **argv)
     parser.addDouble("fault-scale",
                      "global multiplier on the per-campaign fault mix",
                      &fault_scale);
+    parser.addFlag("recovery",
+                   "knot-triggered deadlock recovery mode: heal knots "
+                   "by victim abort + retransmit instead of reserving "
+                   "escape bandwidth",
+                   &recovery);
+    parser.addString("victim",
+                     "recovery victim policy: youngest | fewest-hops "
+                     "| random",
+                     &victim);
+    parser.addFlag("compare",
+                   "headline experiment: avoidance vs recovery over "
+                   "the grid across a fault-intensity axis",
+                   &compare);
+    parser.addString("json",
+                     "write per-campaign structured results (CWG "
+                     "counts, warnings, recovery stats) to this file",
+                     &json_path);
     parser.addFlag("no-shrink", "report failures without minimizing",
                    &no_shrink);
     parser.addFlag("verbose", "print every violation in full", &verbose);
@@ -323,7 +481,24 @@ main(int argc, char **argv)
         return 2;
     }
 
+    VictimPolicy victim_policy = VictimPolicy::YoungestMessage;
+    if (!parseVictimPolicyName(victim, &victim_policy)) {
+        std::fprintf(stderr, "error: unknown victim policy '%s'\n",
+                     victim.c_str());
+        return 2;
+    }
+
     const std::vector<GridPoint> grid = buildGrid();
+
+    if (compare) {
+        if (campaigns < 1) {
+            std::fprintf(stderr, "error: --campaigns must be >= 1\n");
+            return 2;
+        }
+        return runComparison(base, grid, seed, campaigns, jobs,
+                             max_cycles, drain_cycles, victim_policy,
+                             json_path);
+    }
 
     std::vector<std::uint64_t> seeds;
     const bool replay = replay_seed != 0;
@@ -374,6 +549,10 @@ main(int argc, char **argv)
             spec.faults.linkKills = link_kills;
         if (intermittents >= 0)
             spec.faults.intermittents = intermittents;
+        if (recovery) {
+            spec.cfg.recoveryMode = true;
+            spec.cfg.victimPolicy = victim_policy;
+        }
         if (!scripted.empty())
             spec.scriptedFaults = scripted;
         specs.push_back(spec);
@@ -382,10 +561,11 @@ main(int argc, char **argv)
     std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells "
                 "(8-ary/16-ary 2-cubes, binary/4-ary 3-cubes, ack "
                 "variants), inject %llu + drain %llu cycles, CWG "
-                "armed\n",
+                "armed%s\n",
                 seeds.size(), grid.size(),
                 static_cast<unsigned long long>(max_cycles),
-                static_cast<unsigned long long>(drain_cycles));
+                static_cast<unsigned long long>(drain_cycles),
+                recovery ? ", RECOVERY mode" : "");
 
     const std::vector<CampaignResult> results =
         runCampaigns(specs, jobs);
@@ -394,11 +574,19 @@ main(int argc, char **argv)
     std::uint64_t cycles_seen = 0;
     std::uint64_t benign_seen = 0;
     std::uint64_t warnings_seen = 0;
+    std::uint64_t knots_seen = 0;
+    std::uint64_t victims_seen = 0;
+    std::uint64_t retx_seen = 0;
+    std::uint64_t esc_seen = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const CampaignResult &r = results[i];
         cycles_seen += r.cwgCycles;
         benign_seen += r.cwgBenign;
         warnings_seen += r.cwgWarnings;
+        knots_seen += r.counters.knotsDetected;
+        victims_seen += r.counters.victimsAborted;
+        retx_seen += r.counters.healRetransmits;
+        esc_seen += r.counters.healEscalations;
         std::printf("%-40s %s\n",
                     describe(grid[seeds[i] % grid.size()]).c_str(),
                     r.summary().c_str());
@@ -451,6 +639,21 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(cycles_seen),
                 static_cast<unsigned long long>(benign_seen),
                 static_cast<unsigned long long>(warnings_seen));
+    if (recovery) {
+        std::printf("# recovery: %llu knot(s) detected, %llu victim "
+                    "abort(s), %llu retransmission(s), %llu "
+                    "escalation(s)\n",
+                    static_cast<unsigned long long>(knots_seen),
+                    static_cast<unsigned long long>(victims_seen),
+                    static_cast<unsigned long long>(retx_seen),
+                    static_cast<unsigned long long>(esc_seen));
+    }
+    if (!json_path.empty() &&
+        !writeCampaignJson(json_path, "tpnet_verify", results)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     json_path.c_str());
+        return 2;
+    }
     if (failures == 0) {
         std::printf("# all %zu campaign(s) clean\n", seeds.size());
         return 0;
