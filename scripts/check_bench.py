@@ -175,9 +175,40 @@ def self_test():
     mixed["fast"] = False
     cases.append(("fast-mode mismatch", doc, mixed, 1))
 
+    # Sharded-run metadata riding along in a result JSON is inert for
+    # the perf gate: shard framing, manifest/cache bookkeeping, and
+    # checkpoint digests are strings/objects, never compared values.
+    shard_meta = copy.deepcopy(doc)
+    shard_meta["shard"] = {"index": 0, "count": 4, "total": 80,
+                           "key": "a0b1c2d3e4f50617",
+                           "result_digest": "0123456789abcdef"}
+    shard_meta["manifest"] = {"tool": "tpnet_verify", "count": 4}
+    shard_meta["cache"] = {"hit": True, "dir": "ck-cache"}
+    for pt in shard_meta["series"][0]["points"]:
+        pt["tail_digest"] = "feedfacecafebeef"
+        pt["state_digest"] = "00ddba11deadbea7"
+    cases.append(("shard/manifest/cache/digest keys are inert",
+                  doc, shard_meta, 0))
+    cases.append(("shard keys in the baseline are never diffed",
+                  shard_meta, doc, 0))
+
+    # The restore-overhead gate: a checkpoint-armed run must stay
+    # within +5% wall of the unarmed baseline (--wall-tol 0.05).
+    ok_restore = copy.deepcopy(doc)
+    ok_restore["wall_seconds"] = 10.4
+    cases.append(("restore overhead +4% passes the 5% wall gate",
+                  doc, ok_restore, 0, 0.05))
+    slow_restore = copy.deepcopy(doc)
+    slow_restore["wall_seconds"] = 10.8
+    cases.append(("restore overhead +8% trips the 5% wall gate",
+                  doc, slow_restore, 1, 0.05))
+
     bad = 0
-    for name, base, cur, want in cases:
-        failures = compare(base, cur, wall_tol=0.25, latency_tol=0.25,
+    for case in cases:
+        name, base, cur, want = case[:4]
+        wall_tol = case[4] if len(case) > 4 else 0.25
+        failures = compare(base, cur, wall_tol=wall_tol,
+                           latency_tol=0.25,
                            out=open("/dev/null", "w"))
         status = "ok" if len(failures) == want else "FAIL"
         bad += status == "FAIL"

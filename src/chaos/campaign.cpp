@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <sstream>
 
+#include "chaos/manifest.hpp"
 #include "chaos/oracle.hpp"
+#include "chaos/snapshot.hpp"
 #include "core/network.hpp"
 #include "core/pool.hpp"
+#include "obs/checkpoint.hpp"
 #include "traffic/injector.hpp"
 
 namespace tpnet {
@@ -77,26 +80,90 @@ runCampaign(const CampaignSpec &spec)
     }
 
     DeliveryOracle oracle(net);
-    net.attachTrace(&oracle);
     Watchdog watchdog(net, spec.watchdog);
     Injector injector(net);
 
-    for (Cycle c = 0; c < spec.injectCycles && !watchdog.deadlocked();
+    // Checkpoint/restore plumbing. The tee forwards every event to the
+    // oracle unchanged and only folds a digest on the side, so arming
+    // it cannot perturb the run; when it is off the oracle is attached
+    // directly, exactly as before.
+    const bool ckArmed = spec.checkpointEvery > 0 ||
+                         !spec.checkpointPath.empty() ||
+                         !spec.restorePath.empty();
+    obs::DigestTee tee(&oracle);
+    net.attachTrace(ckArmed ? static_cast<TraceSink *>(&tee) : &oracle);
+
+    CampaignState st;
+    st.net = &net;
+    st.faultRng = &faultRng;
+    st.schedule = &schedule;
+    st.oracle = &oracle;
+    st.watchdog = &watchdog;
+    st.injector = &injector;
+
+    const std::uint64_t specDigest =
+        ckArmed ? campaignSpecDigest(spec) : 0;
+
+    if (!spec.restorePath.empty()) {
+        std::string err;
+        if (!readCampaignCheckpoint(spec.restorePath, specDigest, st,
+                                    &err)) {
+            net.attachTrace(nullptr);
+            result.checkpointError = err;
+            result.violations.push_back("checkpoint: restore failed: " +
+                                        err);
+            result.passed = false;
+            return result;
+        }
+        result.restored = true;
+        result.restoredAt = net.now();
+        tee.reset(net.now());
+    }
+
+    auto maybeCheckpoint = [&](std::uint8_t phase) {
+        if (spec.checkpointEvery == 0 || spec.checkpointPath.empty())
+            return;
+        if (net.now() == 0 || net.now() % spec.checkpointEvery != 0)
+            return;
+        st.phase = phase;
+        std::string err;
+        if (writeCampaignCheckpoint(spec.checkpointPath, specDigest, st,
+                                    &err)) {
+            ++result.checkpointsWritten;
+            tee.reset(net.now());
+        } else if (result.checkpointError.empty()) {
+            result.checkpointError = err;
+            result.violations.push_back(
+                "checkpoint: write failed: " + err);
+        }
+    };
+
+    if (st.phase == 0) {
+        for (Cycle c = net.now();
+             c < spec.injectCycles && !watchdog.deadlocked(); ++c) {
+            maybeCheckpoint(0);
+            schedule.apply(net, faultRng);
+            injector.step();
+            net.step();
+            watchdog.observe();
+        }
+        injector.stop();
+    }
+    for (Cycle c = st.phase == 1 ? net.now() - spec.injectCycles : 0;
+         c < spec.drainCycles && !net.quiescent() &&
+         !watchdog.deadlocked();
          ++c) {
-        schedule.apply(net, faultRng);
-        injector.step();
+        maybeCheckpoint(1);
+        schedule.apply(net, faultRng);  // scripted late events, if any
         net.step();
         watchdog.observe();
     }
 
-    injector.stop();
-    for (Cycle c = 0;
-         c < spec.drainCycles && !net.quiescent() &&
-         !watchdog.deadlocked();
-         ++c) {
-        schedule.apply(net, faultRng);  // scripted late events, if any
-        net.step();
-        watchdog.observe();
+    if (ckArmed) {
+        result.tailDigest = tee.digest();
+        result.tailDigestFrom = tee.tailFrom();
+        st.phase = 2;
+        result.stateDigest = campaignStateDigest(st);
     }
 
     result.quiescent = net.quiescent();

@@ -60,6 +60,20 @@ struct CampaignSpec
     /// campaign's violation list with its full diagnosis; persistent
     /// benign cycles are collected as warnings (advisory, non-fatal).
     bool verifyCwg = false;
+
+    // --- Checkpoint/restore (src/chaos/snapshot.hpp) -----------------
+    /// Write a checkpoint of the full harness state to checkpointPath
+    /// every N cycles (0 = off; the same file is overwritten
+    /// atomically, so the newest complete checkpoint always survives).
+    /// None of these fields participate in campaignSpecDigest: a
+    /// resumed campaign is the *same* campaign.
+    Cycle checkpointEvery = 0;
+    std::string checkpointPath;
+
+    /// Resume from this checkpoint instead of starting at cycle 0. The
+    /// restored run is bit-identical to the straight-through run: same
+    /// campaign JSON, same tail trace digest, same final state digest.
+    std::string restorePath;
 };
 
 /** Outcome of one campaign. */
@@ -114,6 +128,19 @@ struct CampaignResult
     /// it is, where it is, and what the CWG says it waits on) — the
     /// starting point of every wedge diagnosis.
     std::vector<std::string> liveDump;
+
+    // --- Checkpoint/restore observability (not part of campaignJson,
+    // so sharded/merged documents stay bit-identical) -----------------
+    /// FNV-1a digest of the trace events after the last checkpoint
+    /// boundary (the whole run when none was written). A restore from
+    /// that boundary must reproduce this value bit-identically.
+    std::uint64_t tailDigest = 0;
+    Cycle tailDigestFrom = 0;    ///< cycle the tail digest starts at
+    std::uint64_t stateDigest = 0;  ///< digest of the final harness state
+    std::uint64_t checkpointsWritten = 0;
+    bool restored = false;       ///< run resumed from a checkpoint
+    Cycle restoredAt = 0;        ///< cycle the restore landed on
+    std::string checkpointError; ///< non-empty: checkpoint I/O failed
 
     /** One-line human summary. */
     std::string summary() const;

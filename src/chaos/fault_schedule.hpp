@@ -28,6 +28,7 @@
 namespace tpnet {
 
 class Network;
+struct SnapshotAccess;
 
 namespace chaos {
 
@@ -65,6 +66,8 @@ struct ScheduleSpec
 /** An ordered fault timeline applied against a Network as it runs. */
 class FaultSchedule
 {
+    friend struct ::tpnet::SnapshotAccess;
+
   public:
     FaultSchedule() = default;
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Campaign sharding: stable shard keys, shard manifests, shard result
+ * files, the digest-addressed result cache, and the shard merger.
+ *
+ * A campaign grid is a pure function of (base config, cell, seed), so
+ * every cell can be addressed by a digest of its fully resolved
+ * CampaignSpec. A shard `i/N` owns the cells whose global index is
+ * congruent to i mod N — exact for ragged N (no cell dropped or
+ * duplicated) and round-robin, which matches the grids' interleaved
+ * cell order so every shard covers every topology block.
+ *
+ * The shard key is an FNV-1a fold of the owned cells' spec digests in
+ * order: it changes iff any owned cell's configuration, seed, fault
+ * timeline shape, or the shard geometry changes. Shard result files
+ * carry the key plus a digest of their campaign JSON lines, so the
+ * merger (and the cache) can detect stale or tampered shards. Merging
+ * reassembles the campaigns in global order through the exact
+ * writeCampaignJson framing — the merged document is bit-identical to
+ * the monolithic single-process run (asserted by tests and CI).
+ */
+
+#ifndef TPNET_CHAOS_MANIFEST_HPP
+#define TPNET_CHAOS_MANIFEST_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+
+namespace tpnet {
+namespace chaos {
+
+/** One shard of a campaign grid: index in [0, count). */
+struct ShardSpec
+{
+    int index = 0;
+    int count = 1;
+};
+
+/** Parse "i/N" (0-based). @return false on malformed or i >= N. */
+bool parseShardSpec(const std::string &text, ShardSpec *out);
+
+/** Round-robin ownership: shard owns global cell @p global_index. */
+inline bool
+shardOwns(const ShardSpec &s, std::size_t global_index)
+{
+    return global_index % static_cast<std::size_t>(s.count) ==
+           static_cast<std::size_t>(s.index);
+}
+
+/** Indices of the cells @p shard owns out of @p total, ascending. */
+std::vector<std::size_t> shardIndices(std::size_t total,
+                                      const ShardSpec &shard);
+
+/** Stable digest of a simulation configuration (versioned encoding). */
+std::uint64_t configDigest(const SimConfig &cfg);
+
+/** Stable digest of one fully resolved campaign cell. */
+std::uint64_t campaignSpecDigest(const CampaignSpec &spec);
+
+/** FNV-1a fold of the owned cells' spec digests, in order. */
+std::uint64_t shardKey(const std::vector<CampaignSpec> &specs,
+                       const ShardSpec &shard);
+
+/** FNV-1a fold over the campaign JSON lines (order-sensitive). */
+std::uint64_t resultDigest(const std::vector<std::string> &campaign_jsons);
+
+/** 16-digit lowercase hex. */
+std::string hex64(std::uint64_t v);
+
+/**
+ * Write one shard's results:
+ *   { "tool", "shard": {index, count, total, key, result_digest},
+ *     "indices": [...], "campaigns": [ one object per line ] }
+ * Line-oriented so the merger needs no JSON parser. @return false on
+ * I/O error.
+ */
+bool writeShardJson(const std::string &path, const std::string &tool,
+                    const ShardSpec &shard, std::size_t total,
+                    std::uint64_t key,
+                    const std::vector<std::size_t> &indices,
+                    const std::vector<CampaignResult> &results);
+
+/**
+ * Write the manifest listing every shard of the grid with its key and
+ * item count. @return false on I/O error.
+ */
+bool writeManifest(const std::string &path, const std::string &tool,
+                   int count, const std::vector<CampaignSpec> &specs);
+
+/** A parsed shard result file. */
+struct ShardFile
+{
+    std::string tool;
+    ShardSpec shard;
+    std::size_t total = 0;
+    std::uint64_t key = 0;
+    std::uint64_t storedResultDigest = 0;
+    std::vector<std::size_t> indices;
+    std::vector<std::string> campaigns;  ///< exact single-line objects
+};
+
+/**
+ * Parse a shard result file and verify its stored result digest
+ * against the campaign lines. @return false with *error set on any
+ * framing, parse, or digest failure.
+ */
+bool readShardFile(const std::string &path, ShardFile *out,
+                   std::string *error);
+
+/**
+ * Merge every "*.json" shard file in @p dir (manifest.json and the
+ * output file excluded) into one monolithic campaign document at
+ * @p out_path. Validates: consistent tool/count/total, each shard
+ * index present exactly once, the index union exactly {0..total-1},
+ * per-shard result digests, and — when @p expected_keys is non-empty
+ * (size == count, indexed by shard) — that each shard's key matches
+ * the grid the merger was invoked with.
+ *
+ * @return 0 merged and every campaign passed; 1 merged but some
+ * campaign failed; 2 merge error (nothing written).
+ */
+int mergeShards(const std::string &dir, const std::string &tool,
+                const std::vector<std::uint64_t> &expected_keys,
+                const std::string &out_path, std::ostream &log);
+
+/**
+ * Shard count recorded by the first parseable shard file in @p dir
+ * (same file filter as mergeShards: "*.json" minus manifest.json and
+ * the basename of @p out_path). Lets a merger invocation compute the
+ * expected per-shard keys for a directory whose N it doesn't know yet.
+ * @return 0 when no shard file is found.
+ */
+int probeShardCount(const std::string &dir, const std::string &out_path);
+
+/** Cache file name: "<tool>-shard<i>of<N>-<key>.json". */
+std::string cacheFileName(const std::string &tool, const ShardSpec &shard,
+                          std::uint64_t key);
+
+/**
+ * Look the shard up in the cache: present, parseable, key and result
+ * digest intact. @return true on a usable hit.
+ */
+bool cacheLookup(const std::string &cache_dir, const std::string &tool,
+                 const ShardSpec &shard, std::uint64_t key,
+                 ShardFile *out);
+
+/**
+ * Store a written shard result file into the cache (copied under its
+ * digest-addressed name). @return false on I/O error.
+ */
+bool cacheStore(const std::string &cache_dir, const std::string &tool,
+                const ShardSpec &shard, std::uint64_t key,
+                const std::string &shard_json_path);
+
+} // namespace chaos
+} // namespace tpnet
+
+#endif // TPNET_CHAOS_MANIFEST_HPP

@@ -1,5 +1,6 @@
 #include "chaos/oracle.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/network.hpp"
@@ -149,8 +150,17 @@ void
 DeliveryOracle::finalCheck()
 {
     const Cycle now = net_.now();
+    // Report in id order, not map order: a checkpoint-restored run
+    // rebuilds the table in a different bucket layout, and the report
+    // text must not depend on that.
+    std::vector<MsgId> ids;
+    ids.reserve(records_.size());
+    for (const auto &[id, rec] : records_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
     std::size_t unterminated = 0;
-    for (const auto &[id, rec] : records_) {
+    for (const MsgId id : ids) {
+        const Record &rec = records_.at(id);
         if (rec.terminated)
             continue;
         ++unterminated;

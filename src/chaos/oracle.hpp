@@ -33,12 +33,15 @@
 namespace tpnet {
 
 class Network;
+struct SnapshotAccess;
 
 namespace chaos {
 
 /** TraceSink that audits message lifecycles for exactly-once delivery. */
 class DeliveryOracle : public TraceSink
 {
+    friend struct ::tpnet::SnapshotAccess;
+
   public:
     explicit DeliveryOracle(Network &net);
 

@@ -1,0 +1,769 @@
+/**
+ * @file
+ * The one TU that may see inside every simulator component: the
+ * SnapshotAccess friend serializes and restores campaign state through
+ * symmetric io() field lists (obs/checkpoint.hpp primitives). Each
+ * type has exactly one list serving both directions, so save and load
+ * cannot drift apart.
+ */
+
+#include "chaos/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "chaos/fault_schedule.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/watchdog.hpp"
+#include "core/network.hpp"
+#include "obs/checkpoint.hpp"
+#include "traffic/injector.hpp"
+
+namespace tpnet {
+
+/**
+ * Friend of every stateful simulator class. All member templates are
+ * instantiated for obs::CkWriter and obs::CkReader only.
+ */
+struct SnapshotAccess
+{
+    /** True when the archive is a reader that has already failed. */
+    template <class Ar>
+    static bool
+    bad(Ar &ar)
+    {
+        if constexpr (Ar::isReader) {
+            return !ar.ok();
+        } else {
+            (void)ar;
+            return false;
+        }
+    }
+
+    // --- Scalar adapters ----------------------------------------------
+    template <class Ar>
+    static void
+    ioInt(Ar &ar, int &v)
+    {
+        std::int32_t x = static_cast<std::int32_t>(v);
+        ar.i32(x);
+        if constexpr (Ar::isReader)
+            v = x;
+    }
+
+    template <class Ar>
+    static void
+    ioSz(Ar &ar, std::size_t &v)
+    {
+        std::uint64_t x = static_cast<std::uint64_t>(v);
+        ar.u64(x);
+        if constexpr (Ar::isReader)
+            v = static_cast<std::size_t>(x);
+    }
+
+    template <class Ar>
+    static void
+    ioI8(Ar &ar, std::int8_t &v)
+    {
+        std::uint8_t x = static_cast<std::uint8_t>(v);
+        ar.u8(x);
+        if constexpr (Ar::isReader)
+            v = static_cast<std::int8_t>(x);
+    }
+
+    template <class Ar, class E>
+    static void
+    ioEnum(Ar &ar, E &v)
+    {
+        std::uint8_t x = static_cast<std::uint8_t>(v);
+        ar.u8(x);
+        if constexpr (Ar::isReader)
+            v = static_cast<E>(x);
+    }
+
+    // --- Container adapters -------------------------------------------
+    /**
+     * Serialized count of a fixed-geometry container: written for the
+     * reader to cross-check, never to resize (the constructor owns the
+     * geometry).
+     */
+    template <class Ar>
+    static void
+    ioCheckCount(Ar &ar, std::size_t actual, const char *what)
+    {
+        std::uint64_t n = static_cast<std::uint64_t>(actual);
+        ar.u64(n);
+        if constexpr (Ar::isReader) {
+            if (n != actual) {
+                std::ostringstream os;
+                os << "checkpoint " << what << " count " << n
+                   << " does not match the configured geometry ("
+                   << actual << ")";
+                ar.fail(os.str());
+            }
+        }
+    }
+
+    /** vector/deque with per-element callback f(ar, element). */
+    template <class Ar, class V, class F>
+    static void
+    ioVec(Ar &ar, V &v, F f)
+    {
+        std::uint64_t n = static_cast<std::uint64_t>(v.size());
+        ar.u64(n);
+        if constexpr (Ar::isReader) {
+            // Every element writes at least one byte, so a count past
+            // the unread payload is layout drift, not data.
+            if (n > ar.remaining()) {
+                ar.fail("implausible checkpoint container size");
+                return;
+            }
+            v.clear();
+            v.resize(static_cast<std::size_t>(n));
+        }
+        for (auto &e : v) {
+            if (bad(ar))
+                return;
+            f(ar, e);
+        }
+    }
+
+    /**
+     * unordered_map written in sorted key order (deterministic bytes;
+     * restore-order independence is the caller's contract).
+     */
+    template <class Ar, class Map, class Less, class FKey, class FVal>
+    static void
+    ioMap(Ar &ar, Map &m, Less less, FKey fkey, FVal fval)
+    {
+        std::uint64_t n = static_cast<std::uint64_t>(m.size());
+        ar.u64(n);
+        if constexpr (Ar::isReader) {
+            if (n > ar.remaining()) {
+                ar.fail("implausible checkpoint container size");
+                return;
+            }
+            m.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (!ar.ok())
+                    return;
+                typename Map::key_type k{};
+                fkey(ar, k);
+                fval(ar, m[k]);
+            }
+        } else {
+            std::vector<typename Map::key_type> keys;
+            keys.reserve(m.size());
+            for (const auto &kv : m)
+                keys.push_back(kv.first);
+            std::sort(keys.begin(), keys.end(), less);
+            for (auto &k : keys) {
+                fkey(ar, k);
+                fval(ar, m.find(k)->second);
+            }
+        }
+    }
+
+    /** unordered_set of u64, written sorted. */
+    template <class Ar, class Set>
+    static void
+    ioSetU64(Ar &ar, Set &s)
+    {
+        std::uint64_t n = static_cast<std::uint64_t>(s.size());
+        ar.u64(n);
+        if constexpr (Ar::isReader) {
+            if (n > ar.remaining()) {
+                ar.fail("implausible checkpoint container size");
+                return;
+            }
+            s.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (!ar.ok())
+                    return;
+                std::uint64_t v = 0;
+                ar.u64(v);
+                s.insert(v);
+            }
+        } else {
+            std::vector<std::uint64_t> vals(s.begin(), s.end());
+            std::sort(vals.begin(), vals.end());
+            for (std::uint64_t v : vals)
+                ar.u64(v);
+        }
+    }
+
+    /**
+     * Flit FIFO through the public API: capacity is fixed by the
+     * constructor, only the occupancy travels.
+     */
+    template <class Ar>
+    static void
+    ioFifo(Ar &ar, Fifo<Flit> &q)
+    {
+        std::uint64_t n = static_cast<std::uint64_t>(q.size());
+        ar.u64(n);
+        if constexpr (Ar::isReader) {
+            if (n > q.capacity()) {
+                ar.fail("checkpoint FIFO depth exceeds the configured "
+                        "buffer capacity");
+                return;
+            }
+            q.clear();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                if (!ar.ok())
+                    return;
+                Flit f;
+                io(ar, f);
+                q.push(f);
+            }
+        } else {
+            for (std::uint64_t i = 0; i < n; ++i) {
+                Flit f = q.at(static_cast<std::size_t>(i));
+                io(ar, f);
+            }
+        }
+    }
+
+    // --- Leaf types ----------------------------------------------------
+    template <class Ar>
+    static void
+    io(Ar &ar, Rng &rng)
+    {
+        for (auto &word : rng.s_)
+            ar.u64(word);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, RunningStat &s)
+    {
+        ar.u64(s.n_);
+        ar.f64(s.mean_);
+        ar.f64(s.m2_);
+        ar.f64(s.min_);
+        ar.f64(s.max_);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, Histogram &h)
+    {
+        ar.f64(h.width_);
+        ioVec(ar, h.counts_,
+              [](Ar &a, std::uint64_t &c) { a.u64(c); });
+        ar.u64(h.total_);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, Flit &f)
+    {
+        ioEnum(ar, f.type);
+        ar.i64(f.msg);
+        ar.i32(f.seq);
+        ar.i32(f.hopIdx);
+        ar.i32(f.epoch);
+        ar.u64(f.readyAt);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, VcState &vc)
+    {
+        ioFifo(ar, vc.data);
+        ar.i64(vc.owner);
+        ar.b(vc.routed);
+        ioInt(ar, vc.outPort);
+        ioInt(ar, vc.outVc);
+        ioInt(ar, vc.counter);
+        ioInt(ar, vc.kReg);
+        ar.b(vc.hold);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, PathHop &hop)
+    {
+        ar.i32(hop.link);
+        ioInt(ar, hop.vc);
+        ar.b(hop.misroute);
+        ioI8(ar, hop.corrected);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, HeaderState &h)
+    {
+        ar.i32(h.cur);
+        for (auto &off : h.offset)
+            ioInt(ar, off);
+        ar.b(h.backtrack);
+        ar.b(h.detour);
+        ar.b(h.sr);
+        ioInt(ar, h.misroutes);
+        for (auto &bal : h.misBalance)
+            ioI8(ar, bal);
+        ar.u8(h.datelineCrossed);
+        ioEnum(ar, h.flow);
+        ioInt(ar, h.hops);
+        ioInt(ar, h.stalled);
+        ioInt(ar, h.holdIdx);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, Message &m)
+    {
+        ar.i64(m.id);
+        ar.i32(m.src);
+        ar.i32(m.dst);
+        ioInt(ar, m.length);
+        ar.u64(m.created);
+        ar.u64(m.deliveredAt);
+        ioEnum(ar, m.state);
+        ar.b(m.measured);
+        io(ar, m.hdr);
+        ioVec(ar, m.path, [](Ar &a, PathHop &h) { io(a, h); });
+        ioMap(ar, m.visited, std::less<NodeId>{},
+              [](Ar &a, NodeId &k) { a.i32(k); },
+              [](Ar &a, std::uint32_t &v) { a.u32(v); });
+        ioInt(ar, m.srcCounter);
+        ioInt(ar, m.srcK);
+        ar.b(m.srcHold);
+        ar.b(m.srcRouted);
+        ar.b(m.headerInjected);
+        ar.b(m.inQueue);
+        ioInt(ar, m.injectedFlits);
+        ioInt(ar, m.arrivedFlits);
+        ioInt(ar, m.leadHop);
+        ioInt(ar, m.releasedHops);
+        ar.b(m.headerAtDest);
+        ar.b(m.inRcu);
+        ar.b(m.beingKilled);
+        ar.b(m.killIsAbort);
+        ioInt(ar, m.killWalks);
+        ioInt(ar, m.epoch);
+        ioInt(ar, m.retries);
+        ar.u64(m.retryAt);
+        ar.b(m.lostToFault);
+        ioInt(ar, m.healAttempts);
+        ar.u64(m.lastHealAt);
+        ar.b(m.healPending);
+        ar.u64(m.healKnotHash);
+        ar.u64(m.healStartedAt);
+        ioInt(ar, m.detoursBuilt);
+        ioInt(ar, m.backtracksTaken);
+        ioInt(ar, m.misroutesTaken);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, Counters &c)
+    {
+        ar.u64(c.generated);
+        ar.u64(c.notAccepted);
+        ar.u64(c.delivered);
+        ar.u64(c.dropped);
+        ar.u64(c.lost);
+        ar.u64(c.retransmits);
+        ar.u64(c.retriesScheduled);
+        ar.u64(c.headerMoves);
+        ar.u64(c.backtracks);
+        ar.u64(c.misroutes);
+        ar.u64(c.detoursBuilt);
+        ar.u64(c.setupAborts);
+        ar.u64(c.dataCrossings);
+        ar.u64(c.ctrlCrossings);
+        ar.u64(c.posAcks);
+        ar.u64(c.negAcks);
+        ar.u64(c.killFlits);
+        ar.u64(c.msgAcks);
+        ar.u64(c.dataFlitsDelivered);
+        ar.u64(c.dynamicFaults);
+        ar.u64(c.intermittentFaults);
+        ar.u64(c.linksRestored);
+        ar.u64(c.messagesKilled);
+        ar.u64(c.headersSalvaged);
+        ar.u64(c.knotsDetected);
+        ar.u64(c.victimsAborted);
+        ar.u64(c.healRetransmits);
+        ar.u64(c.healEscalations);
+        io(ar, c.healLatency);
+        io(ar, c.healLatencyHist);
+        ar.u64(c.measuredGenerated);
+        ar.u64(c.measuredDelivered);
+        ar.u64(c.measuredDropped);
+        ar.u64(c.windowDataFlits);
+        io(ar, c.latency);
+        io(ar, c.latencyHist);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, verify::CwgCycle &c)
+    {
+        ioEnum(ar, c.cls);
+        ar.u64(c.at);
+        ar.u64(c.hash);
+        ioVec(ar, c.members, [](Ar &a, MsgId &m) { a.i64(m); });
+        ar.str(c.diagnosis);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, verify::PendingKnot &k)
+    {
+        io(ar, k.cycle);
+        ioVec(ar, k.closure, [](Ar &a, MsgId &m) { a.i64(m); });
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, verify::CwgTracker &t)
+    {
+        const auto edgeLess = [](const auto &a, const auto &b) {
+            return a.u < b.u || (a.u == b.u && a.v < b.v);
+        };
+        const auto edgeIo = [](Ar &a, auto &e) {
+            a.i64(e.u);
+            a.i64(e.v);
+        };
+        const auto msgKey = [](Ar &a, MsgId &k) { a.i64(k); };
+        const auto msgList = [](Ar &a, std::vector<MsgId> &v) {
+            ioVec(a, v, [](Ar &a2, MsgId &m) { a2.i64(m); });
+        };
+
+        ar.i64(t.evalMsg_);
+        ioVec(ar, t.scratch_,
+              [](Ar &a, verify::VcKey &k) { a.u64(k); });
+        ioMap(ar, t.waits_, std::less<MsgId>{}, msgKey,
+              [](Ar &a, auto &recs) {
+                  ioVec(a, recs, [](Ar &a2, auto &w) {
+                      a2.u64(w.key);
+                      a2.i64(w.owner);
+                  });
+              });
+        ioMap(ar, t.waiters_, std::less<verify::VcKey>{},
+              [](Ar &a, verify::VcKey &k) { a.u64(k); }, msgList);
+        ioMap(ar, t.blocked_, std::less<MsgId>{}, msgKey,
+              [](Ar &a, std::size_t &v) { ioSz(a, v); });
+        ioMap(ar, t.edgeCount_, edgeLess, edgeIo,
+              [](Ar &a, int &v) { ioInt(a, v); });
+        ioMap(ar, t.trueOut_, std::less<MsgId>{}, msgKey, msgList);
+        ioMap(ar, t.dagOut_, std::less<MsgId>{}, msgKey, msgList);
+        ioMap(ar, t.dagIn_, std::less<MsgId>{}, msgKey, msgList);
+        ioMap(ar, t.inDag_, edgeLess, edgeIo,
+              [](Ar &a, bool &v) { a.b(v); });
+        ioMap(ar, t.ord_, std::less<MsgId>{}, msgKey,
+              [](Ar &a, int &v) { ioInt(a, v); });
+        ioInt(ar, t.nextOrd_);
+        ioMap(ar, t.benignSeen_, std::less<std::uint64_t>{},
+              [](Ar &a, std::uint64_t &k) { a.u64(k); },
+              [](Ar &a, Cycle &v) { a.u64(v); });
+        ioMap(ar, t.reported_, std::less<std::uint64_t>{},
+              [](Ar &a, std::uint64_t &k) { a.u64(k); },
+              [](Ar &a, bool &v) { a.b(v); });
+        ioSetU64(ar, t.warned_);
+        // recovery_ is armed by the constructor (config-derived).
+        ioSetU64(ar, t.healing_);
+        ioVec(ar, t.pendingKnots_,
+              [](Ar &a, verify::PendingKnot &k) { io(a, k); });
+        ioVec(ar, t.violations_,
+              [](Ar &a, verify::CwgCycle &c) { io(a, c); });
+        ioVec(ar, t.warnings_,
+              [](Ar &a, verify::CwgCycle &c) { io(a, c); });
+        ar.str(t.lastDiagnosis_);
+        ar.u64(t.cyclesDetected_);
+        ar.u64(t.benignDetected_);
+        ar.u64(t.lastSweep_);
+        // traceOffset_ is a live callback, not state.
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, Network &net)
+    {
+        const auto msgIdIo = [](Ar &a, MsgId &m) { a.i64(m); };
+        const auto inRefIo = [](Ar &a, InRef &r) {
+            a.i32(r.link);
+            ioInt(a, r.vc);
+        };
+
+        io(ar, net.rng_);
+        io(ar, net.victimRng_);
+        ar.u64(net.now_);
+        ar.u64(net.lastActivity_);
+        ar.i64(net.nextMsgId_);
+        ioSz(ar, net.liveMessages_);
+        ar.b(net.measuring_);
+
+        ioCheckCount(ar, net.links_.size(), "link");
+        for (Link &lk : net.links_) {
+            if (bad(ar))
+                return;
+            ioCheckCount(ar, lk.vcs.size(), "virtual-channel");
+            for (VcState &vc : lk.vcs)
+                io(ar, vc);
+            ioVec(ar, lk.ctrlQ, [](Ar &a, Flit &f) { io(a, f); });
+            ioVec(ar, lk.ackQ, [](Ar &a, Flit &f) { io(a, f); });
+            ar.b(lk.faulty);
+            ar.b(lk.absent);
+            ar.b(lk.unsafe);
+            ar.u64(lk.dataCrossings);
+            ar.u64(lk.ctrlCrossings);
+            ioSz(ar, lk.maxCtrlDepth);
+        }
+
+        ioCheckCount(ar, net.routers_.size(), "router");
+        for (Router &rt : net.routers_) {
+            if (bad(ar))
+                return;
+            ar.b(rt.faulty);
+            ioVec(ar, rt.rcuQueue, [](Ar &a, RcuEntry &e) {
+                a.i64(e.msg);
+                ioInt(a, e.epoch);
+            });
+            ioCheckCount(ar, rt.mappedInputs.size(), "router-port");
+            for (auto &list : rt.mappedInputs)
+                ioVec(ar, list, inRefIo);
+            ioVec(ar, rt.ejectInputs, inRefIo);
+            ioCheckCount(ar, rt.outRR.size(), "arbiter");
+            for (auto &p : rt.outRR)
+                ioSz(ar, p);
+            ioSz(ar, rt.ejectRR);
+            ioSz(ar, rt.maxRcuDepth);
+            ar.u64(rt.headersRouted);
+        }
+
+        ioMap(ar, net.messages_, std::less<MsgId>{}, msgIdIo,
+              [](Ar &a, Message &m) { io(a, m); });
+
+        ioCheckCount(ar, net.injQ_.size(), "injection-queue");
+        for (auto &q : net.injQ_)
+            ioVec(ar, q, msgIdIo);
+        ioVec(ar, net.retryList_, msgIdIo);
+        ioVec(ar, net.retired_, msgIdIo);
+
+        io(ar, net.counters_);
+
+        ioMap(ar, net.knotHealCount_, std::less<std::uint64_t>{},
+              [](Ar &a, std::uint64_t &k) { a.u64(k); },
+              [](Ar &a, int &v) { ioInt(a, v); });
+        ioVec(ar, net.healLog_, [](Ar &a, Network::HealRecord &h) {
+            a.u64(h.at);
+            a.u64(h.knotHash);
+            a.i64(h.victim);
+            ioInt(a, h.attempt);
+        });
+
+        ar.f64(net.dynFaultProb_);
+        ioInt(ar, net.dynFaultBudget_);
+        ar.f64(net.dynLinkFaultProb_);
+        ioInt(ar, net.dynLinkFaultBudget_);
+        ar.f64(net.intermFaultProb_);
+        ioInt(ar, net.intermFaultBudget_);
+        ar.u64(net.intermDownCycles_);
+        ioVec(ar, net.pendingRestores_, [](Ar &a, auto &pr) {
+            a.i32(pr.node);
+            ioInt(a, pr.port);
+            a.u64(pr.at);
+        });
+        ar.b(net.skipKillSweep_);
+        ar.b(net.drainNoAccept_);
+        ioSz(ar, net.rrNode_);
+
+        // The CWG analyzer is created by the constructor iff the config
+        // asks for it; the flag only cross-checks that the checkpoint
+        // agrees (the config digest should already have refused drift).
+        bool hasCwg = net.cwg_ != nullptr;
+        ar.b(hasCwg);
+        if constexpr (Ar::isReader) {
+            if (hasCwg != (net.cwg_ != nullptr)) {
+                ar.fail("checkpoint CWG-analyzer presence does not "
+                        "match the configuration");
+                return;
+            }
+        }
+        if (net.cwg_)
+            io(ar, *net.cwg_);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, chaos::FaultSchedule &s)
+    {
+        const auto eventIo = [](Ar &a, chaos::FaultEvent &e) {
+            a.u64(e.at);
+            ioEnum(a, e.kind);
+            a.i32(e.node);
+            ioInt(a, e.port);
+            a.u64(e.downFor);
+        };
+        ioVec(ar, s.events_, eventIo);
+        ioVec(ar, s.firedEvents_, eventIo);
+        ioSz(ar, s.next_);
+        ioSz(ar, s.fired_);
+        ioSz(ar, s.skipped_);
+        ar.b(s.sorted_);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, chaos::DeliveryOracle &o)
+    {
+        ioMap(ar, o.records_, std::less<MsgId>{},
+              [](Ar &a, MsgId &k) { a.i64(k); },
+              [](Ar &a, auto &r) {
+                  a.i32(r.src);
+                  a.i32(r.dst);
+                  a.u64(r.createdAt);
+                  ioInt(a, r.tails);
+                  a.b(r.terminated);
+                  ioEnum(a, r.outcome);
+              });
+        ioVec(ar, o.violations_, [](Ar &a, std::string &v) { a.str(v); });
+        ar.u64(o.createdCount_);
+        ar.u64(o.deliveredCount_);
+        ar.u64(o.undeliverableCount_);
+        ar.u64(o.lostCount_);
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, chaos::Watchdog &w)
+    {
+        ioVec(ar, w.violations_, [](Ar &a, std::string &v) { a.str(v); });
+        ar.u64(w.lastComposite_);
+        ar.u64(w.lastActivity_);
+        ar.b(w.deadlocked_);
+        ioMap(ar, w.tracks_, std::less<MsgId>{},
+              [](Ar &a, MsgId &k) { a.i64(k); },
+              [](Ar &a, auto &t) {
+                  a.u64(t.sig);
+                  a.u64(t.sig2);
+                  a.u64(t.lastChange);
+                  a.u64(t.lastChange2);
+                  a.b(t.flagged);
+              });
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, Injector &inj)
+    {
+        // source_ is a pure function of (config, topology); msgProb_ is
+        // config-derived. Only the gate and the offered count travel.
+        ar.b(inj.stopped_);
+        ar.u64(inj.offered_);
+    }
+
+    template <class Ar>
+    static void
+    ioCampaign(Ar &ar, chaos::CampaignState &st)
+    {
+        ar.u8(st.phase);
+        io(ar, *st.net);
+        io(ar, *st.faultRng);
+        io(ar, *st.schedule);
+        io(ar, *st.oracle);
+        io(ar, *st.watchdog);
+        io(ar, *st.injector);
+    }
+};
+
+namespace chaos {
+
+void
+serializeCampaign(obs::CkWriter &w, CampaignState &st)
+{
+    SnapshotAccess::ioCampaign(w, st);
+}
+
+bool
+deserializeCampaign(obs::CkReader &r, CampaignState &st)
+{
+    SnapshotAccess::ioCampaign(r, st);
+    return r.ok();
+}
+
+std::uint64_t
+campaignStateDigest(CampaignState &st)
+{
+    obs::CkWriter w;
+    serializeCampaign(w, st);
+    return w.payloadDigest();
+}
+
+bool
+writeCampaignCheckpoint(const std::string &path,
+                        std::uint64_t config_digest, CampaignState &st,
+                        std::string *error)
+{
+    obs::CkWriter w;
+    serializeCampaign(w, st);
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            *error = "cannot open " + tmp + " for writing";
+            return false;
+        }
+        w.writeTo(os, config_digest);
+        os.flush();
+        if (!os) {
+            *error = "write to " + tmp + " failed";
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        *error = "cannot rename " + tmp + " to " + path;
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readCampaignCheckpoint(const std::string &path,
+                       std::uint64_t config_digest, CampaignState &st,
+                       std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        *error = "cannot open checkpoint " + path;
+        return false;
+    }
+    obs::CkReader r(is);
+    if (!r.ok()) {
+        *error = r.error();
+        return false;
+    }
+    if (r.info().configDigest != config_digest) {
+        std::ostringstream os;
+        os << "checkpoint was recorded under a different campaign spec "
+              "(config digest "
+           << std::hex << r.info().configDigest << ", expected "
+           << config_digest << ")";
+        *error = os.str();
+        return false;
+    }
+    if (!deserializeCampaign(r, st)) {
+        *error = r.error();
+        return false;
+    }
+    r.finish();
+    if (!r.ok()) {
+        *error = r.error();
+        return false;
+    }
+    return true;
+}
+
+} // namespace chaos
+} // namespace tpnet

@@ -35,6 +35,7 @@ namespace tpnet {
 
 class Network;
 struct Message;
+struct SnapshotAccess;
 
 namespace chaos {
 
@@ -57,6 +58,8 @@ struct WatchdogConfig
 /** Observes one Network; call observe() after every Network::step(). */
 class Watchdog
 {
+    friend struct ::tpnet::SnapshotAccess;
+
   public:
     Watchdog(Network &net, const WatchdogConfig &cfg);
 

@@ -1,5 +1,7 @@
 #include "core/network.hpp"
 
+#include <algorithm>
+
 #include "sim/log.hpp"
 
 namespace tpnet {
@@ -57,6 +59,10 @@ Network::liveMessageIds() const
     ids.reserve(messages_.size());
     for (const auto &[id, msg] : messages_)
         ids.push_back(id);
+    // Sorted so reports are independent of the map's iteration order
+    // (which differs between an organically grown table and one
+    // rebuilt from a checkpoint).
+    std::sort(ids.begin(), ids.end());
     return ids;
 }
 

@@ -43,9 +43,13 @@ namespace tpnet {
 /** Builds the configured routing protocol object. */
 std::unique_ptr<RoutingAlgorithm> makeProtocol(const SimConfig &cfg);
 
+struct SnapshotAccess;
+
 /** The simulated interconnection network. */
 class Network
 {
+    friend struct SnapshotAccess;
+
   public:
     explicit Network(const SimConfig &cfg);
 
@@ -130,7 +134,7 @@ class Network
     Message *findMessage(MsgId id);
     Message &message(MsgId id);
 
-    /** Ids of all non-retired messages (unordered). */
+    /** Ids of all non-retired messages, sorted ascending. */
     std::vector<MsgId> liveMessageIds() const;
 
     RoutingAlgorithm &protocol() { return *proto_; }

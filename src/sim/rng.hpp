@@ -15,9 +15,13 @@
 
 namespace tpnet {
 
+struct SnapshotAccess;
+
 /** xoshiro256** generator with convenience draws. */
 class Rng
 {
+    friend struct SnapshotAccess;
+
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
 

@@ -18,9 +18,13 @@
 
 namespace tpnet {
 
+struct SnapshotAccess;
+
 /** Numerically stable (Welford) running mean/variance accumulator. */
 class RunningStat
 {
+    friend struct SnapshotAccess;
+
   public:
     void
     add(double x)
@@ -152,6 +156,8 @@ class BatchMeans
 /** Fixed-bin latency histogram (bins of equal width, overflow bin). */
 class Histogram
 {
+    friend struct SnapshotAccess;
+
   public:
     Histogram() = default;
 

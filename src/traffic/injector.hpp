@@ -18,9 +18,13 @@
 
 namespace tpnet {
 
+struct SnapshotAccess;
+
 /** Drives traffic generation for a Network, one call per cycle. */
 class Injector
 {
+    friend struct SnapshotAccess;
+
   public:
     explicit Injector(Network &net);
 

@@ -709,7 +709,16 @@ CwgTracker::sweep(Cycle now)
         MsgId v;
         std::size_t child;
     };
-    for (const auto &[root, outs] : trueOut_) {
+    // Roots in sorted order: the map's iteration order depends on its
+    // bucket history (and differs after a checkpoint restore), and the
+    // root order decides which member an SCC is first entered from —
+    // i.e. the reported cycle order. Sorting pins it.
+    std::vector<MsgId> roots;
+    roots.reserve(trueOut_.size());
+    for (const auto &[root, outs] : trueOut_)
+        roots.push_back(root);
+    std::sort(roots.begin(), roots.end());
+    for (const MsgId root : roots) {
         if (index.count(root))
             continue;
         std::vector<Frame> frames{{root, 0}};

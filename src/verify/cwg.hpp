@@ -64,6 +64,7 @@ namespace tpnet {
 
 class Network;
 struct Message;
+struct SnapshotAccess;
 
 namespace verify {
 
@@ -131,6 +132,8 @@ struct CwgConfig
  */
 class CwgTracker
 {
+    friend struct ::tpnet::SnapshotAccess;
+
   public:
     explicit CwgTracker(Network &net, CwgConfig cfg = {});
 

@@ -1,0 +1,461 @@
+/** @file Checkpoint/restore: container-level validation (magic,
+ *  version, digests, truncation), write-twice determinism, state
+ *  round-trips, and the golden property — a campaign restored from a
+ *  checkpoint finishes bit-identical to the straight-through run. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/campaign.hpp"
+#include "chaos/manifest.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/report.hpp"
+#include "chaos/snapshot.hpp"
+#include "core/network.hpp"
+#include "helpers.hpp"
+#include "obs/checkpoint.hpp"
+#include "traffic/injector.hpp"
+
+namespace tpnet {
+namespace {
+
+using namespace chaos;
+namespace fs = std::filesystem;
+
+fs::path
+scratchFile(const std::string &name)
+{
+    const fs::path path = fs::path(::testing::TempDir()) / name;
+    fs::remove(path);
+    return path;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+spit(const fs::path &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << bytes;
+}
+
+/** A small three-field container used by the corruption tests. */
+std::string
+tinyContainer(std::uint64_t config_digest)
+{
+    obs::CkWriter w;
+    std::uint64_t a = 0x1111, b = 0x2222, c = 0x3333;
+    w.u64(a);
+    w.u64(b);
+    w.u64(c);
+    std::ostringstream os(std::ios::binary);
+    w.writeTo(os, config_digest);
+    return os.str();
+}
+
+TEST(CheckpointContainer, PrimitivesRoundTrip)
+{
+    obs::CkWriter w;
+    std::uint8_t u8v = 0xab;
+    std::uint16_t u16v = 0xcdef;
+    std::uint32_t u32v = 0xdeadbeef;
+    std::uint64_t u64v = 0x0123456789abcdefull;
+    std::int32_t i32v = -12345;
+    std::int64_t i64v = -9876543210ll;
+    double f64v = -0.125e-3;
+    bool bv = true;
+    std::string sv = "knot \"quoted\"\nline";
+    w.u8(u8v);
+    w.u16(u16v);
+    w.u32(u32v);
+    w.u64(u64v);
+    w.i32(i32v);
+    w.i64(i64v);
+    w.f64(f64v);
+    w.b(bv);
+    w.str(sv);
+
+    std::ostringstream os(std::ios::binary);
+    w.writeTo(os, 77);
+    std::istringstream is(os.str(), std::ios::binary);
+    obs::CkReader r(is);
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(r.info().version, obs::checkpointFormatVersion);
+    EXPECT_EQ(r.info().configDigest, 77u);
+    EXPECT_EQ(r.info().payloadSize, w.bytes());
+
+    std::uint8_t u8r = 0;
+    std::uint16_t u16r = 0;
+    std::uint32_t u32r = 0;
+    std::uint64_t u64r = 0;
+    std::int32_t i32r = 0;
+    std::int64_t i64r = 0;
+    double f64r = 0;
+    bool br = false;
+    std::string sr;
+    r.u8(u8r);
+    r.u16(u16r);
+    r.u32(u32r);
+    r.u64(u64r);
+    r.i32(i32r);
+    r.i64(i64r);
+    r.f64(f64r);
+    r.b(br);
+    r.str(sr);
+    r.finish();
+    ASSERT_TRUE(r.ok()) << r.error();
+    EXPECT_EQ(u8r, u8v);
+    EXPECT_EQ(u16r, u16v);
+    EXPECT_EQ(u32r, u32v);
+    EXPECT_EQ(u64r, u64v);
+    EXPECT_EQ(i32r, i32v);
+    EXPECT_EQ(i64r, i64v);
+    EXPECT_EQ(f64r, f64v);
+    EXPECT_EQ(br, bv);
+    EXPECT_EQ(sr, sv);
+}
+
+TEST(CheckpointContainer, RejectsEveryCorruptionMode)
+{
+    const std::string good = tinyContainer(42);
+
+    {  // sanity: the untampered container parses
+        std::istringstream is(good, std::ios::binary);
+        obs::CkReader r(is);
+        EXPECT_TRUE(r.ok()) << r.error();
+    }
+    {  // bad magic
+        std::string bad = good;
+        bad[0] = 'X';
+        std::istringstream is(bad, std::ios::binary);
+        obs::CkReader r(is);
+        EXPECT_FALSE(r.ok());
+    }
+    {  // future version
+        std::string bad = good;
+        bad[4] = static_cast<char>(obs::checkpointFormatVersion + 1);
+        std::istringstream is(bad, std::ios::binary);
+        obs::CkReader r(is);
+        EXPECT_FALSE(r.ok());
+    }
+    {  // truncated header
+        std::istringstream is(good.substr(0, 20), std::ios::binary);
+        obs::CkReader r(is);
+        EXPECT_FALSE(r.ok());
+    }
+    {  // truncated payload
+        std::istringstream is(good.substr(0, good.size() - 1),
+                              std::ios::binary);
+        obs::CkReader r(is);
+        EXPECT_FALSE(r.ok());
+    }
+    {  // flipped payload byte: digest check refuses
+        std::string bad = good;
+        bad[good.size() - 5] ^= 0x01;
+        std::istringstream is(bad, std::ios::binary);
+        obs::CkReader r(is);
+        EXPECT_FALSE(r.ok());
+    }
+    {  // unread payload bytes are layout drift, not silence
+        std::istringstream is(good, std::ios::binary);
+        obs::CkReader r(is);
+        ASSERT_TRUE(r.ok());
+        std::uint64_t v = 0;
+        r.u64(v);
+        EXPECT_EQ(v, 0x1111u);
+        r.finish();
+        EXPECT_FALSE(r.ok());
+    }
+    {  // reading past the payload end fails
+        std::istringstream is(good, std::ios::binary);
+        obs::CkReader r(is);
+        ASSERT_TRUE(r.ok());
+        std::uint64_t v = 0;
+        r.u64(v);
+        r.u64(v);
+        r.u64(v);
+        r.u64(v);  // one too many
+        EXPECT_FALSE(r.ok());
+    }
+}
+
+TEST(CheckpointContainer, HeaderOnlyInspection)
+{
+    const std::string good = tinyContainer(4242);
+    std::istringstream is(good, std::ios::binary);
+    obs::CheckpointFileInfo info;
+    std::string error;
+    ASSERT_TRUE(obs::readCheckpointInfo(is, &info, &error)) << error;
+    EXPECT_EQ(info.version, obs::checkpointFormatVersion);
+    EXPECT_EQ(info.configDigest, 4242u);
+    EXPECT_EQ(info.payloadSize, 24u);
+}
+
+/** Build a live harness, step it, and hand back the pieces. */
+struct Harness
+{
+    SimConfig cfg;
+    Network net;
+    Rng faultRng;
+    FaultSchedule schedule;
+    DeliveryOracle oracle;
+    Watchdog watchdog;
+    Injector injector;
+
+    explicit Harness(const SimConfig &c)
+        : cfg(c), net(cfg), faultRng(5), oracle(net),
+          watchdog(net, WatchdogConfig{}), injector(net)
+    {
+        schedule.add({40, FaultKind::NodeKill, 5, -1, 0});
+        net.attachTrace(&oracle);
+    }
+
+    ~Harness() { net.attachTrace(nullptr); }
+
+    void
+    run(Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles; ++c) {
+            schedule.apply(net, faultRng);
+            injector.step();
+            net.step();
+            watchdog.observe();
+        }
+    }
+
+    CampaignState
+    state()
+    {
+        CampaignState st;
+        st.net = &net;
+        st.faultRng = &faultRng;
+        st.schedule = &schedule;
+        st.oracle = &oracle;
+        st.watchdog = &watchdog;
+        st.injector = &injector;
+        return st;
+    }
+};
+
+SimConfig
+harnessConfig()
+{
+    SimConfig cfg = test::smallConfig(Protocol::TwoPhase, 4, 2);
+    cfg.msgLength = 8;
+    cfg.load = 0.05;
+    cfg.watchdog = 0;
+    cfg.validate();
+    return cfg;
+}
+
+TEST(CheckpointState, WriteTwiceIsDeterministic)
+{
+    Harness h(harnessConfig());
+    h.run(200);
+    CampaignState st = h.state();
+
+    obs::CkWriter w1, w2;
+    serializeCampaign(w1, st);
+    serializeCampaign(w2, st);
+    EXPECT_GT(w1.bytes(), 0u);
+    EXPECT_EQ(w1.bytes(), w2.bytes());
+    EXPECT_EQ(w1.payloadDigest(), w2.payloadDigest());
+    EXPECT_EQ(campaignStateDigest(st), campaignStateDigest(st));
+}
+
+TEST(CheckpointState, StateRoundTripsIntoFreshHarness)
+{
+    const SimConfig cfg = harnessConfig();
+    Harness a(cfg);
+    a.run(200);
+    CampaignState stA = a.state();
+    const std::uint64_t digestA = campaignStateDigest(stA);
+
+    obs::CkWriter w;
+    serializeCampaign(w, stA);
+    std::ostringstream os(std::ios::binary);
+    w.writeTo(os, 1);
+
+    Harness b(cfg);  // freshly constructed, never stepped
+    CampaignState stB = b.state();
+    std::istringstream is(os.str(), std::ios::binary);
+    obs::CkReader r(is);
+    ASSERT_TRUE(r.ok()) << r.error();
+    ASSERT_TRUE(deserializeCampaign(r, stB)) << r.error();
+    r.finish();
+    ASSERT_TRUE(r.ok()) << r.error();
+
+    EXPECT_EQ(b.net.now(), a.net.now());
+    EXPECT_EQ(b.net.activeMessages(), a.net.activeMessages());
+    EXPECT_EQ(campaignStateDigest(stB), digestA);
+}
+
+TEST(CheckpointState, FileRejectsWrongConfigAndCorruption)
+{
+    const fs::path path = scratchFile("harness.ck");
+    Harness a(harnessConfig());
+    a.run(100);
+    CampaignState st = a.state();
+    std::string error;
+    ASSERT_TRUE(
+        writeCampaignCheckpoint(path.string(), 1234, st, &error))
+        << error;
+
+    Harness b(harnessConfig());
+    CampaignState stB = b.state();
+    // Wrong config digest: a checkpoint from another spec is refused.
+    EXPECT_FALSE(
+        readCampaignCheckpoint(path.string(), 9999, stB, &error));
+    EXPECT_NE(error.find("config"), std::string::npos) << error;
+
+    // Corrupted payload byte.
+    std::string bytes = slurp(path);
+    bytes[bytes.size() - 3] ^= 0x40;
+    spit(path, bytes);
+    EXPECT_FALSE(
+        readCampaignCheckpoint(path.string(), 1234, stB, &error));
+
+    // Truncation.
+    spit(path, bytes.substr(0, bytes.size() / 2));
+    EXPECT_FALSE(
+        readCampaignCheckpoint(path.string(), 1234, stB, &error));
+
+    // Missing file.
+    fs::remove(path);
+    EXPECT_FALSE(
+        readCampaignCheckpoint(path.string(), 1234, stB, &error));
+}
+
+/** Cheap campaign with live faults for the golden-digest tests. */
+CampaignSpec
+ckCampaignSpec(std::uint64_t seed)
+{
+    CampaignSpec spec;
+    spec.cfg = test::smallConfig(Protocol::TwoPhase, 4, 2);
+    spec.cfg.msgLength = 8;
+    spec.cfg.load = 0.05;
+    spec.cfg.maxRetries = 6;
+    spec.seed = seed;
+    spec.injectCycles = 400;
+    spec.drainCycles = 50000;
+    spec.faults.horizon = 400;
+    spec.faults.earliest = 30;
+    spec.faults.nodeKills = 1;
+    spec.faults.linkKills = 1;
+    spec.faults.intermittents = 1;
+    spec.faults.downMin = 50;
+    spec.faults.downMax = 100;
+    return spec;
+}
+
+/** The golden property, for one spec variant. */
+void
+expectRestoreBitIdentical(CampaignSpec spec, const std::string &tag)
+{
+    const fs::path ck = scratchFile("campaign-" + tag + ".ck");
+    const fs::path ck2 = scratchFile("campaign-" + tag + "-2.ck");
+
+    // Straight-through run, writing checkpoints as it goes.
+    CampaignSpec armed = spec;
+    armed.checkpointPath = ck.string();
+    armed.checkpointEvery = 128;
+    const CampaignResult a = runCampaign(armed);
+    ASSERT_TRUE(a.checkpointError.empty()) << a.checkpointError;
+    ASSERT_GE(a.checkpointsWritten, 1u) << tag;
+    const std::string ckBytes = slurp(ck);
+
+    // Restore-then-run from the final checkpoint.
+    CampaignSpec resumed = spec;
+    resumed.restorePath = ck.string();
+    const CampaignResult b = runCampaign(resumed);
+    ASSERT_TRUE(b.checkpointError.empty())
+        << tag << ": " << b.checkpointError;
+    EXPECT_TRUE(b.restored);
+    EXPECT_GE(b.restoredAt, armed.checkpointEvery);
+
+    // Bit-identical outcome: same structured result, same tail trace
+    // digest from the same boundary, same final harness state.
+    EXPECT_EQ(campaignJson(a), campaignJson(b)) << tag;
+    EXPECT_EQ(a.tailDigest, b.tailDigest) << tag;
+    EXPECT_EQ(a.tailDigestFrom, b.tailDigestFrom) << tag;
+    EXPECT_EQ(b.tailDigestFrom, b.restoredAt) << tag;
+    EXPECT_EQ(a.stateDigest, b.stateDigest) << tag;
+
+    // Restore + immediately re-checkpoint: the first checkpoint the
+    // resumed run writes lands on the restore boundary, so its file is
+    // byte-identical to the one it restored from.
+    CampaignSpec rewrite = spec;
+    rewrite.restorePath = ck.string();
+    rewrite.checkpointPath = ck2.string();
+    rewrite.checkpointEvery = 128;
+    const CampaignResult c = runCampaign(rewrite);
+    ASSERT_TRUE(c.checkpointError.empty())
+        << tag << ": " << c.checkpointError;
+    ASSERT_GE(c.checkpointsWritten, 1u) << tag;
+    EXPECT_EQ(slurp(ck2), ckBytes) << tag;
+    EXPECT_EQ(c.stateDigest, a.stateDigest) << tag;
+    EXPECT_EQ(c.tailDigest, a.tailDigest) << tag;
+}
+
+TEST(CheckpointCampaign, RestoreIsBitIdenticalBaseline)
+{
+    expectRestoreBitIdentical(ckCampaignSpec(11), "base");
+}
+
+TEST(CheckpointCampaign, RestoreIsBitIdenticalWithCwgAnalyzer)
+{
+    CampaignSpec spec = ckCampaignSpec(12);
+    spec.verifyCwg = true;
+    expectRestoreBitIdentical(spec, "cwg");
+}
+
+TEST(CheckpointCampaign, RestoreIsBitIdenticalInRecoveryMode)
+{
+    CampaignSpec spec = ckCampaignSpec(13);
+    spec.cfg.recoveryMode = true;
+    expectRestoreBitIdentical(spec, "recovery");
+}
+
+TEST(CheckpointCampaign, ArmedRunMatchesUnarmedRun)
+{
+    const CampaignSpec plain = ckCampaignSpec(14);
+    const CampaignResult rPlain = runCampaign(plain);
+
+    CampaignSpec armed = plain;
+    armed.checkpointPath =
+        scratchFile("campaign-armed.ck").string();
+    armed.checkpointEvery = 64;
+    const CampaignResult rArmed = runCampaign(armed);
+
+    // The digest tee must not perturb the run in any observable way.
+    EXPECT_EQ(campaignJson(rPlain), campaignJson(rArmed));
+    EXPECT_EQ(rPlain.cycles, rArmed.cycles);
+    EXPECT_EQ(rPlain.passed, rArmed.passed);
+}
+
+TEST(CheckpointCampaign, RestoreFailureIsALoudViolation)
+{
+    CampaignSpec spec = ckCampaignSpec(15);
+    spec.restorePath =
+        scratchFile("campaign-missing.ck").string();  // never written
+    const CampaignResult r = runCampaign(spec);
+    EXPECT_FALSE(r.passed);
+    EXPECT_FALSE(r.checkpointError.empty());
+    ASSERT_FALSE(r.violations.empty());
+    EXPECT_NE(r.violations[0].find("restore failed"),
+              std::string::npos)
+        << r.violations[0];
+}
+
+} // namespace
+} // namespace tpnet

@@ -1,0 +1,414 @@
+/** @file Campaign sharding: partition exactness, stable keys, shard
+ *  result files, the merger's bit-identity with a monolithic run, and
+ *  the digest-addressed result cache. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "chaos/campaign.hpp"
+#include "chaos/manifest.hpp"
+#include "chaos/report.hpp"
+#include "helpers.hpp"
+
+namespace tpnet {
+namespace {
+
+using namespace chaos;
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory under the test temp root. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+spit(const fs::path &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << bytes;
+}
+
+/** Cheap-but-real campaign spec (one cell of a tiny grid). */
+CampaignSpec
+cheapSpec(std::uint64_t seed)
+{
+    CampaignSpec spec;
+    spec.cfg = test::smallConfig(Protocol::TwoPhase, 4, 2);
+    spec.cfg.msgLength = 8;
+    spec.cfg.load = 0.03 + 0.01 * static_cast<double>(seed % 3);
+    spec.seed = seed;
+    spec.injectCycles = 300;
+    spec.drainCycles = 50000;
+    spec.faults.horizon = 300;
+    spec.faults.earliest = 20;
+    spec.faults.nodeKills = 1;
+    spec.faults.linkKills = 1;
+    spec.faults.intermittents = 1;
+    spec.faults.downMin = 50;
+    spec.faults.downMax = 100;
+    return spec;
+}
+
+std::vector<CampaignSpec>
+cheapGrid(std::size_t total)
+{
+    std::vector<CampaignSpec> specs;
+    for (std::size_t i = 0; i < total; ++i)
+        specs.push_back(cheapSpec(1 + i));
+    return specs;
+}
+
+/** Synthetic results: enough structure to exercise the JSON path. */
+std::vector<CampaignResult>
+syntheticResults(std::size_t total)
+{
+    std::vector<CampaignResult> results(total);
+    for (std::size_t i = 0; i < total; ++i) {
+        CampaignResult &r = results[i];
+        r.seed = 1 + i;
+        r.passed = i % 4 != 3;
+        r.cycles = 1000 + 7 * i;
+        r.quiescent = r.passed;
+        r.messages = 10 * i;
+        if (!r.passed)
+            r.violations.push_back("synthetic \"violation\" #" +
+                                   std::to_string(i));
+    }
+    return results;
+}
+
+TEST(Shard, PartitionIsExactForRaggedCounts)
+{
+    for (std::size_t total : {1u, 5u, 80u, 81u, 97u}) {
+        for (int count = 1; count <= 7; ++count) {
+            std::set<std::size_t> seen;
+            std::size_t owned_sum = 0;
+            for (int index = 0; index < count; ++index) {
+                const ShardSpec shard{index, count};
+                const std::vector<std::size_t> owned =
+                    shardIndices(total, shard);
+                owned_sum += owned.size();
+                for (std::size_t idx : owned) {
+                    EXPECT_LT(idx, total);
+                    EXPECT_TRUE(shardOwns(shard, idx));
+                    EXPECT_TRUE(seen.insert(idx).second)
+                        << "cell " << idx << " owned twice ("
+                        << total << " cells, " << count << " shards)";
+                }
+                // Round-robin: shard sizes differ by at most one.
+                EXPECT_GE(owned.size(), total / count);
+                EXPECT_LE(owned.size(), total / count + 1);
+            }
+            EXPECT_EQ(owned_sum, total);
+            EXPECT_EQ(seen.size(), total);
+        }
+    }
+}
+
+TEST(Shard, ParseShardSpecAcceptsAndRejects)
+{
+    ShardSpec s;
+    ASSERT_TRUE(parseShardSpec("0/1", &s));
+    EXPECT_EQ(s.index, 0);
+    EXPECT_EQ(s.count, 1);
+    ASSERT_TRUE(parseShardSpec("3/4", &s));
+    EXPECT_EQ(s.index, 3);
+    EXPECT_EQ(s.count, 4);
+
+    for (const char *bad : {"", "4/4", "5/4", "-1/4", "a/b", "1/0",
+                            "1/", "/4", "1/4x", "1.5/4", "1 / 4"})
+        EXPECT_FALSE(parseShardSpec(bad, &s)) << "'" << bad << "'";
+}
+
+TEST(Shard, KeyIsStableAndSensitive)
+{
+    const std::vector<CampaignSpec> specs = cheapGrid(8);
+    const ShardSpec shard{1, 3};
+    const std::uint64_t key = shardKey(specs, shard);
+    EXPECT_EQ(key, shardKey(specs, shard));  // pure function
+
+    // A different shard of the same grid has a different key.
+    EXPECT_NE(key, shardKey(specs, ShardSpec{0, 3}));
+    EXPECT_NE(key, shardKey(specs, ShardSpec{1, 4}));
+
+    // Any owned cell's config, seed, or fault shape changes the key.
+    std::vector<CampaignSpec> mutated = specs;
+    mutated[1].cfg.load += 0.01;
+    EXPECT_NE(key, shardKey(mutated, shard));
+    mutated = specs;
+    mutated[4].seed += 100;
+    EXPECT_NE(key, shardKey(mutated, shard));
+    mutated = specs;
+    mutated[7].faults.nodeKills += 1;
+    EXPECT_NE(key, shardKey(mutated, shard));
+
+    // A cell the shard does NOT own leaves the key unchanged.
+    mutated = specs;
+    mutated[0].cfg.load += 0.01;  // 0 % 3 != 1
+    EXPECT_EQ(key, shardKey(mutated, shard));
+}
+
+TEST(Shard, ShardFileRoundTripsAndRejectsTamper)
+{
+    const fs::path dir = scratchDir("shard_roundtrip");
+    const std::vector<CampaignSpec> specs = cheapGrid(7);
+    const std::vector<CampaignResult> all = syntheticResults(7);
+    const ShardSpec shard{2, 3};
+    const std::uint64_t key = shardKey(specs, shard);
+    const std::vector<std::size_t> owned = shardIndices(7, shard);
+
+    std::vector<CampaignResult> mine;
+    for (std::size_t idx : owned)
+        mine.push_back(all[idx]);
+
+    const fs::path path = dir / "shard-2.json";
+    ASSERT_TRUE(writeShardJson(path.string(), "tpnet_test", shard, 7,
+                               key, owned, mine));
+
+    ShardFile sf;
+    std::string error;
+    ASSERT_TRUE(readShardFile(path.string(), &sf, &error)) << error;
+    EXPECT_EQ(sf.tool, "tpnet_test");
+    EXPECT_EQ(sf.shard.index, 2);
+    EXPECT_EQ(sf.shard.count, 3);
+    EXPECT_EQ(sf.total, 7u);
+    EXPECT_EQ(sf.key, key);
+    EXPECT_EQ(sf.indices, owned);
+    ASSERT_EQ(sf.campaigns.size(), mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i)
+        EXPECT_EQ(sf.campaigns[i], campaignJson(mine[i]));
+
+    // Flip one byte inside a campaign line: the result digest check
+    // must refuse the file.
+    std::string bytes = slurp(path);
+    const std::size_t pos = bytes.find("\"cycles\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    bytes[pos + 11] = '9';
+    spit(path, bytes);
+    EXPECT_FALSE(readShardFile(path.string(), &sf, &error));
+    EXPECT_NE(error.find("digest"), std::string::npos) << error;
+}
+
+TEST(Shard, MergedDocumentIsBitIdenticalToMonolithic)
+{
+    const fs::path base = scratchDir("shard_merge");
+    const fs::path dir = base / "shards";  // only shard files live here
+    fs::create_directories(dir);
+    const std::size_t total = 7;
+    const int count = 3;  // ragged: shard sizes 3, 2, 2
+    const std::vector<CampaignSpec> specs = cheapGrid(total);
+    const std::vector<CampaignResult> all = syntheticResults(total);
+
+    const fs::path mono = base / "mono.json";
+    ASSERT_TRUE(writeCampaignJson(mono.string(), "tpnet_test", all));
+
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < count; ++i) {
+        const ShardSpec shard{i, count};
+        const std::uint64_t key = shardKey(specs, shard);
+        keys.push_back(key);
+        const std::vector<std::size_t> owned =
+            shardIndices(total, shard);
+        std::vector<CampaignResult> mine;
+        for (std::size_t idx : owned)
+            mine.push_back(all[idx]);
+        const fs::path path =
+            dir / ("shard-" + std::to_string(i) + ".json");
+        ASSERT_TRUE(writeShardJson(path.string(), "tpnet_test", shard,
+                                   total, key, owned, mine));
+    }
+
+    EXPECT_EQ(probeShardCount(dir.string(), "merged.json"), count);
+
+    const fs::path merged = dir / "merged.json";
+    std::ostringstream log;
+    const int rc = mergeShards(dir.string(), "tpnet_test", keys,
+                               merged.string(), log);
+    EXPECT_EQ(rc, 1) << log.str();  // synthetic set has failures
+    EXPECT_EQ(slurp(merged), slurp(mono));
+}
+
+TEST(Shard, MergeRejectsMissingDuplicateStaleAndForeign)
+{
+    const fs::path dir = scratchDir("shard_merge_bad");
+    const std::size_t total = 5;
+    const int count = 2;
+    const std::vector<CampaignSpec> specs = cheapGrid(total);
+    const std::vector<CampaignResult> all = syntheticResults(total);
+
+    std::vector<std::uint64_t> keys;
+    std::vector<fs::path> paths;
+    for (int i = 0; i < count; ++i) {
+        const ShardSpec shard{i, count};
+        const std::uint64_t key = shardKey(specs, shard);
+        keys.push_back(key);
+        const std::vector<std::size_t> owned =
+            shardIndices(total, shard);
+        std::vector<CampaignResult> mine;
+        for (std::size_t idx : owned)
+            mine.push_back(all[idx]);
+        const fs::path path =
+            dir / ("shard-" + std::to_string(i) + ".json");
+        paths.push_back(path);
+        ASSERT_TRUE(writeShardJson(path.string(), "tpnet_test", shard,
+                                   total, key, owned, mine));
+    }
+    const fs::path merged = dir / "merged.json";
+
+    // Missing shard.
+    const std::string shard1 = slurp(paths[1]);
+    fs::remove(paths[1]);
+    std::ostringstream log1;
+    EXPECT_EQ(mergeShards(dir.string(), "tpnet_test", keys,
+                          merged.string(), log1),
+              2);
+    EXPECT_NE(log1.str().find("missing"), std::string::npos)
+        << log1.str();
+    spit(paths[1], shard1);
+
+    // Duplicate shard (same index under another file name).
+    spit(dir / "shard-1-copy.json", shard1);
+    std::ostringstream log2;
+    EXPECT_EQ(mergeShards(dir.string(), "tpnet_test", keys,
+                          merged.string(), log2),
+              2);
+    EXPECT_NE(log2.str().find("more than once"), std::string::npos)
+        << log2.str();
+    fs::remove(dir / "shard-1-copy.json");
+
+    // Stale shard: expected keys computed from a different grid.
+    std::vector<std::uint64_t> wrong = keys;
+    wrong[0] ^= 0xdeadbeefull;
+    std::ostringstream log3;
+    EXPECT_EQ(mergeShards(dir.string(), "tpnet_test", wrong,
+                          merged.string(), log3),
+              2);
+    EXPECT_NE(log3.str().find("key mismatch"), std::string::npos)
+        << log3.str();
+
+    // Foreign tool.
+    std::ostringstream log4;
+    EXPECT_EQ(mergeShards(dir.string(), "tpnet_other", keys,
+                          merged.string(), log4),
+              2);
+}
+
+TEST(Shard, CacheStoreThenLookupHitAndMiss)
+{
+    const fs::path dir = scratchDir("shard_cache");
+    const fs::path cache = dir / "cache";
+    const std::vector<CampaignSpec> specs = cheapGrid(4);
+    const std::vector<CampaignResult> all = syntheticResults(4);
+    const ShardSpec shard{0, 2};
+    const std::uint64_t key = shardKey(specs, shard);
+    const std::vector<std::size_t> owned = shardIndices(4, shard);
+    std::vector<CampaignResult> mine;
+    for (std::size_t idx : owned)
+        mine.push_back(all[idx]);
+
+    const fs::path path = dir / "shard-0.json";
+    ASSERT_TRUE(writeShardJson(path.string(), "tpnet_test", shard, 4,
+                               key, owned, mine));
+
+    ShardFile hit;
+    EXPECT_FALSE(cacheLookup(cache.string(), "tpnet_test", shard, key,
+                             &hit));  // nothing stored yet
+    ASSERT_TRUE(cacheStore(cache.string(), "tpnet_test", shard, key,
+                           path.string()));
+    ASSERT_TRUE(cacheLookup(cache.string(), "tpnet_test", shard, key,
+                            &hit));
+    EXPECT_EQ(hit.key, key);
+    EXPECT_EQ(hit.campaigns.size(), mine.size());
+
+    // A different key (grid changed) misses.
+    EXPECT_FALSE(cacheLookup(cache.string(), "tpnet_test", shard,
+                             key ^ 1, &hit));
+    // A corrupted cache entry misses instead of being trusted.
+    const fs::path entry =
+        cache / cacheFileName("tpnet_test", shard, key);
+    std::string bytes = slurp(entry);
+    bytes[bytes.size() / 2] ^= 0x20;
+    spit(entry, bytes);
+    EXPECT_FALSE(cacheLookup(cache.string(), "tpnet_test", shard, key,
+                             &hit));
+}
+
+TEST(Shard, ManifestListsEveryShardKey)
+{
+    const fs::path dir = scratchDir("shard_manifest");
+    const std::vector<CampaignSpec> specs = cheapGrid(7);
+    const int count = 3;
+    const fs::path path = dir / "manifest.json";
+    ASSERT_TRUE(writeManifest(path.string(), "tpnet_test", count,
+                              specs));
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"tpnet_test\""), std::string::npos);
+    for (int i = 0; i < count; ++i) {
+        const std::uint64_t key = shardKey(specs, ShardSpec{i, count});
+        EXPECT_NE(text.find(hex64(key)), std::string::npos)
+            << "manifest missing key of shard " << i;
+    }
+}
+
+TEST(Shard, RealCampaignMergeMatchesMonolithicRun)
+{
+    const fs::path base = scratchDir("shard_real");
+    const fs::path dir = base / "shards";  // only shard files live here
+    fs::create_directories(dir);
+    const std::size_t total = 4;
+    const int count = 3;  // ragged on purpose: 2 + 1 + 1
+    const std::vector<CampaignSpec> specs = cheapGrid(total);
+
+    const std::vector<CampaignResult> mono = runCampaigns(specs, 2);
+    const fs::path mono_path = base / "mono.json";
+    ASSERT_TRUE(
+        writeCampaignJson(mono_path.string(), "tpnet_test", mono));
+
+    std::vector<std::uint64_t> keys;
+    for (int i = 0; i < count; ++i) {
+        const ShardSpec shard{i, count};
+        const std::uint64_t key = shardKey(specs, shard);
+        keys.push_back(key);
+        const std::vector<std::size_t> owned =
+            shardIndices(total, shard);
+        std::vector<CampaignSpec> mine;
+        for (std::size_t idx : owned)
+            mine.push_back(specs[idx]);
+        const std::vector<CampaignResult> results =
+            runCampaigns(mine, 1);
+        const fs::path path =
+            dir / ("shard-" + std::to_string(i) + ".json");
+        ASSERT_TRUE(writeShardJson(path.string(), "tpnet_test", shard,
+                                   total, key, owned, results));
+    }
+
+    const fs::path merged = dir / "merged.json";
+    std::ostringstream log;
+    const int rc = mergeShards(dir.string(), "tpnet_test", keys,
+                               merged.string(), log);
+    EXPECT_LE(rc, 1) << log.str();
+    EXPECT_EQ(slurp(merged), slurp(mono_path))
+        << "sharded + merged document differs from the monolithic run";
+}
+
+} // namespace
+} // namespace tpnet

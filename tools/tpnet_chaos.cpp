@@ -26,6 +26,7 @@
 #include "chaos/campaign.hpp"
 #include "chaos/report.hpp"
 #include "sim/options.hpp"
+#include "shard_cli.hpp"
 
 namespace {
 
@@ -106,6 +107,8 @@ main(int argc, char **argv)
     std::string victim = "youngest";
     std::string json_path;
     std::string protocol = "TP";
+    tools::ShardCli shardcli;
+    tools::CheckpointCli ckcli;
 
     OptionParser parser(
         "tpnet_chaos",
@@ -159,6 +162,8 @@ main(int argc, char **argv)
                    "TEST HOOK: break recovery on purpose to prove the "
                    "oracle detects it (campaigns must FAIL)",
                    &hook_skip_kills);
+    tools::addShardOptions(parser, &shardcli);
+    tools::addCheckpointOptions(parser, &ckcli);
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -191,6 +196,14 @@ main(int argc, char **argv)
     const std::vector<GridPoint> grid =
         buildGrid(base.k, !no_vary_size);
 
+    if (!tools::resolveShardCli(&shardcli, !json_path.empty(),
+                                replay_seed != 0, &error) ||
+        !tools::validateCheckpointCli(ckcli, replay_seed != 0,
+                                      &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
     std::vector<std::uint64_t> seeds;
     if (replay_seed != 0) {
         replay = true;
@@ -204,13 +217,6 @@ main(int argc, char **argv)
         for (int i = 0; i < campaigns; ++i)
             seeds.push_back(seed + static_cast<std::uint64_t>(i));
     }
-
-    std::printf("# tpnet_chaos: %zu campaign(s), protocol %s, grid of "
-                "%zu cells, inject %llu + drain %llu cycles%s\n",
-                seeds.size(), protocolName(base.protocol), grid.size(),
-                static_cast<unsigned long long>(max_cycles),
-                static_cast<unsigned long long>(drain_cycles),
-                recovery ? ", RECOVERY mode" : "");
 
     // Build every campaign spec up front, fan the independent,
     // seed-replayable campaigns out across the pool, then report in
@@ -243,8 +249,58 @@ main(int argc, char **argv)
             static_cast<int>(std::lround(3.0 * fx));
         spec.faults.downMin = 100;
         spec.faults.downMax = 2000;
+        if (replay)
+            tools::applyCheckpointCli(ckcli, &spec);
         specs.push_back(spec);
     }
+
+    // Sharded execution: the full spec list above is exactly what a
+    // monolithic run would execute, so the shard keys, the manifest,
+    // and the merge validation all derive from it.
+    if (!shardcli.mergeDir.empty())
+        return tools::runMergeShards(shardcli, "tpnet_chaos", specs,
+                                     json_path);
+    if (!tools::writeShardManifest(shardcli, "tpnet_chaos", specs)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     shardcli.manifestPath.c_str());
+        return 2;
+    }
+
+    const bool shard_mode = tools::sharded(shardcli);
+    const std::size_t shard_total = specs.size();
+    std::uint64_t shard_key = 0;
+    std::vector<std::size_t> owned;
+    if (shard_mode) {
+        shard_key = shardKey(specs, shardcli.shard);
+        owned = shardIndices(shard_total, shardcli.shard);
+        const int cached = tools::tryShardCache(
+            shardcli, "tpnet_chaos", shard_key, shard_total,
+            json_path);
+        if (cached >= 0)
+            return cached;
+        std::vector<CampaignSpec> mine;
+        std::vector<std::uint64_t> mine_seeds;
+        mine.reserve(owned.size());
+        mine_seeds.reserve(owned.size());
+        for (std::size_t idx : owned) {
+            mine.push_back(specs[idx]);
+            mine_seeds.push_back(seeds[idx]);
+        }
+        specs.swap(mine);
+        seeds.swap(mine_seeds);
+        std::printf("# shard %d/%d: owns %zu of %zu campaign(s), "
+                    "key %s\n",
+                    shardcli.shard.index, shardcli.shard.count,
+                    specs.size(), shard_total,
+                    hex64(shard_key).c_str());
+    }
+
+    std::printf("# tpnet_chaos: %zu campaign(s), protocol %s, grid of "
+                "%zu cells, inject %llu + drain %llu cycles%s\n",
+                seeds.size(), protocolName(base.protocol), grid.size(),
+                static_cast<unsigned long long>(max_cycles),
+                static_cast<unsigned long long>(drain_cycles),
+                recovery ? ", RECOVERY mode" : "");
 
     const std::vector<CampaignResult> results =
         runCampaigns(specs, jobs);
@@ -279,8 +335,15 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
 
-    if (!json_path.empty() &&
-        !writeCampaignJson(json_path, "tpnet_chaos", results)) {
+    if (replay && tools::checkpointArmed(ckcli))
+        tools::printCheckpointReport(ckcli, results[0]);
+    if (shard_mode
+            ? !tools::writeShardOutputs(shardcli, "tpnet_chaos",
+                                        shard_key, shard_total, owned,
+                                        results, json_path)
+            : (!json_path.empty() &&
+               !writeCampaignJson(json_path, "tpnet_chaos",
+                                  results))) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      json_path.c_str());
         return 2;

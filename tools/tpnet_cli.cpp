@@ -19,6 +19,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "chaos/manifest.hpp"
 #include "core/tpnet.hpp"
 #include "metrics/netstats.hpp"
 #include "sim/options.hpp"
@@ -52,6 +53,7 @@ main(int argc, char **argv)
     std::string pattern = "uniform";
     std::string victim = "youngest";
     std::string sweep;
+    std::string shard_text;
     int reps = 1;
     int jobs = 0;
     double dynamic_faults = 0.0;
@@ -125,6 +127,11 @@ main(int argc, char **argv)
     parser.addInt("reps", "max replications (95% CI rule when > 1)",
                   &reps);
     parser.addString("sweep", "comma-separated offered loads", &sweep);
+    parser.addString("shard",
+                     "sweep only: run the load points whose index mod "
+                     "N equals i (\"i/N\", round-robin like the "
+                     "campaign tools)",
+                     &shard_text);
     parser.addJobs(&jobs);
     parser.addFlag("stats", "print structural network statistics",
                    &stats);
@@ -154,6 +161,19 @@ main(int argc, char **argv)
                      victim.c_str());
         return 1;
     }
+    chaos::ShardSpec shard;
+    if (!shard_text.empty()) {
+        if (!chaos::parseShardSpec(shard_text, &shard)) {
+            std::fprintf(stderr, "error: malformed --shard '%s' "
+                                 "(expected i/N with 0 <= i < N)\n",
+                         shard_text.c_str());
+            return 1;
+        }
+        if (sweep.empty()) {
+            std::fprintf(stderr, "error: --shard needs --sweep\n");
+            return 1;
+        }
+    }
     cfg.dynamicNodeFaults = dynamic_faults;
     cfg.wrap = !mesh;
     cfg.markUnsafe = !no_unsafe;
@@ -162,13 +182,23 @@ main(int argc, char **argv)
     std::printf("# %s\n", cfg.summary().c_str());
 
     if (!sweep.empty()) {
+        std::vector<double> loads = parseLoads(sweep);
+        if (!shard_text.empty()) {
+            std::vector<double> mine;
+            for (std::size_t i = 0; i < loads.size(); ++i)
+                if (chaos::shardOwns(shard, i))
+                    mine.push_back(loads[i]);
+            std::printf("# shard %d/%d: %zu of %zu load point(s)\n",
+                        shard.index, shard.count, mine.size(),
+                        loads.size());
+            loads.swap(mine);
+        }
         SweepOptions opt;
         opt.minReps = reps > 1 ? 2 : 1;
         opt.maxReps = static_cast<std::size_t>(reps);
         opt.jobs = jobs;
         const Series s =
-            loadSweep(cfg, protocolName(cfg.protocol),
-                      parseLoads(sweep), opt);
+            loadSweep(cfg, protocolName(cfg.protocol), loads, opt);
         printSeries(std::cout, s, "offered");
         return 0;
     }

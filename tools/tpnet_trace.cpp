@@ -15,6 +15,8 @@
  *   digest  print the digest and record count of a trace file.
  *   check   run the trace-level property checks (VC conservation and,
  *           with --K, the Section 2.2 scout-gap invariant).
+ *   ckinfo  print the header of a campaign checkpoint file (version,
+ *           payload size, payload digest, config digest).
  *
  * Without a subcommand, the legacy live mode renders the diagram of a
  * single freshly simulated message:
@@ -35,6 +37,7 @@
 #include "core/pool.hpp"
 #include "core/tpnet.hpp"
 #include "metrics/timespace.hpp"
+#include "obs/checkpoint.hpp"
 #include "obs/recorder.hpp"
 #include "obs/replay.hpp"
 #include "obs/trace_format.hpp"
@@ -346,6 +349,41 @@ cmdCheck(OptionParser &parser, int argc, const char *const *argv)
 }
 
 int
+cmdCkInfo(OptionParser &parser, int argc, const char *const *argv)
+{
+    std::string in = "campaign.ck";
+    parser.addString("in", "input checkpoint file", &in);
+
+    std::string error;
+    if (!parser.parse(argc, argv, &error)) {
+        std::fprintf(stderr, "error: %s\n\n%s", error.c_str(),
+                     parser.usage().c_str());
+        return 1;
+    }
+    if (parser.helpRequested()) {
+        std::fputs(parser.usage().c_str(), stdout);
+        return 0;
+    }
+
+    std::ifstream is(in, std::ios::binary);
+    if (!is) {
+        std::fprintf(stderr, "error: cannot open %s\n", in.c_str());
+        return 1;
+    }
+    obs::CheckpointFileInfo info;
+    if (!obs::readCheckpointInfo(is, &info, &error)) {
+        std::fprintf(stderr, "error: %s: %s\n", in.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    std::printf("version %u  flags %u\n", info.version, info.flags);
+    std::printf("payload %" PRIu64 " bytes  digest %016" PRIx64 "\n",
+                info.payloadSize, info.payloadDigest);
+    std::printf("config digest %016" PRIx64 "\n", info.configDigest);
+    return 0;
+}
+
+int
 legacyLive(int argc, const char *const *argv)
 {
     SimConfig cfg;
@@ -451,7 +489,8 @@ main(int argc, char **argv)
     // may precede it (`tpnet_trace --seed 7 record` works). Everything
     // else is passed on to the subcommand's parser.
     static const char *const subcommands[] = {"record", "dump", "replay",
-                                              "digest", "check"};
+                                              "digest", "check",
+                                              "ckinfo"};
     const char *sub = nullptr;
     std::vector<const char *> rest;
     rest.push_back(argv[0]);
@@ -499,9 +538,14 @@ main(int argc, char **argv)
                             "trace-level property checks");
         return cmdCheck(parser, rargc, rargv);
     }
+    if (std::strcmp(sub, "ckinfo") == 0) {
+        OptionParser parser("tpnet_trace ckinfo",
+                            "header of a campaign checkpoint file");
+        return cmdCkInfo(parser, rargc, rargv);
+    }
     std::fprintf(stderr,
                  "error: unknown subcommand '%s' (record | dump | replay "
-                 "| digest | check)\n",
+                 "| digest | check | ckinfo)\n",
                  sub);
     return 1;
 }

@@ -53,6 +53,7 @@
 #include "chaos/report.hpp"
 #include "chaos/shrink.hpp"
 #include "sim/options.hpp"
+#include "shard_cli.hpp"
 
 namespace {
 
@@ -391,6 +392,8 @@ main(int argc, char **argv)
     std::string json_path;
     std::string protocol;
     std::string fault_events;
+    tools::ShardCli shardcli;
+    tools::CheckpointCli ckcli;
 
     OptionParser parser(
         "tpnet_verify",
@@ -462,6 +465,8 @@ main(int argc, char **argv)
     parser.addFlag("no-shrink", "report failures without minimizing",
                    &no_shrink);
     parser.addFlag("verbose", "print every violation in full", &verbose);
+    tools::addShardOptions(parser, &shardcli);
+    tools::addCheckpointOptions(parser, &ckcli);
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -490,7 +495,22 @@ main(int argc, char **argv)
 
     const std::vector<GridPoint> grid = buildGrid();
 
+    const bool replay = replay_seed != 0;
+    if (!tools::resolveShardCli(&shardcli, !json_path.empty(), replay,
+                                &error) ||
+        !tools::validateCheckpointCli(ckcli, replay, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+
     if (compare) {
+        if (tools::sharded(shardcli) || !shardcli.mergeDir.empty() ||
+            !shardcli.manifestPath.empty() ||
+            tools::checkpointArmed(ckcli)) {
+            std::fprintf(stderr, "error: sharding/checkpoint options "
+                                 "cannot be combined with --compare\n");
+            return 2;
+        }
         if (campaigns < 1) {
             std::fprintf(stderr, "error: --campaigns must be >= 1\n");
             return 2;
@@ -501,7 +521,6 @@ main(int argc, char **argv)
     }
 
     std::vector<std::uint64_t> seeds;
-    const bool replay = replay_seed != 0;
     if (replay) {
         seeds.push_back(replay_seed);
     } else {
@@ -555,7 +574,50 @@ main(int argc, char **argv)
         }
         if (!scripted.empty())
             spec.scriptedFaults = scripted;
+        if (replay)
+            tools::applyCheckpointCli(ckcli, &spec);
         specs.push_back(spec);
+    }
+
+    // Sharded execution: the full spec list above is exactly what a
+    // monolithic run would execute, so the shard keys, the manifest,
+    // and the merge validation all derive from it.
+    if (!shardcli.mergeDir.empty())
+        return tools::runMergeShards(shardcli, "tpnet_verify", specs,
+                                     json_path);
+    if (!tools::writeShardManifest(shardcli, "tpnet_verify", specs)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     shardcli.manifestPath.c_str());
+        return 2;
+    }
+
+    const bool shard_mode = tools::sharded(shardcli);
+    const std::size_t shard_total = specs.size();
+    std::uint64_t shard_key = 0;
+    std::vector<std::size_t> owned;
+    if (shard_mode) {
+        shard_key = shardKey(specs, shardcli.shard);
+        owned = shardIndices(shard_total, shardcli.shard);
+        const int cached = tools::tryShardCache(
+            shardcli, "tpnet_verify", shard_key, shard_total,
+            json_path);
+        if (cached >= 0)
+            return cached;
+        std::vector<CampaignSpec> mine;
+        std::vector<std::uint64_t> mine_seeds;
+        mine.reserve(owned.size());
+        mine_seeds.reserve(owned.size());
+        for (std::size_t idx : owned) {
+            mine.push_back(specs[idx]);
+            mine_seeds.push_back(seeds[idx]);
+        }
+        specs.swap(mine);
+        seeds.swap(mine_seeds);
+        std::printf("# shard %d/%d: owns %zu of %zu campaign(s), "
+                    "key %s\n",
+                    shardcli.shard.index, shardcli.shard.count,
+                    specs.size(), shard_total,
+                    hex64(shard_key).c_str());
     }
 
     std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells "
@@ -648,8 +710,15 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(retx_seen),
                     static_cast<unsigned long long>(esc_seen));
     }
-    if (!json_path.empty() &&
-        !writeCampaignJson(json_path, "tpnet_verify", results)) {
+    if (replay && tools::checkpointArmed(ckcli))
+        tools::printCheckpointReport(ckcli, results[0]);
+    if (shard_mode
+            ? !tools::writeShardOutputs(shardcli, "tpnet_verify",
+                                        shard_key, shard_total, owned,
+                                        results, json_path)
+            : (!json_path.empty() &&
+               !writeCampaignJson(json_path, "tpnet_verify",
+                                  results))) {
         std::fprintf(stderr, "error: cannot write '%s'\n",
                      json_path.c_str());
         return 2;
