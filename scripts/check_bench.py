@@ -7,7 +7,17 @@ via `--json`) against the committed baseline and fails on:
   * wall-clock regression beyond --wall-tol   (default +25%),
   * per-point latency regression beyond --latency-tol (default +25%),
   * per-point throughput drop beyond --latency-tol,
-  * coverage loss (a baseline series/point missing from the current run).
+  * coverage loss (a baseline series/point missing from the current run),
+  * an "engine_compare" entry (bench/idle_drain.cpp) below its own
+    min_speedup, or one whose two engines were not bit-identical.
+
+The engine gate is self-contained — every entry carries the speedup it
+must reach — so it can also run without a baseline:
+
+    check_bench.py --engine-gate idle_drain.json
+
+Entries on the BASELINE side are never examined; only the current run's
+engine_compare is gated.
 
 Only keys present in the BASELINE are compared: new fields, new series,
 or new points appearing on the current side (e.g. the per-VC "vc"
@@ -52,9 +62,31 @@ def index_points(doc):
     return out
 
 
+def engine_failures(cur, out=sys.stdout):
+    """Gate the current run's engine_compare entries (idle_drain)."""
+    failures = []
+    for entry in cur.get("engine_compare", []):
+        label = entry.get("label", "?")
+        if entry.get("identical") is False:
+            failures.append(
+                f"engine divergence at {label}: event-engine and "
+                f"time-stepped results are not bit-identical")
+        speedup = entry.get("speedup")
+        need = entry.get("min_speedup")
+        if speedup is None or need is None:
+            continue
+        line = (f"engine-compare {label}: {speedup:.2f}x "
+                f"(required >= {need:.2f}x)")
+        if speedup < need:
+            failures.append(f"{line} — event engine too slow")
+        else:
+            print(f"check_bench: {line} ok", file=out)
+    return failures
+
+
 def compare(base, cur, wall_tol, latency_tol, out=sys.stdout):
     """All regressions of `cur` vs `base` as a list of strings."""
-    failures = []
+    failures = engine_failures(cur, out=out)
 
     if base.get("fast") != cur.get("fast"):
         failures.append(
@@ -192,6 +224,35 @@ def self_test():
     cases.append(("shard keys in the baseline are never diffed",
                   shard_meta, doc, 0))
 
+    # The engine gate (bench/idle_drain.cpp): every entry carries its
+    # own required speedup, and both the idle-heavy win and the
+    # saturated no-regression bound are expressed the same way.
+    eng_ok = copy.deepcopy(doc)
+    eng_ok["engine_compare"] = [
+        {"label": "idle/zero-load-window", "wall_on": 0.1,
+         "wall_off": 1.0, "speedup": 10.0, "min_speedup": 2.0,
+         "identical": True},
+        {"label": "saturated/load-0.30", "wall_on": 1.0,
+         "wall_off": 0.95, "speedup": 0.95, "min_speedup": 0.8,
+         "identical": True},
+    ]
+    cases.append(("engine compare within bounds", doc, eng_ok, 0))
+
+    eng_slow = copy.deepcopy(eng_ok)
+    eng_slow["engine_compare"][0]["speedup"] = 1.4
+    cases.append(("idle-heavy speedup below 2x", doc, eng_slow, 1))
+
+    eng_sat = copy.deepcopy(eng_ok)
+    eng_sat["engine_compare"][1]["speedup"] = 0.7
+    cases.append(("saturated regression beyond 25%", doc, eng_sat, 1))
+
+    eng_div = copy.deepcopy(eng_ok)
+    eng_div["engine_compare"][0]["identical"] = False
+    cases.append(("engine divergence is fatal", doc, eng_div, 1))
+
+    # engine_compare on the baseline side is metadata, never diffed.
+    cases.append(("baseline engine_compare is inert", eng_ok, doc, 0))
+
     # The restore-overhead gate: a checkpoint-armed run must stay
     # within +5% wall of the unarmed baseline (--wall-tol 0.05).
     ok_restore = copy.deepcopy(doc)
@@ -240,10 +301,31 @@ def main():
                     help="copy CURRENT over BASELINE and exit")
     ap.add_argument("--self-test", action="store_true",
                     help="run the gate against synthetic fixtures")
+    ap.add_argument("--engine-gate", action="store_true",
+                    help="gate only the engine_compare entries of a "
+                         "single result file (no baseline needed)")
     args = ap.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.engine_gate:
+        path = args.current or args.baseline
+        if not path:
+            ap.error("--engine-gate needs one result file")
+        doc = load(path)
+        if not doc.get("engine_compare"):
+            print(f"check_bench: no engine_compare entries in {path}",
+                  file=sys.stderr)
+            return 2
+        failures = engine_failures(doc)
+        if failures:
+            print(f"check_bench: FAIL ({len(failures)} engine "
+                  f"regression(s)):", file=sys.stderr)
+            for f in failures:
+                print(f"  ! {f}", file=sys.stderr)
+            return 1
+        print("check_bench: PASS — engine gate satisfied")
+        return 0
     if not args.baseline or not args.current:
         ap.error("baseline and current are required "
                  "(unless --self-test)")

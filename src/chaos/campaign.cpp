@@ -6,6 +6,7 @@
 #include "chaos/manifest.hpp"
 #include "chaos/oracle.hpp"
 #include "chaos/snapshot.hpp"
+#include "core/engine.hpp"
 #include "core/network.hpp"
 #include "core/pool.hpp"
 #include "obs/checkpoint.hpp"
@@ -138,25 +139,82 @@ runCampaign(const CampaignSpec &spec)
         }
     };
 
+    // Event-engine cycle skipping. When an iteration leaves the whole
+    // system provably frozen, aggregate every external wakeup source
+    // into one next-event cycle and jump the clock there. A stop that
+    // turns out early is harmless — an executed iteration of a frozen
+    // network is bit-identical under both engines; only skipping an
+    // iteration that would have done work can diverge.
+    enum : std::uint32_t {
+        TokCheckpoint,
+        TokFault,
+        TokNet,
+        TokWatchdog,
+        TokPhaseEnd,
+        TokCount,
+    };
+    WakeupQueue wake;
+    auto skipAhead = [&](Cycle phaseEnd, bool draining) {
+        if (!injector.inert() || !net.eventEngine() || !net.idle() ||
+            watchdog.deadlocked()) {
+            return;
+        }
+        // Quiescence ends the drain loop; the stop cycle is part of
+        // the reported result, so never coast past it.
+        if (draining && net.quiescent())
+            return;
+        const Cycle now = net.now();
+        wake.reset(TokCount);
+        wake.schedule(TokPhaseEnd, phaseEnd);
+        wake.schedule(TokFault, schedule.nextEventAt());
+        wake.schedule(TokNet, net.nextInternalEvent());
+        // observe() of iteration c sees cycle c+1: a watchdog deadline
+        // at observe-value v means iteration v-1 must still execute.
+        const Cycle wd = watchdog.nextDeadline();
+        if (wd != cycleNever)
+            wake.schedule(TokWatchdog, wd > now + 1 ? wd - 1 : now);
+        if (spec.checkpointEvery > 0 && !spec.checkpointPath.empty()) {
+            wake.schedule(TokCheckpoint,
+                          now % spec.checkpointEvery == 0
+                              ? now
+                              : (now / spec.checkpointEvery + 1) *
+                                    spec.checkpointEvery);
+        }
+        const Cycle target = wake.nextAt();
+        if (target == cycleNever || target <= now)
+            return;
+        net.skipTo(target);
+        watchdog.skipTo(target);
+    };
+
     if (st.phase == 0) {
-        for (Cycle c = net.now();
-             c < spec.injectCycles && !watchdog.deadlocked(); ++c) {
+        const Cycle injectEnd = spec.injectCycles;
+        while (net.now() < injectEnd && !watchdog.deadlocked()) {
             maybeCheckpoint(0);
             schedule.apply(net, faultRng);
             injector.step();
             net.step();
             watchdog.observe();
+            skipAhead(injectEnd, false);
         }
         injector.stop();
     }
-    for (Cycle c = st.phase == 1 ? net.now() - spec.injectCycles : 0;
-         c < spec.drainCycles && !net.quiescent() &&
-         !watchdog.deadlocked();
-         ++c) {
-        maybeCheckpoint(1);
-        schedule.apply(net, faultRng);  // scripted late events, if any
-        net.step();
-        watchdog.observe();
+    {
+        // Same drain budget as before, in absolute cycles: a restore
+        // into the drain phase has already consumed part of it.
+        const Cycle spent =
+            st.phase == 1 ? net.now() - spec.injectCycles : 0;
+        const Cycle drainEnd =
+            net.now() +
+            (spent < spec.drainCycles ? spec.drainCycles - spent : 0);
+        while (net.now() < drainEnd && !net.quiescent() &&
+               !watchdog.deadlocked()) {
+            maybeCheckpoint(1);
+            schedule.apply(net, faultRng);  // scripted late events, if any
+            net.step();
+            watchdog.observe();
+            skipAhead(drainEnd, true);
+        }
     }
 
     if (ckArmed) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/engine.hpp"
 #include "core/network.hpp"
 
 namespace tpnet {
@@ -52,6 +53,20 @@ FaultSchedule::apply(Network &net, Rng &rng)
             ++skipped_;
         ++next_;
     }
+}
+
+Cycle
+FaultSchedule::nextEventAt()
+{
+    if (!sorted_) {
+        std::stable_sort(events_.begin() + static_cast<std::ptrdiff_t>(next_),
+                         events_.end(),
+                         [](const FaultEvent &a, const FaultEvent &b) {
+                             return a.at < b.at;
+                         });
+        sorted_ = true;
+    }
+    return next_ < events_.size() ? events_[next_].at : cycleNever;
 }
 
 bool

@@ -92,6 +92,13 @@ class FaultSchedule
     /** All events at or before @p cycle have fired (or been skipped). */
     bool exhausted() const { return next_ >= events_.size(); }
 
+    /**
+     * Fire cycle of the next pending event, or cycleNever when the
+     * timeline is exhausted (event-engine cycle skipping: the driver
+     * must step the cycle this event is due).
+     */
+    Cycle nextEventAt();
+
     std::size_t fired() const { return fired_; }
     std::size_t skipped() const { return skipped_; }
     std::size_t size() const { return events_.size(); }

@@ -590,6 +590,13 @@ struct SnapshotAccess
         }
         if (net.cwg_)
             io(ar, *net.cwg_);
+
+        // The ready sets and the live-id index are derived state: they
+        // are not serialized, just reconstructed from what was read.
+        if constexpr (Ar::isReader) {
+            if (!bad(ar))
+                net.rebuildActivity();
+        }
     }
 
     template <class Ar>

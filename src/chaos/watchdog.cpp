@@ -1,7 +1,9 @@
 #include "chaos/watchdog.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "core/engine.hpp"
 #include "core/network.hpp"
 #include "core/validator.hpp"
 
@@ -46,6 +48,51 @@ Watchdog::observe()
         checkConservation();
     if (cfg_.validateEvery > 0 && net_.now() % cfg_.validateEvery == 0)
         runValidator();
+}
+
+Cycle
+Watchdog::nextDeadline() const
+{
+    Cycle at = cycleNever;
+    if (cfg_.globalStallBound > 0 && !deadlocked_ &&
+        net_.activeMessages() > 0) {
+        at = std::min(at, lastActivity_ + cfg_.globalStallBound);
+    }
+    if (cfg_.msgStallBound > 0) {
+        for (const auto &kv : tracks_) {
+            if (kv.second.flagged)
+                continue;
+            at = std::min(at,
+                          kv.second.lastChange + cfg_.msgStallBound);
+            at = std::min(at,
+                          kv.second.lastChange2 + cfg_.msgStallBound);
+        }
+    }
+    // Cadenced sweeps re-report persistent violations, so every
+    // boundary is a deadline even when nothing looks wrong.
+    const Cycle now = net_.now();
+    if (cfg_.conserveEvery > 0) {
+        at = std::min(at,
+                      (now / cfg_.conserveEvery + 1) * cfg_.conserveEvery);
+    }
+    if (cfg_.validateEvery > 0) {
+        at = std::min(at,
+                      (now / cfg_.validateEvery + 1) * cfg_.validateEvery);
+    }
+    return at;
+}
+
+void
+Watchdog::skipTo(Cycle upto)
+{
+    // Each skipped observe() with no live messages would have
+    // refreshed the global-progress baseline; replay the last one.
+    // With live messages and a frozen network the baseline is
+    // untouched by observe(), so there is nothing to replay.
+    if (net_.activeMessages() == 0) {
+        lastComposite_ = activityComposite();
+        lastActivity_ = upto;
+    }
 }
 
 void

@@ -72,6 +72,23 @@ class Watchdog
     /** A global stall was detected; the campaign cannot finish. */
     bool deadlocked() const { return deadlocked_; }
 
+    /**
+     * Earliest future observe() cycle at which this watchdog could do
+     * anything besides refresh its bookkeeping: fire a deadlock or
+     * livelock report, or run a cadenced conservation/validator sweep.
+     * cycleNever when no check is pending. A cycle-skipping driver
+     * must execute the iteration whose observe() lands here.
+     */
+    Cycle nextDeadline() const;
+
+    /**
+     * Replay the bookkeeping of observes skipped over a frozen span
+     * ending at @p upto (the driver's idle-skip precondition). Keeps
+     * the serialized watchdog state — and hence checkpoint digests —
+     * bit-identical to having stepped every cycle.
+     */
+    void skipTo(Cycle upto);
+
     const std::vector<std::string> &violations() const
     {
         return violations_;

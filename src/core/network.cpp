@@ -42,7 +42,104 @@ Network::Network(const SimConfig &cfg)
     if (cfg_.recoveryMode)
         cwg_->armRecovery();
 
+    // Size the ready sets before faults are placed: failNode and
+    // killAffectedCircuits deregister entities as they clear queues.
+    rcuActive_.reset(routers_.size());
+    ctrlActive_.reset(links_.size());
+    dataActive_.reset(routers_.size());
+
     applyStaticFaults();
+    rebuildActivity();
+}
+
+void
+Network::rebuildActivity()
+{
+    rcuActive_.reset(routers_.size());
+    ctrlActive_.reset(links_.size());
+    dataActive_.reset(routers_.size());
+    for (const Router &rt : routers_) {
+        if (!rt.faulty && !rt.rcuQueue.empty())
+            rcuActive_.add(static_cast<std::uint32_t>(rt.id));
+    }
+    for (const Link &lk : links_) {
+        if (!lk.ctrlQ.empty() || !lk.ackQ.empty())
+            ctrlActive_.add(static_cast<std::uint32_t>(lk.id));
+    }
+    const NodeId nodes = static_cast<NodeId>(routers_.size());
+    for (NodeId node = 0; node < nodes; ++node) {
+        if (!nodeFaulty(node) && !dataNodeIdle(node))
+            dataActive_.add(static_cast<std::uint32_t>(node));
+    }
+    liveIds_.clear();
+    liveIds_.reserve(messages_.size());
+    for (const auto &[id, msg] : messages_)
+        liveIds_.push_back(id);
+    std::sort(liveIds_.begin(), liveIds_.end());
+}
+
+bool
+Network::idle() const
+{
+    if (!cfg_.eventEngine)
+        return false;
+    if (!rcuActive_.empty() || !ctrlActive_.empty() ||
+        !dataActive_.empty()) {
+        return false;
+    }
+    if (!retired_.empty())
+        return false;
+    // Armed Bernoulli fault processes draw RNG every cycle; skipping
+    // would desynchronize the stream.
+    if (dynFaultBudget_ > 0 && dynFaultProb_ > 0.0)
+        return false;
+    if (dynLinkFaultBudget_ > 0 && dynLinkFaultProb_ > 0.0)
+        return false;
+    if (intermFaultBudget_ > 0 && intermFaultProb_ > 0.0)
+        return false;
+    // A due-but-blocked restore re-tries its (state-dependent)
+    // re-validation every cycle; don't reason about when it unblocks.
+    for (const PendingRestore &pr : pendingRestores_) {
+        if (pr.at <= now_)
+            return false;
+    }
+    if (cwg_ && !cwg_->idleForSkip())
+        return false;
+    return true;
+}
+
+Cycle
+Network::nextInternalEvent() const
+{
+    Cycle next = cycleNever;
+    for (MsgId id : retryList_) {
+        const auto it = messages_.find(id);
+        if (it == messages_.end())
+            continue;
+        const Message &msg = it->second;
+        if (msg.state == MsgState::WaitRetry && msg.retryAt < next)
+            next = msg.retryAt;
+    }
+    for (const PendingRestore &pr : pendingRestores_)
+        next = std::min(next, pr.at);
+    // The watchdog panic is observable behavior: never skip past it.
+    if (cfg_.watchdog != 0 && liveMessages_ > 0)
+        next = std::min(next, lastActivity_ + cfg_.watchdog + 1);
+    return next;
+}
+
+void
+Network::skipTo(Cycle target)
+{
+    if (target <= now_)
+        return;
+    const Cycle skipped = target - now_;
+    rrNode_ = (rrNode_ + static_cast<std::size_t>(
+                             skipped % static_cast<Cycle>(routers_.size()))) %
+              routers_.size();
+    if (cwg_)
+        cwg_->skipTo(target - 1);
+    now_ = target;
 }
 
 Message *
@@ -55,15 +152,11 @@ Network::findMessage(MsgId id)
 std::vector<MsgId>
 Network::liveMessageIds() const
 {
-    std::vector<MsgId> ids;
-    ids.reserve(messages_.size());
-    for (const auto &[id, msg] : messages_)
-        ids.push_back(id);
-    // Sorted so reports are independent of the map's iteration order
-    // (which differs between an organically grown table and one
-    // rebuilt from a checkpoint).
-    std::sort(ids.begin(), ids.end());
-    return ids;
+    // Sorted so reports are independent of the message table's
+    // iteration order (which differs between an organically grown
+    // table and one rebuilt from a checkpoint). The index is kept
+    // sorted incrementally — no per-call sort.
+    return liveIds_;
 }
 
 Message &
@@ -102,6 +195,7 @@ Network::offerMessage(NodeId src, NodeId dst)
     else if (msg.hdr.flow == FlowMode::Scout)
         msg.srcK = cfg_.scoutK;  // the injection channel's K register
     auto emplaced = messages_.emplace(id, std::move(msg));
+    liveIds_.push_back(id);  // ids are monotonic: stays sorted
     queue.push_back(id);
     ++liveMessages_;
     ++counters_.generated;
@@ -127,8 +221,9 @@ Network::activateFront(NodeId node)
     if (msg->state != MsgState::Queued)
         return;  // WaitRetry front wakes by itself; Active already going
     msg->state = MsgState::Active;
+    dataWake(node);
     if (!msg->inRcu) {
-        router(node).rcuQueue.push_back({msg->id, msg->epoch});
+        enqueueRcu(node, {msg->id, msg->epoch});
         msg->inRcu = true;
     }
 }
@@ -167,32 +262,56 @@ void
 Network::phaseRcu()
 {
     const std::size_t nodes = routers_.size();
-    for (std::size_t i = 0; i < nodes; ++i) {
-        Router &rt = routers_[(i + rrNode_) % nodes];
-        if (rt.faulty)
-            continue;
-        if (rt.rcuQueue.size() > rt.maxRcuDepth)
-            rt.maxRcuDepth = rt.rcuQueue.size();
-        // Serve one header per cycle; skip over stale entries of killed
-        // or retired messages without consuming the service slot.
-        while (!rt.rcuQueue.empty()) {
-            const RcuEntry entry = rt.rcuQueue.front();
-            rt.rcuQueue.pop_front();
-            Message *msg = findMessage(entry.msg);
-            if (!msg || entry.epoch != msg->epoch || msg->beingKilled ||
-                msg->terminal() || msg->state == MsgState::WaitRetry) {
-                if (msg && entry.epoch == msg->epoch)
-                    msg->inRcu = false;
-                continue;
-            }
-            if (serveHeader(*msg)) {
-                ++rt.headersRouted;
-            } else if (msg->inRcu) {
-                // Blocked: rotate to the back, re-try next cycle.
-                rt.rcuQueue.push_back(entry);
-            }
-            break;
+    if (!cfg_.eventEngine) {
+        for (std::size_t i = 0; i < nodes; ++i) {
+            Router &rt = routers_[(i + rrNode_) % nodes];
+            if (!rt.faulty)
+                rcuVisit(rt);
         }
+        return;
+    }
+    // Event engine: visit only routers with queued RCU entries, in the
+    // same rotation order the full scan uses. Routers activated
+    // mid-pass at a rotation key ahead of the cursor (e.g. a teardown
+    // completing synchronously re-queues its source) merge into this
+    // pass exactly where the full scan would have reached them.
+    rcuActive_.beginPass(rrNode_);
+    for (std::uint32_t id; (id = rcuActive_.next()) != ActivitySet::kNone;) {
+        Router &rt = routers_[id];
+        if (rt.faulty) {
+            rcuActive_.remove(id);
+            continue;
+        }
+        rcuVisit(rt);
+        if (rt.rcuQueue.empty())
+            rcuActive_.remove(id);
+    }
+}
+
+void
+Network::rcuVisit(Router &rt)
+{
+    if (rt.rcuQueue.size() > rt.maxRcuDepth)
+        rt.maxRcuDepth = rt.rcuQueue.size();
+    // Serve one header per cycle; skip over stale entries of killed
+    // or retired messages without consuming the service slot.
+    while (!rt.rcuQueue.empty()) {
+        const RcuEntry entry = rt.rcuQueue.front();
+        rt.rcuQueue.pop_front();
+        Message *msg = findMessage(entry.msg);
+        if (!msg || entry.epoch != msg->epoch || msg->beingKilled ||
+            msg->terminal() || msg->state == MsgState::WaitRetry) {
+            if (msg && entry.epoch == msg->epoch)
+                msg->inRcu = false;
+            continue;
+        }
+        if (serveHeader(*msg)) {
+            ++rt.headersRouted;
+        } else if (msg->inRcu) {
+            // Blocked: rotate to the back, re-try next cycle.
+            rt.rcuQueue.push_back(entry);
+        }
+        break;
     }
 }
 
@@ -200,53 +319,109 @@ void
 Network::phaseData()
 {
     const std::size_t nodes = routers_.size();
-    for (std::size_t i = 0; i < nodes; ++i) {
-        const NodeId node = static_cast<NodeId>((i + rrNode_) % nodes);
-        Router &rt = routers_[static_cast<std::size_t>(node)];
-        if (rt.faulty)
-            continue;
-
-        // --- Ejection: one flit per node per cycle --------------------
-        const std::size_t ejn = rt.ejectInputs.size();
-        for (std::size_t e = 0; e < ejn; ++e) {
-            const InRef in = rt.ejectInputs[(e + rt.ejectRR) % ejn];
-            VcState &vc = link(in.link).vcs[static_cast<std::size_t>(in.vc)];
-            if (vc.data.empty() || !vc.dataEnabled())
-                continue;
-            Flit &front = vc.data.front();
-            if (front.readyAt > now_)
-                continue;
-            const Flit flit = vc.data.pop();
-            rt.ejectRR = (e + rt.ejectRR + 1) % ejn;
-            noteActivity();
-            Message *msg = findMessage(flit.msg);
-            if (msg && !msg->beingKilled)
-                deliverFlit(*msg, flit);
-            break;
+    if (!cfg_.eventEngine) {
+        for (std::size_t i = 0; i < nodes; ++i) {
+            const NodeId node = static_cast<NodeId>((i + rrNode_) % nodes);
+            if (!routers_[static_cast<std::size_t>(node)].faulty)
+                dataVisit(node);
         }
-
-        // --- One data flit per output link ----------------------------
-        for (int port = 0; port < topo_.radix(); ++port) {
-            Link &out = linkAt(node, port);
-            if (out.faulty)
+    } else {
+        // Visit only nodes with buffered data or an injectable queue
+        // front, in rotation order; nodes woken mid-pass ahead of the
+        // cursor (e.g. an inline probe ejecting maps a VC holding
+        // already-ready flits at its destination) merge into the pass.
+        dataActive_.beginPass(rrNode_);
+        for (std::uint32_t id;
+             (id = dataActive_.next()) != ActivitySet::kNone;) {
+            const NodeId node = static_cast<NodeId>(id);
+            if (routers_[id].faulty) {
+                dataActive_.remove(id);
                 continue;
-            auto &cands = rt.mappedInputs[static_cast<std::size_t>(port)];
-            const std::size_t cn = cands.size();
-            bool moved = false;
-            for (std::size_t c = 0; c < cn && !moved; ++c) {
-                const std::size_t pick =
-                    (c + rt.outRR[static_cast<std::size_t>(port)]) % cn;
-                const InRef in = cands[pick];
-                if (tryMoveData(link(in.link), in.vc, rt)) {
-                    rt.outRR[static_cast<std::size_t>(port)] = pick + 1;
-                    moved = true;
-                }
             }
-            if (!moved)
-                moved = tryInjectOn(node, port);
+            dataVisit(node);
+            if (dataNodeIdle(node))
+                dataActive_.remove(id);
         }
     }
     rrNode_ = (rrNode_ + 1) % nodes;
+}
+
+void
+Network::dataVisit(NodeId node)
+{
+    Router &rt = routers_[static_cast<std::size_t>(node)];
+
+    // --- Ejection: one flit per node per cycle --------------------
+    const std::size_t ejn = rt.ejectInputs.size();
+    for (std::size_t e = 0; e < ejn; ++e) {
+        const InRef in = rt.ejectInputs[(e + rt.ejectRR) % ejn];
+        VcState &vc = link(in.link).vcs[static_cast<std::size_t>(in.vc)];
+        if (vc.data.empty() || !vc.dataEnabled())
+            continue;
+        Flit &front = vc.data.front();
+        if (front.readyAt > now_)
+            continue;
+        const Flit flit = vc.data.pop();
+        rt.ejectRR = (e + rt.ejectRR + 1) % ejn;
+        noteActivity();
+        Message *msg = findMessage(flit.msg);
+        if (msg && !msg->beingKilled)
+            deliverFlit(*msg, flit);
+        break;
+    }
+
+    // --- One data flit per output link ----------------------------
+    for (int port = 0; port < topo_.radix(); ++port) {
+        Link &out = linkAt(node, port);
+        if (out.faulty)
+            continue;
+        auto &cands = rt.mappedInputs[static_cast<std::size_t>(port)];
+        const std::size_t cn = cands.size();
+        bool moved = false;
+        for (std::size_t c = 0; c < cn && !moved; ++c) {
+            const std::size_t pick =
+                (c + rt.outRR[static_cast<std::size_t>(port)]) % cn;
+            const InRef in = cands[pick];
+            if (tryMoveData(link(in.link), in.vc, rt)) {
+                rt.outRR[static_cast<std::size_t>(port)] = pick + 1;
+                moved = true;
+            }
+        }
+        if (!moved)
+            moved = tryInjectOn(node, port);
+    }
+}
+
+bool
+Network::dataNodeIdle(NodeId node) const
+{
+    const Router &rt = routers_[static_cast<std::size_t>(node)];
+    for (const InRef &in : rt.ejectInputs) {
+        if (!link(in.link).vcs[static_cast<std::size_t>(in.vc)]
+                 .data.empty()) {
+            return false;
+        }
+    }
+    for (const auto &cands : rt.mappedInputs) {
+        for (const InRef &in : cands) {
+            if (!link(in.link).vcs[static_cast<std::size_t>(in.vc)]
+                     .data.empty()) {
+                return false;
+            }
+        }
+    }
+    const auto &queue = injQ_[static_cast<std::size_t>(node)];
+    if (!queue.empty()) {
+        const auto it = messages_.find(queue.front());
+        if (it != messages_.end()) {
+            const Message &msg = it->second;
+            if (msg.state == MsgState::Active && msg.srcRouted &&
+                !msg.beingKilled) {
+                return false;
+            }
+        }
+    }
+    return true;
 }
 
 bool
@@ -276,6 +451,7 @@ Network::tryMoveData(Link &lk, int vcIdx, Router &rt)
     ++flit.hopIdx;
     flit.readyAt = now_ + 1;
     tvc.data.push(flit);
+    dataWake(out.dst);
     ++out.dataCrossings;
     ++counters_.dataCrossings;
     noteActivity();
@@ -333,6 +509,7 @@ Network::tryInjectOn(NodeId node, int port)
         flit.hopIdx = 0;
         flit.readyAt = now_ + 1;
         vc.data.push(flit);
+        dataWake(first.dst);
         msg->headerInjected = true;
         ++counters_.dataCrossings;
         noteActivity();
@@ -360,6 +537,7 @@ Network::tryInjectOn(NodeId node, int port)
     flit.hopIdx = 0;
     flit.readyAt = now_ + 1;
     vc.data.push(flit);
+    dataWake(first.dst);
     ++msg->injectedFlits;
     if (flit.seq == 1)
         msg->leadHop = 0;
@@ -477,6 +655,10 @@ Network::retireMessages()
         if (cwg_)
             cwg_->onMessageGone(id);
         messages_.erase(it);
+        const auto pos =
+            std::lower_bound(liveIds_.begin(), liveIds_.end(), id);
+        if (pos != liveIds_.end() && *pos == id)
+            liveIds_.erase(pos);
         --liveMessages_;
     }
     retired_.clear();

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/message.hpp"
 #include "metrics/collector.hpp"
 #include "verify/cwg.hpp"
@@ -58,6 +59,46 @@ class Network
     void step();
 
     Cycle now() const { return now_; }
+
+    // --- Event engine (core/engine.hpp) -------------------------------
+    /** Event-driven stepping armed (cfg.eventEngine)? */
+    bool eventEngine() const { return cfg_.eventEngine; }
+
+    /**
+     * True when stepping the network would provably mutate nothing:
+     * every activity set is drained, no Bernoulli fault process is
+     * armed (those draw RNG every cycle), no link restore is due, and
+     * the CWG analyzer holds no state a sweep could touch. While idle,
+     * the only future state changes are the discrete events reported
+     * by nextInternalEvent(), so a driver may skipTo() any cycle at or
+     * before that event. Always false with the event engine off.
+     */
+    bool idle() const;
+
+    /**
+     * Earliest future cycle at which the network itself has scheduled
+     * work: a retry wakeup, an intermittent-fault link restore, or the
+     * deadlock-watchdog expiry. cycleNever when none is pending.
+     */
+    Cycle nextInternalEvent() const;
+
+    /**
+     * Advance the clock directly to @p target without stepping. Only
+     * legal while idle() and target <= nextInternalEvent() (and any
+     * driver-side deadline): every skipped cycle is then a proven
+     * no-op. Rotating service offsets advance exactly as if the cycles
+     * had been stepped, so subsequent behavior is bit-identical.
+     */
+    void skipTo(Cycle target);
+
+    /**
+     * Recompute the activity sets (and the live-id index) from the
+     * current network state — used after a checkpoint restore, which
+     * rebuilds state wholesale. A rebuilt set may omit active-but-
+     * drained entities an organic run would still visit once more;
+     * such visits mutate nothing, so behavior is unchanged.
+     */
+    void rebuildActivity();
 
     /** Toggle the measurement window (tags new messages, counts flits). */
     void setMeasuring(bool on) { measuring_ = on; }
@@ -323,6 +364,38 @@ class Network
     void phaseData();
     void phaseHousekeeping();
 
+    /** One router's RCU service slot (the per-router phaseRcu body). */
+    void rcuVisit(Router &rt);
+
+    /** One node's data-phase slot: ejection, moves, injection. */
+    void dataVisit(NodeId node);
+
+    /** No data work possible at @p node (conservative: presence of any
+     *  buffered data flit or an injectable queue front keeps it busy). */
+    bool dataNodeIdle(NodeId node) const;
+
+    /** Funnel for RCU queue pushes: enqueue + activity registration. */
+    void
+    enqueueRcu(NodeId node, const RcuEntry &entry)
+    {
+        router(node).rcuQueue.push_back(entry);
+        rcuActive_.add(static_cast<std::uint32_t>(node));
+    }
+
+    /** Wire gained control work. */
+    void
+    ctrlWake(const Link &wire)
+    {
+        ctrlActive_.add(static_cast<std::uint32_t>(wire.id));
+    }
+
+    /** Node may have data work next visit. */
+    void
+    dataWake(NodeId node)
+    {
+        dataActive_.add(static_cast<std::uint32_t>(node));
+    }
+
     /** Serve one RCU decision for @p msg. @return true if probe moved. */
     bool serveHeader(Message &msg);
 
@@ -358,6 +431,10 @@ class Network
 
     // --- Control lane (flow/flow_control.cpp) -----------------------------
     void phaseControl();
+
+    /** One wire's control-lane slot (the per-wire phaseControl body). */
+    void ctrlVisit(Link &wire);
+
     void processCtrlArrival(Link &wire, Flit flit);
 
     /** Enqueue a control flit onto the wire out of node via port. */
@@ -434,6 +511,16 @@ class Network
     std::vector<std::deque<MsgId>> injQ_;
     std::vector<MsgId> retryList_;
     std::vector<MsgId> retired_;
+    /// Live message ids, kept sorted (ids are issued monotonically, so
+    /// insertion is an O(1) append; retirement is a binary search).
+    std::vector<MsgId> liveIds_;
+
+    // Per-phase ready sets of the event engine. Maintained even with
+    // cfg.eventEngine off (registration is O(1)); only iteration
+    // strategy differs between the engines.
+    ActivitySet rcuActive_;   ///< routers with queued RCU entries
+    ActivitySet ctrlActive_;  ///< wires with queued control flits
+    ActivitySet dataActive_;  ///< nodes with possible data-phase work
 
     Counters counters_;
     TraceSink *trace_ = nullptr;

@@ -111,6 +111,10 @@ Network::applyForward(Message &msg, const Decision &d)
 
     if (msg.path.empty()) {
         msg.srcRouted = true;
+        // An Active-but-unrouted injection front keeps its node out of
+        // the data ready set; becoming source-routed makes it
+        // injectable, so the node must re-register.
+        dataWake(msg.src);
     } else {
         PathHop &prev = msg.path.back();
         VcState &pvc =
@@ -119,6 +123,9 @@ Network::applyForward(Message &msg, const Decision &d)
         pvc.outPort = d.port;
         pvc.outVc = d.vc;
         router(cur).mapInput(d.port, InRef{prev.link, prev.vc});
+        // The mapping may expose already-buffered flits to this
+        // router's data phase.
+        dataWake(cur);
     }
     msg.path.push_back(hop);
     hdr.stalled = 0;
@@ -184,7 +191,7 @@ Network::probeArrived(Message &msg, int hop_idx)
     }
 
     if (!msg.inRcu) {
-        router(hdr.cur).rcuQueue.push_back({msg.id, msg.epoch});
+        enqueueRcu(hdr.cur, {msg.id, msg.epoch});
         msg.inRcu = true;
     }
 }
@@ -264,6 +271,7 @@ Network::applyEject(Message &msg)
     vc.outPort = ejectPort;
     vc.outVc = -1;
     router(msg.dst).mapInput(ejectPort, InRef{last.link, last.vc});
+    dataWake(msg.dst);
     msg.headerAtDest = true;
     if (trace_)
         trace_->probeEvent(now_, msg, ProbeEvent::Ejected);

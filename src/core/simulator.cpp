@@ -1,5 +1,6 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/network.hpp"
@@ -46,28 +47,49 @@ Simulator::run(std::uint64_t replication, TraceSink *sink) const
             static_cast<Cycle>(cfg.intermittentDownCycles));
     }
 
-    for (Cycle c = 0; c < cfg.warmup; ++c) {
+    // Event-engine cycle skipping: when the injector is provably a
+    // no-op (zero offered load) and the network reports no scheduled
+    // work, jump straight to the next internal event, bounded by the
+    // phase end. Any skipped sampling ticks are replayed against the
+    // frozen network so the run stays bit-identical to stepping.
+    auto skipIdle = [&](Cycle phaseEnd, bool sampling) {
+        if (!inj.inert() || !net.eventEngine() || !net.idle())
+            return;
+        const Cycle target = std::min(phaseEnd, net.nextInternalEvent());
+        if (target <= net.now())
+            return;
+        const Cycle skipped = target - net.now();
+        net.skipTo(target);
+        if (sampling)
+            registry.skipIdle(net, skipped);
+    };
+
+    for (const Cycle end = cfg.warmup; net.now() < end;) {
         inj.step();
         net.step();
+        skipIdle(end, false);
     }
 
     net.setMeasuring(true);
-    for (Cycle c = 0; c < cfg.measure; ++c) {
+    for (const Cycle end = cfg.warmup + cfg.measure; net.now() < end;) {
         inj.step();
         net.step();
         registry.tick(net);
+        skipIdle(end, true);
     }
     net.setMeasuring(false);
 
     // Drain: keep background traffic flowing so tagged messages finish
     // under realistic contention, until every measured message is
     // resolved or the drain budget runs out.
-    for (Cycle c = 0; c < cfg.drain; ++c) {
+    for (const Cycle end = cfg.warmup + cfg.measure + cfg.drain;
+         net.now() < end;) {
         const Counters &k = net.counters();
         if (k.measuredDelivered + k.measuredDropped >= k.measuredGenerated)
             break;
         inj.step();
         net.step();
+        skipIdle(end, false);
     }
 
     if (sink)

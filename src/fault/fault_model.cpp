@@ -81,6 +81,7 @@ Network::killAffectedCircuits(const std::vector<LinkId> &failed)
                 salvageControlFlit(flit);
             q->clear();
         }
+        ctrlActive_.remove(static_cast<std::uint32_t>(id));
     }
 }
 
@@ -151,6 +152,7 @@ Network::failNode(NodeId id)
     }
     rt.faulty = true;
     rt.rcuQueue.clear();
+    rcuActive_.remove(static_cast<std::uint32_t>(id));
 
     killAffectedCircuits(failed);
 
@@ -241,6 +243,7 @@ Network::restoreLink(NodeId node, int port)
         wire->unsafe = false;
         wire->ctrlQ.clear();
         wire->ackQ.clear();
+        ctrlActive_.remove(static_cast<std::uint32_t>(wire->id));
         for (VcState &vc : wire->vcs)
             vc.release();  // reset mappings, counters, K registers
     }

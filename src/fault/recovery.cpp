@@ -166,6 +166,7 @@ Network::killMessage(Message &msg)
             kill.epoch = msg.epoch;
             kill.readyAt = now_ + 1;
             next.ctrlQ.push_back(kill);
+            ctrlWake(next);
         }
     }
 

@@ -31,48 +31,72 @@ Network::pushCtrl(NodeId node, int port, const Flit &flit)
                                                    : wire.ctrlQ;
     queue.push_back(flit);
     wire.maxCtrlDepth = std::max(wire.maxCtrlDepth, queue.size());
+    ctrlWake(wire);
+}
+
+void
+Network::ctrlVisit(Link &wire)
+{
+    if (wire.faulty) {
+        // Control flits on a failed wire are lost; the recovery
+        // machinery releases the affected circuits separately.
+        wire.ctrlQ.clear();
+        wire.ackQ.clear();
+        return;
+    }
+    if (!wire.ctrlQ.empty() && wire.ctrlQ.front().readyAt <= now_) {
+        const Flit flit = wire.ctrlQ.front();
+        wire.ctrlQ.pop_front();
+        ++wire.ctrlCrossings;
+        ++counters_.ctrlCrossings;
+        noteActivity();
+        if (trace_)
+            trace_->flitCrossed(now_, wire, -1, flit, true);
+        processCtrlArrival(wire, flit);
+    }
+    // Dedicated acknowledgment signals (hardware-ack design). Each
+    // trio has its own ack wires, so acks of different circuits do
+    // not contend: every ready flit crosses this cycle. Draining
+    // only one per cycle would let a walker queue behind unrelated
+    // acks and fall behind the retreating header on the control
+    // lane — the header could then re-advance and re-acquire a trio
+    // at a hop index the stale walker still addresses, corrupting
+    // the fresh CMU counter. Flits pushed during the drain carry
+    // readyAt = now + 1 and stop the loop at the front.
+    while (!wire.ackQ.empty() && wire.ackQ.front().readyAt <= now_) {
+        const Flit flit = wire.ackQ.front();
+        wire.ackQ.pop_front();
+        ++wire.ctrlCrossings;
+        ++counters_.ctrlCrossings;
+        noteActivity();
+        if (trace_)
+            trace_->flitCrossed(now_, wire, -1, flit, true);
+        processCtrlArrival(wire, flit);
+    }
 }
 
 void
 Network::phaseControl()
 {
-    for (Link &wire : links_) {
-        if (wire.faulty) {
-            // Control flits on a failed wire are lost; the recovery
-            // machinery releases the affected circuits separately.
-            wire.ctrlQ.clear();
-            wire.ackQ.clear();
-            continue;
-        }
-        if (!wire.ctrlQ.empty() && wire.ctrlQ.front().readyAt <= now_) {
-            const Flit flit = wire.ctrlQ.front();
-            wire.ctrlQ.pop_front();
-            ++wire.ctrlCrossings;
-            ++counters_.ctrlCrossings;
-            noteActivity();
-            if (trace_)
-                trace_->flitCrossed(now_, wire, -1, flit, true);
-            processCtrlArrival(wire, flit);
-        }
-        // Dedicated acknowledgment signals (hardware-ack design). Each
-        // trio has its own ack wires, so acks of different circuits do
-        // not contend: every ready flit crosses this cycle. Draining
-        // only one per cycle would let a walker queue behind unrelated
-        // acks and fall behind the retreating header on the control
-        // lane — the header could then re-advance and re-acquire a trio
-        // at a hop index the stale walker still addresses, corrupting
-        // the fresh CMU counter. Flits pushed during the drain carry
-        // readyAt = now + 1 and stop the loop at the front.
-        while (!wire.ackQ.empty() && wire.ackQ.front().readyAt <= now_) {
-            const Flit flit = wire.ackQ.front();
-            wire.ackQ.pop_front();
-            ++wire.ctrlCrossings;
-            ++counters_.ctrlCrossings;
-            noteActivity();
-            if (trace_)
-                trace_->flitCrossed(now_, wire, -1, flit, true);
-            processCtrlArrival(wire, flit);
-        }
+    if (!cfg_.eventEngine) {
+        for (Link &wire : links_)
+            ctrlVisit(wire);
+        return;
+    }
+    // Wires are visited in ascending id order, like the full scan (no
+    // rotation on this phase). Visits may push flits onto other wires:
+    // pushCtrl re-registers them, and ActivitySet merges wires with a
+    // higher id into this very pass — exactly the ones the full scan
+    // would still have reached. A wire left with only not-yet-ready
+    // flits (readyAt > now) stays registered and is re-visited next
+    // cycle; only a drained wire deregisters.
+    ctrlActive_.beginPass(0);
+    for (std::uint32_t id;
+         (id = ctrlActive_.next()) != ActivitySet::kNone;) {
+        Link &wire = links_[id];
+        ctrlVisit(wire);
+        if (wire.ctrlQ.empty() && wire.ackQ.empty())
+            ctrlActive_.remove(id);
     }
 }
 
@@ -137,7 +161,7 @@ Network::processCtrlArrival(Link &wire, Flit flit)
             return;
         }
         if (!msg.inRcu) {
-            router(hdr.cur).rcuQueue.push_back({msg.id, msg.epoch});
+            enqueueRcu(hdr.cur, {msg.id, msg.epoch});
             msg.inRcu = true;
         }
         return;
@@ -268,6 +292,7 @@ Network::relayUpstream(Message &msg, Flit flit)
                                                    : wire.ctrlQ;
     queue.push_back(flit);
     wire.maxCtrlDepth = std::max(wire.maxCtrlDepth, queue.size());
+    ctrlWake(wire);
 }
 
 void
@@ -345,6 +370,7 @@ Network::handleKillDown(Message &msg, Flit flit)
     flit.hopIdx = j + 1;
     flit.readyAt = now_ + 1;
     next.ctrlQ.push_back(flit);
+    ctrlWake(next);
 }
 
 } // namespace tpnet

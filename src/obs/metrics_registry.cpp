@@ -26,6 +26,21 @@ MetricsRegistry::tick(const Network &net)
 }
 
 void
+MetricsRegistry::skipIdle(const Network &net, Cycle skipped)
+{
+    if (period_ <= 0 || skipped == 0)
+        return;
+    const auto period = static_cast<Cycle>(period_);
+    Cycle fires = (sinceSample_ + skipped) / period;
+    sinceSample_ = (sinceSample_ + skipped) % period;
+    // The first sample of the span still captures crossing deltas
+    // pending from before it; the rest see zero deltas. The state
+    // snapshots are identical every time, so each fire must be taken.
+    for (; fires > 0; --fires)
+        sample(net);
+}
+
+void
 MetricsRegistry::sample(const Network &net)
 {
     const SimConfig &cfg = net.config();

@@ -43,6 +43,14 @@ class MetricsRegistry
     /** Take one sample now (also used by tick). */
     void sample(const Network &net);
 
+    /**
+     * Replay @p skipped ticks over a frozen network in one call
+     * (event-engine cycle skipping). Samples whose period elapsed
+     * inside the span are taken against the unchanged network state,
+     * so the resulting windows are bit-identical to per-cycle ticking.
+     */
+    void skipIdle(const Network &net, Cycle skipped);
+
     int period() const { return period_; }
 
     const VcMetrics &summary() const { return metrics_; }

@@ -1,11 +1,22 @@
 #include "sim/config.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "sim/log.hpp"
 
 namespace tpnet {
+
+bool
+defaultEventEngine()
+{
+    const char *env = std::getenv("TPNET_EVENT_ENGINE");
+    if (env && (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0))
+        return false;
+    return true;
+}
 
 int
 SimConfig::nodes() const

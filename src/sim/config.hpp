@@ -61,6 +61,13 @@ enum class TrafficPattern : std::uint8_t {
     Tornado,       ///< dst = src + floor((k-1)/2) in each dimension
 };
 
+/**
+ * Default for SimConfig::eventEngine: true unless the environment
+ * variable TPNET_EVENT_ENGINE is set to "off" or "0" (the CI matrix
+ * leg that re-runs the suites against the time-stepped engine).
+ */
+bool defaultEventEngine();
+
 /** Tunables of a single simulation run. See DESIGN.md Section 4. */
 struct SimConfig
 {
@@ -143,6 +150,17 @@ struct SimConfig
     /// Abort if no flit moves for this many cycles while work is pending
     /// (deadlock watchdog, Theorem 3 check). 0 disables.
     Cycle watchdog = 20000;
+
+    // --- Engine --------------------------------------------------------
+    /// Event-driven stepping (core/engine.hpp): phases visit only
+    /// routers/wires registered in their activity sets, and drivers may
+    /// cycle-skip straight to the next scheduled event while the
+    /// network is provably idle. Bit-identical to the full-scan
+    /// time-stepped engine by construction; kept switchable (env
+    /// TPNET_EVENT_ENGINE=off, or --no-event-skip on the tools) for
+    /// differential testing. Deliberately NOT part of the config
+    /// digest: checkpoints and campaign manifests are engine-agnostic.
+    bool eventEngine = defaultEventEngine();
 
     // --- Verification --------------------------------------------------
     /// Run the channel-wait-for-graph deadlock analyzer (src/verify/):

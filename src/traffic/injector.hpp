@@ -34,6 +34,13 @@ class Injector
     /** Stop generating (drain phases). */
     void stop() { stopped_ = true; }
 
+    /**
+     * step() is a guaranteed no-op (stopped, or zero offered load):
+     * no RNG draw, no message — the precondition for a driver to
+     * cycle-skip without desynchronizing the traffic stream.
+     */
+    bool inert() const { return stopped_ || msgProb_ <= 0.0; }
+
     std::uint64_t offered() const { return offered_; }
 
   private:

@@ -681,6 +681,24 @@ CwgTracker::onCycleEnd(Cycle now)
     sweep(now);
 }
 
+bool
+CwgTracker::idleForSkip() const
+{
+    return waits_.empty() && edgeCount_.empty() && pendingKnots_.empty() &&
+        healing_.empty() &&
+        (cfg_.sweepEvery == 0 || benignSeen_.empty());
+}
+
+void
+CwgTracker::skipTo(Cycle upto)
+{
+    if (cfg_.sweepEvery == 0)
+        return;
+    if (upto - lastSweep_ >= cfg_.sweepEvery)
+        lastSweep_ += cfg_.sweepEvery * ((upto - lastSweep_) /
+                                         cfg_.sweepEvery);
+}
+
 void
 CwgTracker::sweep(Cycle now)
 {

@@ -169,6 +169,25 @@ class CwgTracker
     /** End-of-cycle housekeeping: periodic SCC/persistence sweep. */
     void onCycleEnd(Cycle now);
 
+    // --- Event-engine cycle-skip support -------------------------------
+    /**
+     * True when skipping idle cycles cannot change anything the tracker
+     * would observe or report: no wait edges, no pending knots or heals
+     * in flight, and either sweeping is disabled or no benign cycle is
+     * aging toward the persistence bound. (An idle network cannot grow
+     * the graph, so sweeps of a skipped span are provably no-ops.)
+     */
+    bool idleForSkip() const;
+
+    /**
+     * Advance the sweep clock across a skipped idle span ending just
+     * before @p upto, exactly as the per-cycle onCycleEnd(now) calls
+     * would have: lastSweep_ lands on the last sweep boundary <= upto.
+     * Only legal while idleForSkip() holds (the skipped sweeps are
+     * no-ops by construction).
+     */
+    void skipTo(Cycle upto);
+
     // --- Results -------------------------------------------------------
     /** Cycles classified as protocol violations, in detection order. */
     const std::vector<CwgCycle> &violations() const { return violations_; }

@@ -143,6 +143,9 @@ TEST(FuzzRegressions, DedicatedAckSignalsDrainAllReadyFlitsPerCycle)
     hdr.type = FlitType::Header;
     for (int i = 0; i < 2; ++i)
         wire.ctrlQ.push_back(hdr);
+    // The queues were mutated behind the network's back; re-derive the
+    // event engine's ready sets so the wire is visited.
+    net.rebuildActivity();
 
     net.step();
     // All three acks drained at once; only one control flit moved.

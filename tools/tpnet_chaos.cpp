@@ -104,6 +104,7 @@ main(int argc, char **argv)
     bool hook_skip_kills = false;
     bool verify_cwg = false;
     bool recovery = false;
+    bool no_event_skip = false;
     std::string victim = "youngest";
     std::string json_path;
     std::string protocol = "TP";
@@ -162,6 +163,10 @@ main(int argc, char **argv)
                    "TEST HOOK: break recovery on purpose to prove the "
                    "oracle detects it (campaigns must FAIL)",
                    &hook_skip_kills);
+    parser.addFlag("no-event-skip",
+                   "disable the event engine's idle-cycle fast path "
+                   "(step every cycle; results are bit-identical)",
+                   &no_event_skip);
     tools::addShardOptions(parser, &shardcli);
     tools::addCheckpointOptions(parser, &ckcli);
 
@@ -192,6 +197,7 @@ main(int argc, char **argv)
         return 2;
     }
     base.recoveryMode = recovery;
+    base.eventEngine = base.eventEngine && !no_event_skip;
 
     const std::vector<GridPoint> grid =
         buildGrid(base.k, !no_vary_size);

@@ -60,6 +60,7 @@ main(int argc, char **argv)
     bool stats = false;
     bool mesh = false;
     bool no_unsafe = false;
+    bool no_event_skip = false;
 
     OptionParser parser(
         "tpnet_cli",
@@ -135,6 +136,10 @@ main(int argc, char **argv)
     parser.addJobs(&jobs);
     parser.addFlag("stats", "print structural network statistics",
                    &stats);
+    parser.addFlag("no-event-skip",
+                   "disable the event engine's idle-cycle fast path "
+                   "(step every cycle; results are bit-identical)",
+                   &no_event_skip);
 
     std::string error;
     if (!parser.parse(argc, argv, &error)) {
@@ -177,6 +182,7 @@ main(int argc, char **argv)
     cfg.dynamicNodeFaults = dynamic_faults;
     cfg.wrap = !mesh;
     cfg.markUnsafe = !no_unsafe;
+    cfg.eventEngine = cfg.eventEngine && !no_event_skip;
     cfg.validate();
 
     std::printf("# %s\n", cfg.summary().c_str());

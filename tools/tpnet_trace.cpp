@@ -105,6 +105,7 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
     int jobs = 1;
     int cycles = 0;
     bool recovery = false;
+    bool no_event_skip = false;
     std::string victim = "youngest";
     parser.addString("out", "output trace file", &out);
     parser.addFlag("recovery",
@@ -124,6 +125,10 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
     parser.addUint64("seed", "scenario seed", &seed);
     parser.addInt("cycles", "injection window override (0: default)",
                   &cycles);
+    parser.addFlag("no-event-skip",
+                   "disable the event engine's idle-cycle fast path "
+                   "(step every cycle; the trace is bit-identical)",
+                   &no_event_skip);
     parser.addJobs(&jobs);
 
     std::string error;
@@ -147,6 +152,7 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
         obs::goldenSpecs(seed)[static_cast<std::size_t>(idx)];
     if (cycles > 0)
         spec.cycles = static_cast<Cycle>(cycles);
+    spec.cfg.eventEngine = spec.cfg.eventEngine && !no_event_skip;
     if (recovery) {
         spec.cfg.recoveryMode = true;
         if (!parseVictimPolicyName(victim, &spec.cfg.victimPolicy)) {

@@ -388,6 +388,7 @@ main(int argc, char **argv)
     bool verbose = false;
     bool recovery = false;
     bool compare = false;
+    bool no_event_skip = false;
     std::string victim = "youngest";
     std::string json_path;
     std::string protocol;
@@ -465,6 +466,10 @@ main(int argc, char **argv)
     parser.addFlag("no-shrink", "report failures without minimizing",
                    &no_shrink);
     parser.addFlag("verbose", "print every violation in full", &verbose);
+    parser.addFlag("no-event-skip",
+                   "disable the event engine's idle-cycle fast path "
+                   "(step every cycle; results are bit-identical)",
+                   &no_event_skip);
     tools::addShardOptions(parser, &shardcli);
     tools::addCheckpointOptions(parser, &ckcli);
 
@@ -492,6 +497,8 @@ main(int argc, char **argv)
                      victim.c_str());
         return 2;
     }
+
+    base.eventEngine = base.eventEngine && !no_event_skip;
 
     const std::vector<GridPoint> grid = buildGrid();
 
