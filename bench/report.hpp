@@ -32,6 +32,13 @@
  * header. It is omitted when sampling was disabled (metricsPeriod <= 0
  * or zero samples). check_bench.py ignores keys absent from its
  * baseline, so adding fields here never trips the perf gate.
+ *
+ * Workload-library keys (same ignored-when-absent contract):
+ * "rejected" (injection-queue rejections), "uniform_fallbacks"
+ * (uniform pick() exhaustions resolved against the healthy set),
+ * "degenerate" (true when traffic was armed but zero messages were
+ * offered), "classes" (per-traffic-class stats array), and
+ * "closed_loop" (request-reply totals and end-to-end latency).
  */
 
 #ifndef TPNET_BENCH_REPORT_HPP
@@ -144,6 +151,54 @@ jsonRecovery(const RunResult &r)
     return os.str();
 }
 
+/**
+ * The per-point "classes" array (workload library per-class stats), or
+ * "" when the run had no traffic classes. Absent keys are ignored by
+ * check_bench.py, so these never trip the perf gate.
+ */
+inline std::string
+jsonClasses(const RunResult &r)
+{
+    if (r.counters.classes.empty())
+        return "";
+    std::ostringstream os;
+    os.precision(17);
+    os << "[";
+    for (std::size_t i = 0; i < r.counters.classes.size(); ++i) {
+        const ClassStat &cs = r.counters.classes[i];
+        os << (i ? ", " : "")
+           << "{ \"generated\": " << cs.generated
+           << ", \"delivered\": " << cs.delivered
+           << ", \"dropped\": " << cs.dropped
+           << ", \"measured_generated\": " << cs.measuredGenerated
+           << ", \"measured_delivered\": " << cs.measuredDelivered
+           << ", \"window_data_flits\": " << cs.windowDataFlits
+           << ", \"latency\": " << jsonNum(cs.latency.mean()) << " }";
+    }
+    os << "]";
+    return os.str();
+}
+
+/**
+ * The per-point "closed_loop" object (request-reply stats), or "" when
+ * the run issued no replies.
+ */
+inline std::string
+jsonClosedLoop(const RunResult &r)
+{
+    const Counters &c = r.counters;
+    if (c.repliesGenerated == 0 && c.repliesAbandoned == 0)
+        return "";
+    std::ostringstream os;
+    os.precision(17);
+    os << "{ \"replies_generated\": " << c.repliesGenerated
+       << ", \"replies_delivered\": " << c.repliesDelivered
+       << ", \"replies_abandoned\": " << c.repliesAbandoned
+       << ", \"e2e_latency\": " << jsonNum(c.e2eLatency.mean())
+       << ", \"e2e_count\": " << c.e2eLatency.count() << " }";
+    return os.str();
+}
+
 /** Write the bench-result JSON described above. @return false on I/O error. */
 inline bool
 writeBenchJson(const std::string &path, const std::string &benchmark,
@@ -184,13 +239,24 @@ writeBenchJson(const std::string &path, const std::string &benchmark,
                << ", \"delivered_frac\": " << jsonNum(r.deliveredFraction)
                << ", \"undeliverable\": " << r.undeliverable
                << ", \"replications\": " << pt.result.replications
-               << ", \"lat_ci95\": " << jsonNum(pt.result.latencyHw95);
+               << ", \"lat_ci95\": " << jsonNum(pt.result.latencyHw95)
+               << ", \"rejected\": " << r.counters.notAccepted
+               << ", \"uniform_fallbacks\": "
+               << r.counters.uniformFallbacks;
+            if (r.degenerate)
+                os << ", \"degenerate\": true";
             const std::string vc = jsonVcMetrics(r);
             if (!vc.empty())
                 os << ", \"vc\": " << vc;
             const std::string rec = jsonRecovery(r);
             if (!rec.empty())
                 os << ", \"recovery\": " << rec;
+            const std::string cls = jsonClasses(r);
+            if (!cls.empty())
+                os << ", \"classes\": " << cls;
+            const std::string loop = jsonClosedLoop(r);
+            if (!loop.empty())
+                os << ", \"closed_loop\": " << loop;
             os << " }";
         }
         os << " ] }";

@@ -180,6 +180,35 @@ def self_test():
     cases.append(("recovery stats churn is not a regression",
                   rec_base, rec_cur, 0))
 
+    # Workload-library keys (bench/report.hpp): per-point rejection and
+    # fallback counters, the degenerate marker, the per-class stats
+    # array, and the closed-loop object are all new-schema content the
+    # gate must treat as inert — in both directions.
+    wl = copy.deepcopy(doc)
+    for pt in wl["series"][0]["points"]:
+        pt["rejected"] = 17
+        pt["uniform_fallbacks"] = 3
+        pt["classes"] = [
+            {"generated": 100, "delivered": 98, "dropped": 2,
+             "latency_mean": 120.0},
+            {"generated": 40, "delivered": 40, "dropped": 0,
+             "latency_mean": 95.0}]
+        pt["closed_loop"] = {
+            "replies_generated": 40, "replies_delivered": 39,
+            "replies_abandoned": 1, "e2e_latency_mean": 260.0,
+            "e2e_count": 38}
+    wl["series"][0]["points"][0]["degenerate"] = True
+    cases.append(("workload keys on the current side are inert",
+                  doc, wl, 0))
+    wl_churn = copy.deepcopy(wl)
+    for pt in wl_churn["series"][0]["points"]:
+        pt["rejected"] = 9999
+        pt["classes"][0]["latency_mean"] = 5000.0
+        pt["closed_loop"]["e2e_latency_mean"] = 5000.0
+        pt.pop("degenerate", None)
+    cases.append(("workload counter churn is not a regression",
+                  wl, wl_churn, 0))
+
     # A baseline point lacking a comparable key is skipped, not fatal.
     sparse = copy.deepcopy(doc)
     for pt in sparse["series"][0]["points"]:

@@ -207,10 +207,15 @@ runCampaign(const CampaignSpec &spec)
         const Cycle drainEnd =
             net.now() +
             (spent < spec.drainCycles ? spec.drainCycles - spent : 0);
-        while (net.now() < drainEnd && !net.quiescent() &&
+        // A drained network with a reply still waiting for queue space
+        // is not done: the injector must keep flushing (it generates
+        // nothing new once stopped).
+        while (net.now() < drainEnd &&
+               !(net.quiescent() && !injector.repliesPending()) &&
                !watchdog.deadlocked()) {
             maybeCheckpoint(1);
             schedule.apply(net, faultRng);  // scripted late events, if any
+            injector.step();
             net.step();
             watchdog.observe();
             skipAhead(drainEnd, true);
@@ -258,6 +263,15 @@ runCampaign(const CampaignSpec &spec)
            << " cycles) exhausted with " << net.activeMessages()
            << " messages still live";
         result.violations.push_back(os.str());
+    }
+    if (cfg.trafficArmed() && injector.offered() == 0) {
+        // Zero offered messages with traffic armed: the workload
+        // degenerated (e.g. every source self-maps on this topology).
+        // An empty run proves nothing — refuse to call it a pass.
+        result.degenerate = true;
+        result.violations.push_back(
+            "traffic: degenerate workload: 0 messages offered over " +
+            std::to_string(net.now()) + " cycles with traffic armed");
     }
     if (!result.quiescent) {
         for (MsgId id : net.liveMessageIds()) {

@@ -88,6 +88,9 @@ struct CampaignResult
 
     Cycle cycles = 0;            ///< total cycles simulated
     bool quiescent = false;      ///< network drained completely
+    /// Traffic was armed but zero messages were offered (degenerate
+    /// workload); always accompanied by a violation.
+    bool degenerate = false;
     std::uint64_t messages = 0;  ///< messages created
     std::size_t faultsFired = 0;
     std::size_t faultsSkipped = 0;

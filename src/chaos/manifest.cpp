@@ -126,7 +126,7 @@ configDigest(const SimConfig &cfg)
     // Versioned canonical encoding: every behavior-relevant field in
     // declaration order. Bump the tag when fields are added/removed so
     // old cache entries and checkpoints are invalidated, not misread.
-    std::uint64_t h = foldTag("tpnet-config-v1");
+    std::uint64_t h = foldTag("tpnet-config-v2");
     h = foldI64(h, cfg.k);
     h = foldI64(h, cfg.n);
     h = foldI64(h, cfg.wrap);
@@ -144,6 +144,19 @@ configDigest(const SimConfig &cfg)
     h = foldI64(h, static_cast<int>(cfg.pattern));
     h = foldF64(h, cfg.load);
     h = foldI64(h, cfg.injQueueLimit);
+    h = foldI64(h, static_cast<std::int64_t>(cfg.trafficClasses.size()));
+    for (const TrafficClassConfig &tc : cfg.trafficClasses) {
+        h = foldI64(h, static_cast<int>(tc.pattern));
+        h = foldF64(h, tc.load);
+        h = foldI64(h, tc.msgLength);
+        h = foldI64(h, tc.priority);
+        h = foldF64(h, tc.hotspotFraction);
+        h = foldI64(h, tc.hotspotCount);
+        h = foldI64(h, tc.burstLen);
+        h = foldF64(h, tc.burstDuty);
+        h = foldI64(h, tc.outstanding);
+        h = foldI64(h, tc.replyLength);
+    }
     h = foldI64(h, cfg.staticNodeFaults);
     h = foldI64(h, cfg.staticLinkFaults);
     h = foldF64(h, cfg.dynamicNodeFaults);

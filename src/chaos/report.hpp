@@ -55,6 +55,8 @@ campaignJson(const CampaignResult &r)
        << ", \"delivered\": " << r.counters.delivered
        << ", \"undeliverable\": " << r.counters.dropped
        << ", \"lost\": " << r.counters.lost
+       << ", \"rejected\": " << r.counters.notAccepted
+       << ", \"uniform_fallbacks\": " << r.counters.uniformFallbacks
        << ", \"faults_fired\": " << r.faultsFired
        << ", \"faults_skipped\": " << r.faultsSkipped
        << ", \"cwg\": { \"cycles\": " << r.cwgCycles
@@ -78,6 +80,29 @@ campaignJson(const CampaignResult &r)
                << ", \"attempt\": " << h.attempt << " }";
         }
         os << "] }";
+    }
+    if (r.degenerate)
+        os << ", \"degenerate\": true";
+    if (!r.counters.classes.empty()) {
+        os << ", \"classes\": [";
+        for (std::size_t i = 0; i < r.counters.classes.size(); ++i) {
+            const ClassStat &cs = r.counters.classes[i];
+            os << (i ? ", " : "") << "{ \"generated\": " << cs.generated
+               << ", \"delivered\": " << cs.delivered
+               << ", \"dropped\": " << cs.dropped
+               << ", \"latency\": " << cs.latency.mean() << " }";
+        }
+        os << "]";
+    }
+    if (r.counters.repliesGenerated > 0 ||
+        r.counters.repliesAbandoned > 0) {
+        os << ", \"closed_loop\": { \"replies_generated\": "
+           << r.counters.repliesGenerated
+           << ", \"replies_delivered\": " << r.counters.repliesDelivered
+           << ", \"replies_abandoned\": " << r.counters.repliesAbandoned
+           << ", \"e2e_latency_mean\": " << r.counters.e2eLatency.mean()
+           << ", \"e2e_count\": " << r.counters.e2eLatency.count()
+           << " }";
     }
     os << ", \"violations\": [";
     for (std::size_t i = 0; i < r.violations.size(); ++i)

@@ -355,6 +355,11 @@ struct SnapshotAccess
         ar.b(m.healPending);
         ar.u64(m.healKnotHash);
         ar.u64(m.healStartedAt);
+        ioInt(ar, m.cls);
+        ar.b(m.isReply);
+        ar.i64(m.reqId);
+        ar.u64(m.reqCreated);
+        ar.b(m.e2eMeasured);
         ioInt(ar, m.detoursBuilt);
         ioInt(ar, m.backtracksTaken);
         ioInt(ar, m.misroutesTaken);
@@ -394,12 +399,33 @@ struct SnapshotAccess
         ar.u64(c.healEscalations);
         io(ar, c.healLatency);
         io(ar, c.healLatencyHist);
+        ar.u64(c.uniformFallbacks);
+        ar.u64(c.repliesGenerated);
+        ar.u64(c.repliesDelivered);
+        ar.u64(c.repliesAbandoned);
+        ar.u64(c.closedLoopPending);
+        ar.u64(c.e2ePending);
         ar.u64(c.measuredGenerated);
         ar.u64(c.measuredDelivered);
         ar.u64(c.measuredDropped);
         ar.u64(c.windowDataFlits);
         io(ar, c.latency);
         io(ar, c.latencyHist);
+        io(ar, c.e2eLatency);
+        ioVec(ar, c.classes, [](Ar &a, ClassStat &cs) { io(a, cs); });
+    }
+
+    template <class Ar>
+    static void
+    io(Ar &ar, ClassStat &cs)
+    {
+        ar.u64(cs.generated);
+        ar.u64(cs.delivered);
+        ar.u64(cs.dropped);
+        ar.u64(cs.measuredGenerated);
+        ar.u64(cs.measuredDelivered);
+        ar.u64(cs.windowDataFlits);
+        io(ar, cs.latency);
     }
 
     template <class Ar>
@@ -662,10 +688,29 @@ struct SnapshotAccess
     static void
     io(Ar &ar, Injector &inj)
     {
-        // source_ is a pure function of (config, topology); msgProb_ is
-        // config-derived. Only the gate and the offered count travel.
+        // source_/classes_/classOrder_ are pure functions of (config,
+        // topology); msgProb_ is config-derived. The dynamic workload
+        // state travels: the gate, the offered count, the per-(node,
+        // class) burst machines and closed-loop budgets, and any
+        // replies awaiting injection-queue space.
         ar.b(inj.stopped_);
         ar.u64(inj.offered_);
+        ioCheckCount(ar, inj.burstOn_.size(), "burst state");
+        for (auto &on : inj.burstOn_)
+            ar.u8(on);
+        ioCheckCount(ar, inj.outBudget_.size(), "closed-loop budget");
+        for (auto &b : inj.outBudget_)
+            ioInt(ar, b);
+        ioVec(ar, inj.pendingReplies_,
+              [](Ar &a, Injector::PendingReply &pr) {
+                  a.i32(pr.src);
+                  a.i32(pr.dst);
+                  ioInt(a, pr.cls);
+                  ioInt(a, pr.length);
+                  a.i64(pr.reqId);
+                  a.u64(pr.reqCreated);
+                  a.b(pr.e2eMeasured);
+              });
     }
 
     template <class Ar>

@@ -139,8 +139,10 @@ printSeries(std::ostream &os, const Series &series, const char *x_name)
     os << x_name << '\t' << RunResult::header() << "\treps\tlat_ci95\n";
     for (const SeriesPoint &pt : series.points) {
         os << pt.x << '\t' << pt.result.mean.row() << '\t'
-           << pt.result.replications << '\t' << pt.result.latencyHw95
-           << '\n';
+           << pt.result.replications << '\t' << pt.result.latencyHw95;
+        if (pt.result.mean.degenerate)
+            os << "\tDEGENERATE(0 offered)";
+        os << '\n';
     }
     os << '\n';
 }

@@ -139,6 +139,24 @@ struct Message
     /** Cycle the in-flight heal started (heal latency = done - this). */
     Cycle healStartedAt = 0;
 
+    // --- Workload library (src/traffic/) ---------------------------------
+    /** Traffic class index (0 = legacy single-pattern source). */
+    int cls = 0;
+
+    /** Closed-loop reply (dst -> src of a delivered request). */
+    bool isReply = false;
+
+    /** For replies: the request message this answers. */
+    MsgId reqId = invalidMsg;
+
+    /** For replies: creation cycle of the request (end-to-end latency
+     *  = reply tail delivery - this). */
+    Cycle reqCreated = 0;
+
+    /** For replies: the request was created inside the measurement
+     *  window, so the transaction counts toward e2e statistics. */
+    bool e2eMeasured = false;
+
     // --- Per-message statistics ------------------------------------------
     int detoursBuilt = 0;
     int backtracksTaken = 0;

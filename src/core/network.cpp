@@ -171,6 +171,22 @@ Network::message(MsgId id)
 bool
 Network::offerMessage(NodeId src, NodeId dst)
 {
+    return offerMessage(src, dst, OfferSpec{});
+}
+
+ClassStat *
+Network::classStat(int cls)
+{
+    if (counters_.classes.empty())
+        return nullptr;
+    if (cls < 0 || cls >= static_cast<int>(counters_.classes.size()))
+        tpnet_panic("traffic class ", cls, " out of range");
+    return &counters_.classes[static_cast<std::size_t>(cls)];
+}
+
+bool
+Network::offerMessage(NodeId src, NodeId dst, const OfferSpec &spec)
+{
     if (nodeFaulty(src) || nodeFaulty(dst))
         tpnet_panic("traffic offered at/to a failed node");
     auto &queue = injQ_[static_cast<std::size_t>(src)];
@@ -184,9 +200,14 @@ Network::offerMessage(NodeId src, NodeId dst)
     msg.id = id;
     msg.src = src;
     msg.dst = dst;
-    msg.length = cfg_.msgLength;
+    msg.length = spec.length > 0 ? spec.length : cfg_.msgLength;
     msg.created = now_;
     msg.measured = measuring_;
+    msg.cls = spec.cls;
+    msg.isReply = spec.isReply;
+    msg.reqId = spec.reqId;
+    msg.reqCreated = spec.reqCreated;
+    msg.e2eMeasured = spec.e2eMeasured;
     msg.hdr.cur = src;
     msg.hdr.offset = topo_.offsets(src, dst);
     msg.hdr.flow = proto_->initialFlow();
@@ -201,6 +222,11 @@ Network::offerMessage(NodeId src, NodeId dst)
     ++counters_.generated;
     if (measuring_)
         ++counters_.measuredGenerated;
+    if (ClassStat *cs = classStat(spec.cls)) {
+        ++cs->generated;
+        if (measuring_)
+            ++cs->measuredGenerated;
+    }
     if (trace_)
         trace_->messageCreated(now_, emplaced.first->second);
 
@@ -569,6 +595,10 @@ Network::deliverFlit(Message &msg, const Flit &flit)
     ++counters_.dataFlitsDelivered;
     if (measuring_)
         ++counters_.windowDataFlits;
+    if (ClassStat *cs = classStat(msg.cls)) {
+        if (measuring_)
+            ++cs->windowDataFlits;
+    }
     if (flit.seq == 1)
         msg.leadHop = leadEjected;
 
@@ -584,6 +614,16 @@ Network::deliverFlit(Message &msg, const Flit &flit)
         counters_.latency.add(lat);
         counters_.latencyHist.add(lat);
     }
+    if (ClassStat *cs = classStat(msg.cls)) {
+        ++cs->delivered;
+        if (msg.measured) {
+            ++cs->measuredDelivered;
+            cs->latency.add(static_cast<double>(now_ - msg.created));
+        }
+    }
+    // Closed-loop end-to-end latency: request creation to reply tail.
+    if (msg.isReply && msg.e2eMeasured)
+        counters_.e2eLatency.add(static_cast<double>(now_ - msg.reqCreated));
 
     const int last = static_cast<int>(msg.path.size()) - 1;
     if (cfg_.tailAck) {
@@ -654,6 +694,8 @@ Network::retireMessages()
         }
         if (cwg_)
             cwg_->onMessageGone(id);
+        if (retire_)
+            retire_->messageRetired(now_, msg);
         messages_.erase(it);
         const auto pos =
             std::lower_bound(liveIds_.begin(), liveIds_.end(), id);

@@ -46,6 +46,35 @@ std::unique_ptr<RoutingAlgorithm> makeProtocol(const SimConfig &cfg);
 
 struct SnapshotAccess;
 
+/**
+ * Extra attributes of an offered message (workload library). Default
+ * values reproduce the legacy offerMessage(src, dst) behavior exactly.
+ */
+struct OfferSpec
+{
+    int cls = 0;             ///< traffic class index
+    int length = 0;          ///< data flits (0 = SimConfig::msgLength)
+    bool isReply = false;    ///< closed-loop reply message
+    MsgId reqId = invalidMsg;
+    Cycle reqCreated = 0;    ///< request creation cycle (replies)
+    bool e2eMeasured = false;
+};
+
+/**
+ * Observer of message retirement — called once per message, after it
+ * reaches a terminal state, with the final Message record (the closed-
+ * loop injector turns delivered requests into replies through this).
+ * The callback runs while the network is retiring messages: it must
+ * not offer messages or otherwise mutate the network re-entrantly —
+ * record the event and act on the next Injector::step().
+ */
+class RetireListener
+{
+  public:
+    virtual ~RetireListener() = default;
+    virtual void messageRetired(Cycle now, const Message &msg) = 0;
+};
+
 /** The simulated interconnection network. */
 class Network
 {
@@ -133,6 +162,9 @@ class Network
      */
     bool offerMessage(NodeId src, NodeId dst);
 
+    /** Offer with workload attributes (class, length, reply linkage). */
+    bool offerMessage(NodeId src, NodeId dst, const OfferSpec &spec);
+
     /** Messages that are not yet terminal. */
     std::size_t activeMessages() const { return liveMessages_; }
 
@@ -170,6 +202,12 @@ class Network
      * outlive the network or be detached first.
      */
     void attachTrace(TraceSink *sink) { trace_ = sink; }
+
+    /**
+     * Attach the retirement observer (nullptr detaches; at most one).
+     * Same lifetime contract as attachTrace.
+     */
+    void attachRetireListener(RetireListener *l) { retire_ = l; }
 
     /** @return the message or nullptr if retired. */
     Message *findMessage(MsgId id);
@@ -499,6 +537,10 @@ class Network
     void noteActivity() { lastActivity_ = now_; }
     void checkWatchdog();
 
+    /** Per-class counter slice for @p cls, or nullptr when the run has
+     *  no workload classes (legacy counters tell the whole story). */
+    ClassStat *classStat(int cls);
+
     // --- State ---------------------------------------------------------
     SimConfig cfg_;
     TorusTopology topo_;
@@ -524,6 +566,7 @@ class Network
 
     Counters counters_;
     TraceSink *trace_ = nullptr;
+    RetireListener *retire_ = nullptr;
     std::unique_ptr<verify::CwgTracker> cwg_;
 
     // Deadlock recovery state. The victim RNG is a dedicated stream

@@ -81,12 +81,16 @@ Simulator::run(std::uint64_t replication, TraceSink *sink) const
 
     // Drain: keep background traffic flowing so tagged messages finish
     // under realistic contention, until every measured message is
-    // resolved or the drain budget runs out.
+    // resolved (and every closed-loop transaction has completed its
+    // reply) or the drain budget runs out.
     for (const Cycle end = cfg.warmup + cfg.measure + cfg.drain;
          net.now() < end;) {
         const Counters &k = net.counters();
-        if (k.measuredDelivered + k.measuredDropped >= k.measuredGenerated)
+        if (k.measuredDelivered + k.measuredDropped >=
+                k.measuredGenerated &&
+            k.e2ePending == 0) {
             break;
+        }
         inj.step();
         net.step();
         skipIdle(end, false);
@@ -97,6 +101,10 @@ Simulator::run(std::uint64_t replication, TraceSink *sink) const
     RunResult result = deriveResult(net.counters(), cfg.load, cfg.nodes(),
                                     cfg.measure);
     result.vc = registry.summary();
+    // Traffic was armed yet not a single message was ever offered: the
+    // pattern degenerated (e.g. every source self-maps on this
+    // topology). Flag it so drivers cannot report a silent success.
+    result.degenerate = cfg.trafficArmed() && inj.offered() == 0;
     return result;
 }
 
@@ -117,6 +125,14 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
     std::uint64_t knots = 0, victims = 0, healRetx = 0, healEsc = 0;
     RunningStat healLat;
     Histogram healHist{4.0, 64};
+    // Workload totals: summed/merged across replications like the
+    // recovery counters; degenerate is sticky (any degenerate rep
+    // poisons the point).
+    std::uint64_t rejected = 0, fallbacks = 0;
+    std::uint64_t repGen = 0, repDel = 0, repAband = 0;
+    RunningStat e2eLat;
+    std::vector<ClassStat> classes;
+    bool degenerate = false;
     RunResult last;
 
     std::size_t reps = 0;
@@ -135,6 +151,17 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
         healEsc += last.counters.healEscalations;
         healLat.merge(last.counters.healLatency);
         healHist.merge(last.counters.healLatencyHist);
+        rejected += last.counters.notAccepted;
+        fallbacks += last.counters.uniformFallbacks;
+        repGen += last.counters.repliesGenerated;
+        repDel += last.counters.repliesDelivered;
+        repAband += last.counters.repliesAbandoned;
+        e2eLat.merge(last.counters.e2eLatency);
+        if (classes.size() < last.counters.classes.size())
+            classes.resize(last.counters.classes.size());
+        for (std::size_t i = 0; i < last.counters.classes.size(); ++i)
+            classes[i].merge(last.counters.classes[i]);
+        degenerate = degenerate || last.degenerate;
         if (reps >= min_reps && lat.acceptable(min_reps) &&
             thr.acceptable(min_reps)) {
             out.converged = true;
@@ -155,6 +182,14 @@ foldReplications(const std::function<RunResult(std::size_t)> &run_rep,
     out.mean.counters.healEscalations = healEsc;
     out.mean.counters.healLatency = healLat;
     out.mean.counters.healLatencyHist = healHist;
+    out.mean.counters.notAccepted = rejected;
+    out.mean.counters.uniformFallbacks = fallbacks;
+    out.mean.counters.repliesGenerated = repGen;
+    out.mean.counters.repliesDelivered = repDel;
+    out.mean.counters.repliesAbandoned = repAband;
+    out.mean.counters.e2eLatency = e2eLat;
+    out.mean.counters.classes = classes;
+    out.mean.degenerate = degenerate;
     out.latencyHw95 = lat.halfWidth95();
     out.throughputHw95 = thr.halfWidth95();
     out.replications = reps;

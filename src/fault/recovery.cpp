@@ -289,6 +289,8 @@ Network::dropMessage(Message &msg, bool lost)
         ++counters_.dropped;
     if (msg.measured)
         ++counters_.measuredDropped;
+    if (ClassStat *cs = classStat(msg.cls))
+        ++cs->dropped;
 
     if (msg.inQueue) {
         auto &queue = injQ_[static_cast<std::size_t>(msg.src)];

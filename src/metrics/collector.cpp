@@ -25,6 +25,18 @@ RunResult::row() const
 }
 
 void
+ClassStat::merge(const ClassStat &other)
+{
+    generated += other.generated;
+    delivered += other.delivered;
+    dropped += other.dropped;
+    measuredGenerated += other.measuredGenerated;
+    measuredDelivered += other.measuredDelivered;
+    windowDataFlits += other.windowDataFlits;
+    latency.merge(other.latency);
+}
+
+void
 VcMetrics::merge(const VcMetrics &other)
 {
     occupancy.merge(other.occupancy);

@@ -21,6 +21,25 @@
 
 namespace tpnet {
 
+/**
+ * Per-traffic-class slice of the lifecycle and window counters. Class 0
+ * is the legacy single-pattern source when SimConfig::trafficClasses is
+ * empty; replies are accounted to their request's class.
+ */
+struct ClassStat
+{
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;          ///< dropped + lost
+    std::uint64_t measuredGenerated = 0;
+    std::uint64_t measuredDelivered = 0;
+    std::uint64_t windowDataFlits = 0;  ///< delivered during the window
+    RunningStat latency;                ///< measured messages only
+
+    /** Fold another run's slice into this one (exact). */
+    void merge(const ClassStat &other);
+};
+
 /** Raw event counters for one simulation run. */
 struct Counters
 {
@@ -67,6 +86,23 @@ struct Counters
     RunningStat healLatency;            ///< knot confirm -> circuit torn down
     Histogram healLatencyHist{4.0, 64};
 
+    // Workload library (src/traffic/)
+    /// Uniform pick() exhausted rejection sampling and drew from the
+    /// healthy-node set directly (visible load-thinning pressure).
+    std::uint64_t uniformFallbacks = 0;
+    std::uint64_t repliesGenerated = 0;  ///< closed-loop replies injected
+    std::uint64_t repliesDelivered = 0;  ///< closed-loop replies retired OK
+    /// Replies dropped before injection because an endpoint died or the
+    /// reply itself became undeliverable (budget slot still freed).
+    std::uint64_t repliesAbandoned = 0;
+    /// Outstanding closed-loop transactions (request offered, reply not
+    /// yet retired).
+    std::uint64_t closedLoopPending = 0;
+    /// Subset of closedLoopPending whose request was measured; the
+    /// simulator drains until this reaches zero so every measured
+    /// transaction contributes its end-to-end latency.
+    std::uint64_t e2ePending = 0;
+
     // Measurement window
     std::uint64_t measuredGenerated = 0;
     std::uint64_t measuredDelivered = 0;
@@ -74,6 +110,13 @@ struct Counters
     std::uint64_t windowDataFlits = 0;  ///< delivered during the window
     RunningStat latency;                ///< measured messages only
     Histogram latencyHist{8.0, 256};
+    /// Closed-loop end-to-end (request creation -> reply delivery)
+    /// latency of transactions whose request was measured.
+    RunningStat e2eLatency;
+
+    /// Per-class slices; sized by the injector (empty when no workload
+    /// classes are configured and legacy counters tell the whole story).
+    std::vector<ClassStat> classes;
 };
 
 /**
@@ -122,6 +165,10 @@ struct RunResult
     double p95Latency = 0.0;
     double deliveredFraction = 1.0;  ///< of measured generated messages
     std::uint64_t undeliverable = 0; ///< dropped + lost over the whole run
+    /// Traffic was armed but the run offered zero messages — the
+    /// pattern degenerated (e.g. every source self-maps). Drivers must
+    /// fail loudly or mark the point instead of reporting success.
+    bool degenerate = false;
     Counters counters;
     VcMetrics vc;  ///< per-VC/per-link samples (empty unless registered)
 

@@ -229,8 +229,16 @@ recordOne(const RecordSpec &spec)
         inj.step();
         net.step();
     }
-    for (Cycle c = 0; c < spec.drain && !net.quiescent(); ++c)
+    inj.stop();
+    // Keep stepping the (stopped) injector through the drain so
+    // closed-loop replies still flush; a stopped open-loop injector
+    // draws nothing, so legacy trace digests are unchanged.
+    for (Cycle c = 0;
+         c < spec.drain && !(net.quiescent() && !inj.repliesPending());
+         ++c) {
+        inj.step();
         net.step();
+    }
     net.attachTrace(nullptr);
     return rec;
 }

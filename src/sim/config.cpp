@@ -1,9 +1,12 @@
 #include "sim/config.hpp"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <sstream>
+#include <utility>
 
 #include "sim/log.hpp"
 
@@ -61,6 +64,29 @@ SimConfig::msgRate() const
     return load / static_cast<double>(msgLength);
 }
 
+bool
+SimConfig::trafficArmed() const
+{
+    if (trafficClasses.empty())
+        return load > 0.0;
+    for (const auto &tc : trafficClasses)
+        if (tc.load > 0.0)
+            return true;
+    return false;
+}
+
+namespace {
+
+/// Patterns defined on the binary expansion of the node index need a
+/// power-of-two node count to be permutations.
+bool
+patternNeedsPow2(TrafficPattern p)
+{
+    return p == TrafficPattern::BitReversal || p == TrafficPattern::Shuffle;
+}
+
+} // namespace
+
 void
 SimConfig::validate() const
 {
@@ -106,6 +132,35 @@ SimConfig::validate() const
         tpnet_fatal("maxHealAttempts must be >= 1");
     if (healBackoffBase < 1)
         tpnet_fatal("healBackoffBase must be >= 1");
+    const bool pow2Nodes = (nodes() & (nodes() - 1)) == 0;
+    if (patternNeedsPow2(pattern) && !pow2Nodes)
+        tpnet_fatal(patternName(pattern), " traffic requires a power-of-two "
+                    "node count (got ", nodes(), ")");
+    for (std::size_t i = 0; i < trafficClasses.size(); ++i) {
+        const TrafficClassConfig &tc = trafficClasses[i];
+        if (tc.load < 0.0 || tc.load > static_cast<double>(radix()))
+            tpnet_fatal("class ", i, ": load ", tc.load, " out of range");
+        if (tc.msgLength < 0)
+            tpnet_fatal("class ", i, ": msgLength must be >= 0");
+        if (patternNeedsPow2(tc.pattern) && !pow2Nodes)
+            tpnet_fatal("class ", i, ": ", patternName(tc.pattern),
+                        " traffic requires a power-of-two node count (got ",
+                        nodes(), ")");
+        if (tc.hotspotFraction < 0.0 || tc.hotspotFraction > 1.0)
+            tpnet_fatal("class ", i, ": hotspot fraction must be in [0, 1]");
+        if (tc.hotspotCount < 1 || tc.hotspotCount > nodes())
+            tpnet_fatal("class ", i, ": hotspot count out of range");
+        if (tc.burstLen < 0)
+            tpnet_fatal("class ", i, ": burst length must be >= 0");
+        if (tc.burstLen > 0 &&
+            (tc.burstDuty <= 0.0 || tc.burstDuty > 1.0)) {
+            tpnet_fatal("class ", i, ": burst duty must be in (0, 1]");
+        }
+        if (tc.outstanding < 0)
+            tpnet_fatal("class ", i, ": outstanding must be >= 0");
+        if (tc.replyLength < 0)
+            tpnet_fatal("class ", i, ": replyLength must be >= 0");
+    }
 }
 
 const char *
@@ -131,9 +186,23 @@ patternName(TrafficPattern p)
       case TrafficPattern::Transpose:     return "transpose";
       case TrafficPattern::NeighborPlus:  return "neighbor+1";
       case TrafficPattern::Tornado:       return "tornado";
+      case TrafficPattern::BitReversal:   return "bit-reversal";
+      case TrafficPattern::Shuffle:       return "shuffle";
     }
     return "?";
 }
+
+namespace {
+
+/// Parse name for patternName() output; "neighbor+1" prints but
+/// "neighbor" parses, so round-tripping goes through this table.
+const char *
+patternParseName(TrafficPattern p)
+{
+    return p == TrafficPattern::NeighborPlus ? "neighbor" : patternName(p);
+}
+
+} // namespace
 
 bool
 parseProtocolName(const std::string &name, Protocol *out)
@@ -202,6 +271,8 @@ parsePatternName(const std::string &name, TrafficPattern *out)
         {"transpose", TrafficPattern::Transpose},
         {"neighbor", TrafficPattern::NeighborPlus},
         {"tornado", TrafficPattern::Tornado},
+        {"bit-reversal", TrafficPattern::BitReversal},
+        {"shuffle", TrafficPattern::Shuffle},
     };
     for (const auto &row : table) {
         if (name == row.name) {
@@ -212,6 +283,105 @@ parsePatternName(const std::string &name, TrafficPattern *out)
     return false;
 }
 
+namespace {
+
+bool
+specFail(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+    return false;
+}
+
+} // namespace
+
+bool
+parseTrafficClasses(const std::string &spec,
+                    std::vector<TrafficClassConfig> *out,
+                    std::string *err)
+{
+    std::vector<TrafficClassConfig> classes;
+    std::istringstream specStream(spec);
+    std::string clause;
+    while (std::getline(specStream, clause, ';')) {
+        if (clause.empty())
+            continue;
+        TrafficClassConfig tc;
+        std::istringstream clauseStream(clause);
+        std::string kv;
+        while (std::getline(clauseStream, kv, ',')) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                return specFail(err, "expected key=value, got \"" + kv + "\"");
+            const std::string key = kv.substr(0, eq);
+            const std::string val = kv.substr(eq + 1);
+            try {
+                if (key == "pattern") {
+                    if (!parsePatternName(val, &tc.pattern))
+                        return specFail(err,
+                                        "unknown traffic pattern \"" + val +
+                                            "\"");
+                } else if (key == "load") {
+                    tc.load = std::stod(val);
+                } else if (key == "len") {
+                    tc.msgLength = std::stoi(val);
+                } else if (key == "prio") {
+                    tc.priority = std::stoi(val);
+                } else if (key == "hotspot") {
+                    tc.hotspotFraction = std::stod(val);
+                } else if (key == "hotspots") {
+                    tc.hotspotCount = std::stoi(val);
+                } else if (key == "burst") {
+                    tc.burstLen = std::stoi(val);
+                } else if (key == "duty") {
+                    tc.burstDuty = std::stod(val);
+                } else if (key == "outstanding") {
+                    tc.outstanding = std::stoi(val);
+                } else if (key == "replylen") {
+                    tc.replyLength = std::stoi(val);
+                } else {
+                    return specFail(err, "unknown class key \"" + key + "\"");
+                }
+            } catch (const std::exception &) {
+                return specFail(err, "bad value for " + key + ": \"" + val +
+                                         "\"");
+            }
+        }
+        classes.push_back(tc);
+    }
+    if (classes.empty())
+        return specFail(err, "workload spec describes no classes");
+    *out = std::move(classes);
+    return true;
+}
+
+std::string
+formatTrafficClasses(const std::vector<TrafficClassConfig> &classes)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        const TrafficClassConfig &tc = classes[i];
+        if (i)
+            os << ';';
+        os << "pattern=" << patternParseName(tc.pattern)
+           << ",load=" << tc.load;
+        if (tc.msgLength)
+            os << ",len=" << tc.msgLength;
+        if (tc.priority)
+            os << ",prio=" << tc.priority;
+        if (tc.hotspotFraction > 0.0)
+            os << ",hotspot=" << tc.hotspotFraction
+               << ",hotspots=" << tc.hotspotCount;
+        if (tc.burstLen)
+            os << ",burst=" << tc.burstLen << ",duty=" << tc.burstDuty;
+        if (tc.outstanding)
+            os << ",outstanding=" << tc.outstanding;
+        if (tc.replyLength)
+            os << ",replylen=" << tc.replyLength;
+    }
+    return os.str();
+}
+
 std::string
 SimConfig::summary() const
 {
@@ -220,8 +390,10 @@ SimConfig::summary() const
        << (wrap ? "-cube, " : "-mesh, ")
        << adaptiveVcs << "a+" << escapeVcs << "e VCs, L=" << msgLength
        << ", K=" << scoutK << ", m=" << misrouteLimit
-       << ", load=" << load << " (" << patternName(pattern) << ")"
-       << ", faults=" << staticNodeFaults << "n+" << staticLinkFaults << "l";
+       << ", load=" << load << " (" << patternName(pattern) << ")";
+    if (!trafficClasses.empty())
+        os << ", classes=[" << formatTrafficClasses(trafficClasses) << "]";
+    os << ", faults=" << staticNodeFaults << "n+" << staticLinkFaults << "l";
     if (dynamicNodeFaults > 0)
         os << "+" << dynamicNodeFaults << "dyn";
     if (dynamicLinkFaults > 0)

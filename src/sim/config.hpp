@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -58,7 +59,51 @@ enum class TrafficPattern : std::uint8_t {
     BitComplement, ///< dst coordinate = k-1-src coordinate per dimension
     Transpose,     ///< dst coords = reversed src coords (2D: (x,y)->(y,x))
     NeighborPlus,  ///< dst = +1 in dimension 0 (deterministic validation)
-    Tornado,       ///< dst = src + floor((k-1)/2) in each dimension
+    Tornado,       ///< dst = src + (k/2 - 1 | k/2), clamped >= 1, per dim
+    BitReversal,   ///< dst = bit-reversed node index (2^b nodes)
+    Shuffle,       ///< dst = node index rotated left one bit (2^b nodes)
+};
+
+/**
+ * One traffic class of the workload library: a destination pattern
+ * (optionally skewed toward a hotspot set), its own offered load and
+ * message length, an injection priority, an optional on-off (bursty)
+ * modulation of the generation process, and an optional closed-loop
+ * request-reply budget. SimConfig::trafficClasses empty means the
+ * legacy single open-loop class described by pattern/load/msgLength —
+ * that path is RNG-stream-identical to the pre-workload injector.
+ */
+struct TrafficClassConfig
+{
+    TrafficPattern pattern = TrafficPattern::Uniform;
+    double load = 0.0;       ///< offered load, data flits/node/cycle
+    int msgLength = 0;       ///< data flits per message (0 = SimConfig's)
+    /// Injection precedence: classes are offered in descending priority
+    /// order each cycle, so higher-priority classes grab contested
+    /// injection-queue slots first. Ties keep declaration order.
+    int priority = 0;
+
+    // --- Hotspot skew (layered over any pattern) ----------------------
+    /// Fraction of this class's messages redirected to the hotspot set.
+    double hotspotFraction = 0.0;
+    /// Hotspot set size; nodes are spread evenly over the id space.
+    int hotspotCount = 1;
+
+    // --- On-off (bursty / 2-state MMPP) modulation --------------------
+    /// Mean ON-burst length in cycles; 0 disables the on-off process.
+    /// While ON the class generates at load/duty so the long-run mean
+    /// offered load stays `load`.
+    int burstLen = 0;
+    /// Long-run fraction of time the source is ON (0 < duty <= 1).
+    double burstDuty = 0.5;
+
+    // --- Closed loop (request-reply) ----------------------------------
+    /// Max outstanding request-reply transactions per node; 0 = open
+    /// loop. A delivered request generates a reply (dst -> src); the
+    /// budget slot frees when the reply retires (or the request dies).
+    int outstanding = 0;
+    /// Reply message length (0 = the class's request length).
+    int replyLength = 0;
 };
 
 /**
@@ -105,6 +150,10 @@ struct SimConfig
     TrafficPattern pattern = TrafficPattern::Uniform;
     double load = 0.1;     ///< offered load, data flits / node / cycle
     int injQueueLimit = 8; ///< messages buffered per injection channel
+    /// Workload library: when non-empty these classes replace the single
+    /// pattern/load source above (which remains the legacy fast path and
+    /// keeps the historical RNG stream byte-identical).
+    std::vector<TrafficClassConfig> trafficClasses;
 
     // --- Faults ------------------------------------------------------------
     int staticNodeFaults = 0;  ///< failed PEs present at power-on
@@ -195,6 +244,10 @@ struct SimConfig
     double avgMinDistance() const;///< mean minimal hop count, uniform traffic
     /// Messages per node per cycle for the configured flit load.
     double msgRate() const;
+    /// True if any source can ever generate a message: legacy load > 0,
+    /// or some traffic class with load > 0. Drivers use this to tell a
+    /// genuinely idle config from a degenerate zero-offered run.
+    bool trafficArmed() const;
 
     /** Die with a helpful message if the configuration is inconsistent. */
     void validate() const;
@@ -220,6 +273,28 @@ bool parseProtocolName(const std::string &name, Protocol *out);
 
 /** Parse a traffic pattern name (uniform | bit-complement | ...). */
 bool parsePatternName(const std::string &name, TrafficPattern *out);
+
+/**
+ * Parse a workload spec string into traffic classes. Classes are
+ * separated by ';'; each class is a comma-separated key=value list:
+ *
+ *   pattern=<name>,load=<f>[,len=<n>][,prio=<n>][,hotspot=<f>]
+ *   [,hotspots=<n>][,burst=<n>][,duty=<f>][,outstanding=<n>]
+ *   [,replylen=<n>]
+ *
+ * e.g. "pattern=transpose,load=0.2,prio=1;pattern=uniform,load=0.1,
+ * burst=200,duty=0.25". Returns false (with *err set) on malformed
+ * input; range validation is left to SimConfig::validate().
+ */
+bool parseTrafficClasses(const std::string &spec,
+                         std::vector<TrafficClassConfig> *out,
+                         std::string *err);
+
+/**
+ * Format traffic classes back into the spec-string syntax accepted by
+ * parseTrafficClasses (round-trips exactly); "" for an empty list.
+ */
+std::string formatTrafficClasses(const std::vector<TrafficClassConfig> &classes);
 
 } // namespace tpnet
 

@@ -1,9 +1,11 @@
 /**
  * @file
  * Synthetic traffic patterns. The paper's evaluation uses uniformly
- * distributed destinations (Section 6.0); the deterministic permutation
- * patterns are used to validate the simulator against closed-form
- * behavior, mirroring the paper's validation methodology [14].
+ * distributed destinations (Section 6.0); the permutation vocabulary
+ * (bit-complement, transpose, bit-reversal, shuffle, tornado,
+ * neighbor) provides the adversarial loads the related fault-tolerant
+ * routing literature evaluates under, and any pattern can be skewed
+ * toward a hotspot set (DESIGN.md Section 6j).
  */
 
 #ifndef TPNET_TRAFFIC_PATTERN_HPP
@@ -24,20 +26,34 @@ class TrafficSource
   public:
     TrafficSource(TrafficPattern pattern, const TorusTopology &topo);
 
+    /** Pattern plus the class's hotspot skew. */
+    TrafficSource(const TrafficClassConfig &cls, const TorusTopology &topo);
+
     /**
      * Destination for a message from @p src, or invalidNode when the
      * pattern maps src to itself or to a failed node (the message is
      * then not generated — failed PEs are removed from the traffic,
-     * Section 2.4).
+     * Section 2.4). Uniform sources fall back to an explicit draw over
+     * the healthy-node set when rejection sampling exhausts its budget
+     * (counted in Counters::uniformFallbacks), so heavy node-fault
+     * campaigns cannot silently thin the offered load.
      */
     NodeId pick(Network &net, NodeId src, Rng &rng) const;
 
     /** The deterministic mapping for non-uniform patterns (tests). */
     NodeId mapped(NodeId src) const;
 
+    /** i-th hotspot node: spread evenly over the id space (tests). */
+    NodeId hotspotNode(int i) const;
+
   private:
+    NodeId pickBase(Network &net, NodeId src, Rng &rng) const;
+
     TrafficPattern pattern_;
     const TorusTopology &topo_;
+    double hotspotFraction_ = 0.0;
+    int hotspotCount_ = 1;
+    int indexBits_ = 0;  ///< log2(nodes) when nodes is a power of two
 };
 
 } // namespace tpnet

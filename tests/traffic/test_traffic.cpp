@@ -47,8 +47,43 @@ TEST(Pattern, TornadoMapping)
     SimConfig cfg = smallConfig();
     Network net(cfg);
     TrafficSource src(TrafficPattern::Tornado, net.topo());
-    // k = 8: offset floor((k-1)/2) = 3 in each dimension.
+    // k = 8 (even): offset k/2 - 1 = 3 in each dimension.
     EXPECT_EQ(src.mapped(0), 3 + 8 * 3);
+}
+
+TEST(Pattern, TornadoBinaryRingPermutes)
+{
+    // Regression: on k = 2 the old offset floor((k-1)/2) was 0, so
+    // every node self-mapped and tornado runs silently offered zero
+    // load while reporting success. The offset is clamped to >= 1.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 2, 3);
+    Network net(cfg);
+    TrafficSource src(TrafficPattern::Tornado, net.topo());
+    for (NodeId s = 0; s < net.topo().nodes(); ++s)
+        EXPECT_NE(src.mapped(s), s) << s;
+}
+
+TEST(Pattern, UniformFallbackDrawsFromHealthySet)
+{
+    // Regression: with nearly every node faulty, the 64-attempt
+    // rejection loop usually exhausts itself; the old code then
+    // returned invalidNode, silently thinning the offered load. The
+    // draw now falls back to the explicit healthy set and counts the
+    // event.
+    SimConfig cfg = smallConfig(Protocol::TwoPhase, 16, 2);  // 256 nodes
+    Network net(cfg);
+    for (NodeId id = 0; id < net.topo().nodes(); ++id)
+        if (id != 3 && id != 250)
+            net.failNode(id);
+    TrafficSource src(TrafficPattern::Uniform, net.topo());
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        ASSERT_EQ(src.pick(net, 3, rng), 250);
+    EXPECT_GT(net.counters().uniformFallbacks, 0u);
+
+    // Source is the last node standing: nothing to send to.
+    net.failNode(250);
+    EXPECT_EQ(src.pick(net, 3, rng), invalidNode);
 }
 
 TEST(Pattern, UniformAvoidsSelfAndFaulty)

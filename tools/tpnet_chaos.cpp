@@ -108,6 +108,7 @@ main(int argc, char **argv)
     std::string victim = "youngest";
     std::string json_path;
     std::string protocol = "TP";
+    std::string classes_spec;
     tools::ShardCli shardcli;
     tools::CheckpointCli ckcli;
 
@@ -133,6 +134,13 @@ main(int argc, char **argv)
                        "--no-vary-size)", &base.k);
     parser.addInt("n", "dimensions", &base.n);
     parser.addInt("length", "data flits per message", &base.msgLength);
+    parser.addString("classes",
+                     "workload classes replacing the grid cell's "
+                     "uniform traffic: \"pattern=<name>,load=<f>"
+                     "[,len=][,prio=][,hotspot=][,hotspots=][,burst=]"
+                     "[,duty=][,outstanding=][,replylen=]\" joined "
+                     "by ';'",
+                     &classes_spec);
     parser.addInt("retries", "maxRetries before undeliverable",
                   &base.maxRetries);
     parser.addDouble("fault-scale",
@@ -189,6 +197,15 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: unknown victim policy '%s'\n",
                      victim.c_str());
         return 2;
+    }
+    if (!classes_spec.empty()) {
+        std::string clsErr;
+        if (!parseTrafficClasses(classes_spec, &base.trafficClasses,
+                                 &clsErr)) {
+            std::fprintf(stderr, "error: --classes: %s\n",
+                         clsErr.c_str());
+            return 2;
+        }
     }
     if (recovery && base.protocol == Protocol::DimOrder) {
         std::fprintf(stderr, "error: --recovery requires an adaptive "

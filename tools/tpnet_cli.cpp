@@ -54,6 +54,7 @@ main(int argc, char **argv)
     std::string victim = "youngest";
     std::string sweep;
     std::string shard_text;
+    std::string classes_spec;
     int reps = 1;
     int jobs = 0;
     double dynamic_faults = 0.0;
@@ -82,8 +83,14 @@ main(int argc, char **argv)
                      &cfg.load);
     parser.addString("pattern",
                      "uniform | bit-complement | transpose | neighbor "
-                     "| tornado",
+                     "| tornado | bit-reversal | shuffle",
                      &pattern);
+    parser.addString("classes",
+                     "workload classes replacing --pattern/--load: "
+                     "\"pattern=<name>,load=<f>[,len=][,prio=]"
+                     "[,hotspot=][,hotspots=][,burst=][,duty=]"
+                     "[,outstanding=][,replylen=]\" joined by ';'",
+                     &classes_spec);
     parser.addInt("faults", "static node faults", &cfg.staticNodeFaults);
     parser.addInt("link-faults", "static link faults",
                   &cfg.staticLinkFaults);
@@ -166,6 +173,14 @@ main(int argc, char **argv)
                      victim.c_str());
         return 1;
     }
+    if (!classes_spec.empty()) {
+        std::string clsErr;
+        if (!parseTrafficClasses(classes_spec, &cfg.trafficClasses,
+                                 &clsErr)) {
+            std::fprintf(stderr, "error: --classes: %s\n", clsErr.c_str());
+            return 1;
+        }
+    }
     chaos::ShardSpec shard;
     if (!shard_text.empty()) {
         if (!chaos::parseShardSpec(shard_text, &shard)) {
@@ -206,9 +221,21 @@ main(int argc, char **argv)
         const Series s =
             loadSweep(cfg, protocolName(cfg.protocol), loads, opt);
         printSeries(std::cout, s, "offered");
+        for (const SeriesPoint &pt : s.points) {
+            if (pt.result.mean.degenerate) {
+                std::fprintf(stderr,
+                             "error: degenerate workload at offered "
+                             "load %g: traffic armed but 0 messages "
+                             "offered (pattern self-maps on this "
+                             "topology?)\n",
+                             pt.x);
+                return 1;
+            }
+        }
         return 0;
     }
 
+    bool degenerate = false;
     if (reps > 1) {
         SweepOptions opt;
         opt.minReps = 2;
@@ -221,10 +248,19 @@ main(int argc, char **argv)
                     "converged=%s\n",
                     r.replications, r.latencyHw95,
                     r.converged ? "yes" : "no");
+        degenerate = r.mean.degenerate;
     } else {
         const RunResult r = Simulator(cfg).run();
         std::printf("%s\n%s\n", RunResult::header().c_str(),
                     r.row().c_str());
+        degenerate = r.degenerate;
+    }
+    if (degenerate) {
+        std::fprintf(stderr,
+                     "error: degenerate workload: traffic armed but 0 "
+                     "messages offered (pattern self-maps on this "
+                     "topology?)\n");
+        return 1;
     }
 
     if (stats) {

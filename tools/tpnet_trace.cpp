@@ -107,7 +107,14 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
     bool recovery = false;
     bool no_event_skip = false;
     std::string victim = "youngest";
+    std::string classes_spec;
     parser.addString("out", "output trace file", &out);
+    parser.addString("classes",
+                     "workload classes override for the scenario's "
+                     "traffic: \"pattern=<name>,load=<f>[,burst=]"
+                     "[,duty=][,outstanding=]...\" joined by ';' "
+                     "(default: the scenario's own open-loop uniform)",
+                     &classes_spec);
     parser.addFlag("recovery",
                    "record the scenario in knot-triggered deadlock "
                    "recovery mode (digest comparison across --jobs "
@@ -152,6 +159,15 @@ cmdRecord(OptionParser &parser, int argc, const char *const *argv)
         obs::goldenSpecs(seed)[static_cast<std::size_t>(idx)];
     if (cycles > 0)
         spec.cycles = static_cast<Cycle>(cycles);
+    if (!classes_spec.empty()) {
+        std::string clsErr;
+        if (!parseTrafficClasses(classes_spec,
+                                 &spec.cfg.trafficClasses, &clsErr)) {
+            std::fprintf(stderr, "error: --classes: %s\n",
+                         clsErr.c_str());
+            return 1;
+        }
+    }
     spec.cfg.eventEngine = spec.cfg.eventEngine && !no_event_skip;
     if (recovery) {
         spec.cfg.recoveryMode = true;

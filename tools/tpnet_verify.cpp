@@ -15,7 +15,9 @@
  *
  * The grid interleaves its topology blocks round-robin, so any window
  * of consecutive seeds (e.g. a 25-campaign CI smoke) samples every
- * topology, including the 3-cubes and the 16-ary torus.
+ * topology, including the 3-cubes, the 16-ary torus, and the
+ * workload-library cells (bursty on-off, multi-class permutation
+ * mixes, closed-loop request-reply).
  *
  * When a campaign fails (and --no-shrink is not given), the tool
  * shrinks it to a minimal still-failing case: class-level reductions
@@ -52,6 +54,7 @@
 #include "chaos/campaign.hpp"
 #include "chaos/report.hpp"
 #include "chaos/shrink.hpp"
+#include "sim/log.hpp"
 #include "sim/options.hpp"
 #include "shard_cli.hpp"
 
@@ -71,6 +74,10 @@ struct GridPoint
     int n;                    ///< dimensions
     bool tailAck = false;
     bool hardwareAcks = false;
+    /// Workload-library cell: a --classes spec replacing the open-loop
+    /// uniform injector (empty = legacy uniform at `load`).
+    std::string workload;     ///< short display tag
+    std::string classes;      ///< parseTrafficClasses spec
 };
 
 std::string
@@ -82,7 +89,10 @@ describe(const GridPoint &g)
                   protocolName(g.proto), g.k, g.n, g.scoutK, g.load,
                   g.faultScale, g.tailAck ? " TAck" : "",
                   g.hardwareAcks ? " HWAck" : "");
-    return buf;
+    std::string out = buf;
+    if (!g.workload.empty())
+        out += " [" + g.workload + "]";
+    return out;
 }
 
 /**
@@ -157,6 +167,38 @@ buildGrid()
         blocks.back().push_back(hw);
     }
 
+    // Block 6: workload-library cells — bursty on-off injection,
+    // multi-class permutation mixes with a hotspot background, and
+    // closed-loop request-reply traffic, all on the base torus. The
+    // rest of the grid leaves the traffic layer at open-loop uniform;
+    // these cells fuzz the injector's burst machines, priority
+    // arbitration, and reply dependencies against the same fault
+    // timelines.
+    blocks.emplace_back();
+    struct WorkloadCell
+    {
+        const char *name;
+        const char *classes;
+    };
+    const WorkloadCell workloads[] = {
+        {"bursty", "pattern=uniform,load=0.15,burst=8,duty=0.25"},
+        {"transpose+hot", "pattern=transpose,load=0.10,prio=1;"
+                          "pattern=uniform,load=0.05,hotspot=0.1,"
+                          "hotspots=4"},
+        {"closed-loop", "pattern=uniform,load=0.10,outstanding=2,"
+                        "replylen=4"},
+        {"bursty-tornado", "pattern=tornado,load=0.12,burst=16,"
+                           "duty=0.5"},
+    };
+    for (const WorkloadCell &w : workloads) {
+        for (const ProtoCell &p : ackProtos) {
+            GridPoint cell{p.proto, p.scoutK, 0.15, 2.0, 8, 2};
+            cell.workload = w.name;
+            cell.classes = w.classes;
+            blocks.back().push_back(cell);
+        }
+    }
+
     // Interleave the blocks round-robin so consecutive seeds sample
     // every topology.
     std::vector<GridPoint> grid;
@@ -186,6 +228,13 @@ buildSpec(const SimConfig &base, const GridPoint &g, std::uint64_t seed,
     spec.cfg.n = g.n;
     spec.cfg.tailAck = g.tailAck;
     spec.cfg.hardwareAcks = g.hardwareAcks;
+    if (!g.classes.empty()) {
+        std::string err;
+        if (!parseTrafficClasses(g.classes, &spec.cfg.trafficClasses,
+                                 &err))
+            tpnet_panic("bad grid workload spec '%s': %s",
+                        g.classes.c_str(), err.c_str());
+    }
     spec.seed = seed;
     spec.injectCycles = inject;
     spec.drainCycles = drain;
@@ -224,7 +273,11 @@ replayCommand(const CampaignSpec &spec)
            << victimPolicyName(spec.cfg.victimPolicy);
     char load[32];
     std::snprintf(load, sizeof load, "%.4f", spec.cfg.load);
-    os << " --load " << load << " --inject " << spec.injectCycles;
+    os << " --load " << load;
+    if (!spec.cfg.trafficClasses.empty())
+        os << " --classes \""
+           << formatTrafficClasses(spec.cfg.trafficClasses) << "\"";
+    os << " --inject " << spec.injectCycles;
     if (!spec.scriptedFaults.empty()) {
         os << " --fault-events \""
            << formatFaultEvents(spec.scriptedFaults) << "\"";
@@ -271,8 +324,12 @@ struct ModeTotals
  * The headline experiment: avoidance (reserved escape bandwidth,
  * Theorem 3 contract verified online) vs recovery (escape pool freed,
  * knots detected and healed) over the full grid, swept across a fault-
- * intensity axis. Each (fx, mode) cell runs the same seeds, so the
- * fault timelines and traffic streams are shared between the columns.
+ * intensity axis — repeated for each entry of a workload axis (legacy
+ * open-loop uniform, bursty on-off uniform, and a two-class transpose
+ * mix), so flow-control modes are compared under permutation and
+ * bursty traffic, not just Poisson uniform. Each (workload, fx, mode)
+ * cell runs the same seeds, so the fault timelines are shared between
+ * the columns.
  */
 int
 runComparison(const SimConfig &base, const std::vector<GridPoint> &grid,
@@ -281,19 +338,33 @@ runComparison(const SimConfig &base, const std::vector<GridPoint> &grid,
               const std::string &json_path)
 {
     const double axis[] = {0.5, 1.0, 2.0, 4.0};
+    struct WorkloadAxis
+    {
+        const char *name;
+        const char *classes;  ///< "" = the grid cell's own workload
+    };
+    const WorkloadAxis workloads[] = {
+        {"uniform", ""},
+        {"bursty", "pattern=uniform,load=0.15,burst=8,duty=0.25"},
+        {"transpose", "pattern=transpose,load=0.10,prio=1;"
+                      "pattern=uniform,load=0.05"},
+    };
 
     std::printf("# avoidance vs recovery: %d campaign(s) per cell over "
                 "the %zu-cell grid, fault-intensity axis x{0.5, 1, 2, "
-                "4}, victim policy %s\n",
+                "4}, workload axis x{uniform, bursty, transpose}, "
+                "victim policy %s\n",
                 campaigns, grid.size(),
                 victimPolicyName(victim_policy));
-    std::printf("# %-4s %-10s %5s %5s %7s %8s %8s %5s %10s %8s %7s %9s\n",
-                "fx", "mode", "fail", "viol", "knots", "victims",
-                "retx", "esc", "delivered", "undeliv", "lost",
-                "heal_lat");
+    std::printf("# %-9s %-4s %-10s %5s %5s %7s %8s %8s %5s %10s %8s "
+                "%7s %9s\n",
+                "workload", "fx", "mode", "fail", "viol", "knots",
+                "victims", "retx", "esc", "delivered", "undeliv",
+                "lost", "heal_lat");
 
     std::vector<CampaignResult> all_results;
     int failures = 0;
+    for (const WorkloadAxis &w : workloads) {
     for (double fx : axis) {
         for (int mode = 0; mode < 2; ++mode) {
             const bool recovery = mode == 1;
@@ -305,6 +376,14 @@ runComparison(const SimConfig &base, const std::vector<GridPoint> &grid,
                 const GridPoint &g = grid[s % grid.size()];
                 CampaignSpec spec =
                     buildSpec(base, g, s, inject, drain, fx);
+                if (w.classes[0] != '\0') {
+                    std::string err;
+                    if (!parseTrafficClasses(w.classes,
+                                             &spec.cfg.trafficClasses,
+                                             &err))
+                        tpnet_panic("bad workload axis spec '%s': %s",
+                                    w.classes, err.c_str());
+                }
                 if (recovery) {
                     spec.cfg.recoveryMode = true;
                     spec.cfg.victimPolicy = victim_policy;
@@ -323,9 +402,10 @@ runComparison(const SimConfig &base, const std::vector<GridPoint> &grid,
                               t.healLat.mean());
             else
                 std::snprintf(lat, sizeof lat, "%9s", "-");
-            std::printf("  %-4.1f %-10s %5d %5llu %7llu %8llu %8llu "
-                        "%5llu %10llu %8llu %7llu %s\n",
-                        fx, recovery ? "recovery" : "avoidance",
+            std::printf("  %-9s %-4.1f %-10s %5d %5llu %7llu %8llu "
+                        "%8llu %5llu %10llu %8llu %7llu %s\n",
+                        w.name, fx,
+                        recovery ? "recovery" : "avoidance",
                         t.failures,
                         static_cast<unsigned long long>(t.violations),
                         static_cast<unsigned long long>(t.knots),
@@ -340,6 +420,7 @@ runComparison(const SimConfig &base, const std::vector<GridPoint> &grid,
             for (const CampaignResult &r : results)
                 all_results.push_back(r);
         }
+    }
     }
 
     if (!json_path.empty() &&
@@ -393,6 +474,7 @@ main(int argc, char **argv)
     std::string json_path;
     std::string protocol;
     std::string fault_events;
+    std::string classes_spec;
     tools::ShardCli shardcli;
     tools::CheckpointCli ckcli;
 
@@ -429,6 +511,12 @@ main(int argc, char **argv)
                    &hardware_acks);
     parser.addDouble("load", "replay override: offered load",
                      &load_override);
+    parser.addString("classes",
+                     "replay override: workload classes spec "
+                     "(\"pattern=<name>,load=<f>[,burst=][,duty=]"
+                     "[,outstanding=]...\" joined by ';'), replacing "
+                     "the grid cell's traffic",
+                     &classes_spec);
     parser.addUint64("inject", "replay override: injection window",
                      &inject_override);
     parser.addInt("node-kills", "replay override: node kill count",
@@ -564,6 +652,16 @@ main(int argc, char **argv)
             spec.cfg.hardwareAcks = true;
         if (load_override >= 0.0)
             spec.cfg.load = load_override;
+        if (!classes_spec.empty()) {
+            std::string clsErr;
+            if (!parseTrafficClasses(classes_spec,
+                                     &spec.cfg.trafficClasses,
+                                     &clsErr)) {
+                std::fprintf(stderr, "error: --classes: %s\n",
+                             clsErr.c_str());
+                return 2;
+            }
+        }
         if (inject_override > 0) {
             spec.injectCycles = inject_override;
             spec.faults.horizon = inject_override;
@@ -629,8 +727,8 @@ main(int argc, char **argv)
 
     std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells "
                 "(8-ary/16-ary 2-cubes, binary/4-ary 3-cubes, ack "
-                "variants), inject %llu + drain %llu cycles, CWG "
-                "armed%s\n",
+                "variants, workload cells), inject %llu + drain %llu "
+                "cycles, CWG armed%s\n",
                 seeds.size(), grid.size(),
                 static_cast<unsigned long long>(max_cycles),
                 static_cast<unsigned long long>(drain_cycles),
