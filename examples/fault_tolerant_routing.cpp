@@ -81,7 +81,7 @@ main()
         cfg.protocol = Protocol::MBm;  // pure backtracking search
         Network net(cfg);
         const int depth = 3;
-        const auto faults = bounds::alleyFaults(net.topo(), 0, depth);
+        const auto faults = bounds::alleyFaults(*net.topo().cube(), 0, depth);
         for (NodeId f : faults)
             net.failNode(f);
         net.setMeasuring(true);

@@ -209,6 +209,30 @@ def self_test():
     cases.append(("workload counter churn is not a regression",
                   wl, wl_churn, 0))
 
+    # Topology annotations (the --topology axis): a current run that
+    # labels its series/points with topology geometry must compare
+    # clean against a pre-topology baseline, and topology-only churn
+    # (renamed geometry, extra dragonfly/express keys) is inert.
+    topo = copy.deepcopy(doc)
+    topo["topology"] = "torus"
+    for s in topo["series"]:
+        s["topology"] = "torus"
+        s["geometry"] = {"k": 16, "n": 2, "wrap": True}
+    for pt in topo["series"][0]["points"]:
+        pt["topology"] = "torus"
+    cases.append(("topology keys on the current side are inert",
+                  doc, topo, 0))
+    topo_churn = copy.deepcopy(topo)
+    topo_churn["topology"] = "dragonfly"
+    for s in topo_churn["series"]:
+        s["topology"] = "dragonfly"
+        s["geometry"] = {"df_routers": 8, "df_global": 2,
+                         "express_gap": 4}
+    cases.append(("topology metadata churn is not a regression",
+                  topo, topo_churn, 0))
+    cases.append(("topology keys in the baseline are never diffed",
+                  topo, doc, 0))
+
     # A baseline point lacking a comparable key is skipped, not fatal.
     sparse = copy.deepcopy(doc)
     for pt in sparse["series"][0]["points"]:

@@ -72,7 +72,7 @@ FaultSchedule::nextEventAt()
 bool
 FaultSchedule::fire(const FaultEvent &ev, Network &net, Rng &rng)
 {
-    const TorusTopology &topo = net.topo();
+    const Topology &topo = net.topo();
 
     if (ev.kind == FaultKind::NodeKill) {
         NodeId victim = ev.node;

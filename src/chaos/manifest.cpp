@@ -126,10 +126,14 @@ configDigest(const SimConfig &cfg)
     // Versioned canonical encoding: every behavior-relevant field in
     // declaration order. Bump the tag when fields are added/removed so
     // old cache entries and checkpoints are invalidated, not misread.
-    std::uint64_t h = foldTag("tpnet-config-v2");
+    std::uint64_t h = foldTag("tpnet-config-v3");
+    h = foldI64(h, static_cast<int>(cfg.topology));
     h = foldI64(h, cfg.k);
     h = foldI64(h, cfg.n);
     h = foldI64(h, cfg.wrap);
+    h = foldI64(h, cfg.expressGap);
+    h = foldI64(h, cfg.dfRouters);
+    h = foldI64(h, cfg.dfGlobal);
     h = foldI64(h, cfg.adaptiveVcs);
     h = foldI64(h, cfg.escapeVcs);
     h = foldI64(h, cfg.bufDepth);

@@ -63,7 +63,13 @@ shrinkClasses(CampaignSpec spec, const CampaignRunner &run, int *steps)
             if (improved)
                 continue;
 
-            if (spec.cfg.k > 4) {
+            // Radix shrinking only means something on cube kinds; a
+            // dragonfly's size is (routers, global), which the replay
+            // line pins instead.
+            if (spec.cfg.effectiveTopology() != TopologyKind::Dragonfly &&
+                spec.cfg.k > 4 &&
+                (spec.cfg.effectiveTopology() != TopologyKind::Express ||
+                 spec.cfg.expressGap < 4)) {
                 CampaignSpec cand = spec;
                 cand.cfg.k = 4;
                 if (stillFails(cand, run)) {

@@ -8,34 +8,34 @@ namespace tpnet {
 
 Network::Network(const SimConfig &cfg)
     : cfg_(cfg),
-      topo_(cfg.k, cfg.n, cfg.wrap),
+      topo_(makeTopology(cfg)),
       rng_(cfg.seed),
       proto_(makeProtocol(cfg)),
       victimRng_(cfg.seed ^ 0x5EED5EEDC4A0B0D5ull)
 {
     cfg_.validate();
 
-    links_.resize(static_cast<std::size_t>(topo_.links()));
-    for (NodeId node = 0; node < topo_.nodes(); ++node) {
-        for (int port = 0; port < topo_.radix(); ++port) {
-            const LinkId id = topo_.linkId(node, port);
-            const NodeId nbr = topo_.neighbor(node, port);
+    links_.resize(static_cast<std::size_t>(topo_->links()));
+    for (NodeId node = 0; node < topo_->nodes(); ++node) {
+        for (int port = 0; port < topo_->radix(); ++port) {
+            const LinkId id = topo_->linkId(node, port);
+            const NodeId nbr = topo_->neighbor(node, port);
             Link &lk = links_[static_cast<std::size_t>(id)];
-            lk.init(id, node, port, nbr, oppositePort(port),
+            lk.init(id, node, port, nbr, topo_->arrivalPort(node, port),
                     cfg_.vcsPerLink(), cfg_.bufDepth);
-            if (!cfg_.wrap && topo_.wrapsAround(node, port)) {
-                // Mesh: the wraparound channels do not exist.
+            if (!topo_->portPresent(node, port)) {
+                // Structurally absent channels (mesh wraparound edges).
                 lk.absent = true;
                 lk.faulty = true;
             }
         }
     }
 
-    routers_.resize(static_cast<std::size_t>(topo_.nodes()));
-    for (NodeId node = 0; node < topo_.nodes(); ++node)
-        routers_[static_cast<std::size_t>(node)].init(node, topo_.radix());
+    routers_.resize(static_cast<std::size_t>(topo_->nodes()));
+    for (NodeId node = 0; node < topo_->nodes(); ++node)
+        routers_[static_cast<std::size_t>(node)].init(node, topo_->radix());
 
-    injQ_.resize(static_cast<std::size_t>(topo_.nodes()));
+    injQ_.resize(static_cast<std::size_t>(topo_->nodes()));
 
     if (cfg_.verifyCwg || cfg_.recoveryMode)
         cwg_ = std::make_unique<verify::CwgTracker>(*this);
@@ -209,7 +209,7 @@ Network::offerMessage(NodeId src, NodeId dst, const OfferSpec &spec)
     msg.reqCreated = spec.reqCreated;
     msg.e2eMeasured = spec.e2eMeasured;
     msg.hdr.cur = src;
-    msg.hdr.offset = topo_.offsets(src, dst);
+    msg.hdr.offset = topo_->offsets(src, dst);
     msg.hdr.flow = proto_->initialFlow();
     if (msg.hdr.flow == FlowMode::PcsSetup)
         msg.srcHold = true;
@@ -397,7 +397,7 @@ Network::dataVisit(NodeId node)
     }
 
     // --- One data flit per output link ----------------------------
-    for (int port = 0; port < topo_.radix(); ++port) {
+    for (int port = 0; port < topo_->radix(); ++port) {
         Link &out = linkAt(node, port);
         if (out.faulty)
             continue;

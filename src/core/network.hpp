@@ -37,7 +37,8 @@
 #include "sim/config.hpp"
 #include "sim/rng.hpp"
 #include "sim/trace.hpp"
-#include "topology/torus.hpp"
+#include "topology/registry.hpp"
+#include "topology/topology.hpp"
 
 namespace tpnet {
 
@@ -173,7 +174,7 @@ class Network
 
     // --- Component access ---------------------------------------------
     const SimConfig &config() const { return cfg_; }
-    const TorusTopology &topo() const { return topo_; }
+    const Topology &topo() const { return *topo_; }
     Rng &rng() { return rng_; }
     Counters &counters() { return counters_; }
     const Counters &counters() const { return counters_; }
@@ -240,13 +241,13 @@ class Network
     Link &
     linkAt(NodeId node, int port)
     {
-        return link(topo_.linkId(node, port));
+        return link(topo_->linkId(node, port));
     }
 
     const Link &
     linkAt(NodeId node, int port) const
     {
-        return link(topo_.linkId(node, port));
+        return link(topo_->linkId(node, port));
     }
 
     // --- Status queries (used by routing protocols) -------------------
@@ -284,13 +285,14 @@ class Network
     /** First free adaptive VC on (node, port), or -1. */
     int freeAdaptiveVc(NodeId node, int port) const;
 
-    /** Escape (dateline) VC class @p msg must use in @p port's dim. */
+    /** Escape VC class @p msg must use through @p port (topology-defined:
+     *  dateline classes on tori, destination-group classes on dragonfly). */
     int escapeClass(const Message &msg, int port) const;
 
     /** True when the required escape VC on (node, port) is free. */
     bool escapeVcFree(const Message &msg, int port) const;
 
-    /** E-cube port: lowest dimension with a nonzero offset, or -1. */
+    /** The escape subfunction's port toward the destination, or -1. */
     int ecubePort(const Message &msg) const;
 
     /** Port the probe arrived at its current node through (-1 at src). */
@@ -543,7 +545,7 @@ class Network
 
     // --- State ---------------------------------------------------------
     SimConfig cfg_;
-    TorusTopology topo_;
+    std::unique_ptr<const Topology> topo_;
     Rng rng_;
     std::unique_ptr<RoutingAlgorithm> proto_;
 

@@ -90,20 +90,21 @@ Network::applyForward(Message &msg, const Decision &d)
     PathHop hop;
     hop.link = out.id;
     hop.vc = d.vc;
-    hop.misroute = !topo_.portProfitable(hdr.offset, d.port);
+    hop.misroute = !topo_->portProfitable(cur, d.port, msg.dst);
     if (hop.misroute) {
         ++hdr.misroutes;
         ++hdr.misBalance[static_cast<std::size_t>(d.port)];
         ++msg.misroutesTaken;
         ++counters_.misroutes;
     } else {
-        const int opp = oppositePort(d.port);
-        if (hdr.misBalance[static_cast<std::size_t>(opp)] > 0) {
-            // A profitable hop in the opposite direction corrects one
-            // outstanding misroute of this dimension.
-            --hdr.misBalance[static_cast<std::size_t>(opp)];
+        const int paired = topo_->pairedPort(d.port);
+        if (paired >= 0 &&
+            hdr.misBalance[static_cast<std::size_t>(paired)] > 0) {
+            // A profitable hop through the paired (opposite) channel
+            // corrects one outstanding misroute of this dimension.
+            --hdr.misBalance[static_cast<std::size_t>(paired)];
             --hdr.misroutes;
-            hop.corrected = static_cast<std::int8_t>(opp);
+            hop.corrected = static_cast<std::int8_t>(paired);
         }
     }
 
@@ -159,10 +160,9 @@ Network::probeArrived(Message &msg, int hop_idx)
     const Link &in = link(hop.link);
 
     hdr.cur = in.dst;
-    hdr.offset = topo_.offsets(in.dst, msg.dst);
-    if (topo_.crossesDateline(in.src, in.srcPort))
-        hdr.datelineCrossed |=
-            static_cast<std::uint8_t>(1u << dimOf(in.srcPort));
+    hdr.offset = topo_->offsets(in.dst, msg.dst);
+    hdr.datelineCrossed =
+        topo_->datelineAfter(in.src, in.srcPort, hdr.datelineCrossed);
     ++hdr.hops;
     hdr.stalled = 0;
     ++counters_.headerMoves;
@@ -185,7 +185,7 @@ Network::probeArrived(Message &msg, int hop_idx)
     if (msg.terminal() || msg.state == MsgState::WaitRetry)
         return;
 
-    if (hdr.hops > cfg_.searchBudgetDiameters * topo_.diameter()) {
+    if (hdr.hops > cfg_.searchBudgetDiameters * topo_->diameter()) {
         abortSetup(msg);
         return;
     }
@@ -252,7 +252,7 @@ Network::applyBacktrack(Message &msg)
     flit.hopIdx = idx - 1;
     flit.epoch = msg.epoch;
     flit.readyAt = now_;
-    pushCtrl(lk.dst, oppositePort(lk.srcPort), flit);
+    pushCtrl(lk.dst, lk.dstPort, flit);
 }
 
 void
@@ -315,8 +315,7 @@ Network::arrivalPort(const Message &msg) const
 {
     if (msg.path.empty())
         return -1;
-    const Link &in = link(msg.path.back().link);
-    return oppositePort(in.srcPort);
+    return link(msg.path.back().link).dstPort;
 }
 
 std::uint32_t &
@@ -357,8 +356,8 @@ Network::freeAdaptiveVc(NodeId node, int port) const
 int
 Network::escapeClass(const Message &msg, int port) const
 {
-    const int cls = (msg.hdr.datelineCrossed >> dimOf(port)) & 1;
-    return std::min(cls, cfg_.escapeVcs - 1);
+    return topo_->escapeClass(msg.hdr.cur, port, msg.dst,
+                              msg.hdr.datelineCrossed, cfg_.escapeVcs);
 }
 
 bool
@@ -371,14 +370,7 @@ Network::escapeVcFree(const Message &msg, int port) const
 int
 Network::ecubePort(const Message &msg) const
 {
-    for (int d = 0; d < topo_.n(); ++d) {
-        const int off = msg.hdr.offset[d];
-        if (off > 0)
-            return portOf(d, Dir::Plus);
-        if (off < 0)
-            return portOf(d, Dir::Minus);
-    }
-    return -1;
+    return topo_->escapePort(msg.hdr.cur, msg.dst);
 }
 
 // --- Two-Phase mode transitions (Section 4.0) --------------------------

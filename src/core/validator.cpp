@@ -43,7 +43,7 @@ validateNetwork(Network &net)
         out.push_back({msg});
     };
     std::ostringstream os;
-    const TorusTopology &topo = net.topo();
+    const Topology &topo = net.topo();
 
     // Pass 1: collect ownership claimed by the messages' paths.
     std::unordered_map<VcKey, MsgId, VcKeyHash> claimed;

@@ -138,13 +138,13 @@ Network::failNode(NodeId id)
         return;
 
     std::vector<LinkId> failed;
-    for (int port = 0; port < topo_.radix(); ++port) {
+    for (int port = 0; port < topo_->radix(); ++port) {
         Link &out = linkAt(id, port);
         if (!out.faulty) {
             out.faulty = true;
             failed.push_back(out.id);
         }
-        Link &in = link(topo_.reverseLink(out.id));
+        Link &in = link(topo_->reverseLink(out.id));
         if (!in.faulty) {
             in.faulty = true;
             failed.push_back(in.id);
@@ -186,7 +186,7 @@ Network::failLink(NodeId node, int port)
         const Link &pending =
             linkAt(pendingRestores_[i].node, pendingRestores_[i].port);
         if (pending.id == fwd.id ||
-            topo_.reverseLink(pending.id) == fwd.id) {
+            topo_->reverseLink(pending.id) == fwd.id) {
             pendingRestores_[i] = pendingRestores_.back();
             pendingRestores_.pop_back();
         } else {
@@ -197,7 +197,7 @@ Network::failLink(NodeId node, int port)
         fwd.faulty = true;
         failed.push_back(fwd.id);
     }
-    Link &rev = link(topo_.reverseLink(fwd.id));
+    Link &rev = link(topo_->reverseLink(fwd.id));
     if (!rev.faulty) {
         rev.faulty = true;
         failed.push_back(rev.id);
@@ -220,7 +220,7 @@ bool
 Network::restoreLink(NodeId node, int port)
 {
     Link &fwd = linkAt(node, port);
-    Link &rev = link(topo_.reverseLink(fwd.id));
+    Link &rev = link(topo_->reverseLink(fwd.id));
     if (fwd.absent || rev.absent)
         return false;
     if (nodeFaulty(fwd.src) || nodeFaulty(fwd.dst))
@@ -291,11 +291,11 @@ Network::recomputeUnsafe()
     // Every healthy channel incident on a node adjacent to a failed
     // component becomes unsafe (Section 2.4).
     auto markNode = [this](NodeId node) {
-        for (int port = 0; port < topo_.radix(); ++port) {
+        for (int port = 0; port < topo_->radix(); ++port) {
             Link &out = linkAt(node, port);
             if (!out.faulty)
                 out.unsafe = true;
-            Link &in = link(topo_.reverseLink(out.id));
+            Link &in = link(topo_->reverseLink(out.id));
             if (!in.faulty)
                 in.unsafe = true;
         }
@@ -319,8 +319,8 @@ Network::applyStaticFaults()
             return false;
         if (id == 0)
             return true;
-        for (int port = 0; port < topo_.radix(); ++port) {
-            if (topo_.neighbor(0, port) == id)
+        for (int port = 0; port < topo_->radix(); ++port) {
+            if (topo_->neighbor(0, port) == id)
                 return true;
         }
         return false;
@@ -333,7 +333,7 @@ Network::applyStaticFaults()
             tpnet_fatal("unable to place static node faults");
         const NodeId id =
             static_cast<NodeId>(rng_.below(
-                static_cast<std::uint64_t>(topo_.nodes())));
+                static_cast<std::uint64_t>(topo_->nodes())));
         if (nodeFaulty(id) || protectedNode(id))
             continue;
         failNode(id);
@@ -343,10 +343,10 @@ Network::applyStaticFaults()
     placed = 0;
     guard = 0;
     while (placed < cfg_.staticLinkFaults) {
-        if (++guard > 1000 * topo_.links())
+        if (++guard > 1000 * topo_->links())
             tpnet_fatal("unable to place static link faults");
         const LinkId id = static_cast<LinkId>(
-            rng_.below(static_cast<std::uint64_t>(topo_.links())));
+            rng_.below(static_cast<std::uint64_t>(topo_->links())));
         const Link &lk = link(id);
         if (lk.faulty || nodeFaulty(lk.src) || nodeFaulty(lk.dst))
             continue;
@@ -387,7 +387,7 @@ Network::stepDynamicFaults()
         // Pick a random healthy physical link between healthy nodes.
         for (int attempt = 0; attempt < 256; ++attempt) {
             const LinkId id = static_cast<LinkId>(rng_.below(
-                static_cast<std::uint64_t>(topo_.links())));
+                static_cast<std::uint64_t>(topo_->links())));
             const Link &lk = link(id);
             if (lk.faulty || nodeFaulty(lk.src) || nodeFaulty(lk.dst))
                 continue;
@@ -403,7 +403,7 @@ Network::stepDynamicFaults()
         rng_.chance(intermFaultProb_)) {
         for (int attempt = 0; attempt < 256; ++attempt) {
             const LinkId id = static_cast<LinkId>(rng_.below(
-                static_cast<std::uint64_t>(topo_.links())));
+                static_cast<std::uint64_t>(topo_->links())));
             const Link &lk = link(id);
             if (lk.faulty || nodeFaulty(lk.src) || nodeFaulty(lk.dst))
                 continue;

@@ -256,7 +256,7 @@ Network::resetForRetry(Message &msg)
     ++msg.epoch;
     msg.hdr = HeaderState{};
     msg.hdr.cur = msg.src;
-    msg.hdr.offset = topo_.offsets(msg.src, msg.dst);
+    msg.hdr.offset = topo_->offsets(msg.src, msg.dst);
     msg.hdr.flow = proto_->initialFlow();
     msg.path.clear();
     msg.visited.clear();

@@ -130,7 +130,7 @@ Network::processCtrlArrival(Link &wire, Flit flit)
             cwg_->onRetreat(msg);
         hdr.backtrack = false;
         hdr.cur = wire.dst;
-        hdr.offset = topo_.offsets(wire.dst, msg.dst);
+        hdr.offset = topo_->offsets(wire.dst, msg.dst);
         ++hdr.hops;
         hdr.stalled = 0;
         ++counters_.headerMoves;
@@ -156,7 +156,7 @@ Network::processCtrlArrival(Link &wire, Flit flit)
             }
         }
 
-        if (hdr.hops > cfg_.searchBudgetDiameters * topo_.diameter()) {
+        if (hdr.hops > cfg_.searchBudgetDiameters * topo_->diameter()) {
             abortSetup(msg);
             return;
         }
@@ -270,7 +270,7 @@ Network::relayUpstream(Message &msg, Flit flit)
     if (crossIdx >= msg.path.size())
         tpnet_panic("upstream relay beyond the path frontier");
     const LinkId fwd = msg.path[crossIdx].link;
-    Link &wire = link(topo_.reverseLink(fwd));
+    Link &wire = link(topo_->reverseLink(fwd));
 
     if (wire.faulty || nodeFaulty(wire.dst)) {
         // The walker cannot continue: recovery of last resort releases

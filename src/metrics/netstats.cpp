@@ -20,7 +20,7 @@ collectStats(const Network &net)
         ? static_cast<double>(s.ctrlCrossings) / total
         : 0.0;
 
-    const TorusTopology &topo = net.topo();
+    const Topology &topo = net.topo();
     int healthy_links = 0;
     std::uint64_t link_sum = 0;
     for (LinkId id = 0; id < topo.links(); ++id) {

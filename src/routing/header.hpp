@@ -65,11 +65,12 @@ struct HeaderState
     int misroutes = 0;
 
     /**
-     * Per-(dimension, direction) outstanding misroute balance: taking an
-     * unprofitable hop in (d, dir) increments entry portOf(d, dir); a
-     * later profitable hop in the opposite direction corrects it.
+     * Per-port outstanding misroute balance: taking an unprofitable hop
+     * through a port increments its entry; a later profitable hop
+     * through the paired (opposite) port corrects it. Sized for the
+     * largest registered topology radix (Topology::radix() <= maxPorts).
      */
-    std::array<std::int8_t, 2 * maxDims> misBalance{};
+    std::array<std::int8_t, maxPorts> misBalance{};
 
     /** Dateline-crossed bit per dimension (escape VC class selection). */
     std::uint8_t datelineCrossed = 0;

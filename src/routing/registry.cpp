@@ -1,0 +1,106 @@
+#include "routing/registry.hpp"
+
+#include <cstring>
+
+#include "routing/protocols.hpp"
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+namespace {
+
+std::unique_ptr<RoutingAlgorithm>
+makeDor(const SimConfig &)
+{
+    return std::make_unique<DimOrderRouting>();
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeDuato(const SimConfig &)
+{
+    return std::make_unique<DuatoRouting>();
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeScouting(const SimConfig &cfg)
+{
+    return std::make_unique<ScoutingRouting>(cfg.scoutK);
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makePcs(const SimConfig &)
+{
+    return std::make_unique<PcsRouting>();
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeMbm(const SimConfig &cfg)
+{
+    return std::make_unique<MbmRouting>(cfg.misrouteLimit);
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeTwoPhase(const SimConfig &cfg)
+{
+    return std::make_unique<TwoPhaseRouting>(cfg.scoutK, cfg.misrouteLimit);
+}
+
+std::vector<RoutingEntry> &
+mutableRegistry()
+{
+    // Function-local static so the builtin table exists before any
+    // static-initialization-order-dependent caller can look it up.
+    static std::vector<RoutingEntry> registry = {
+        {"DOR", Protocol::DimOrder, makeDor},
+        {"DP", Protocol::Duato, makeDuato},
+        {"SR", Protocol::Scouting, makeScouting},
+        {"PCS", Protocol::Pcs, makePcs},
+        {"MB-m", Protocol::MBm, makeMbm},
+        {"TP", Protocol::TwoPhase, makeTwoPhase},
+    };
+    return registry;
+}
+
+} // namespace
+
+const std::vector<RoutingEntry> &
+routingRegistry()
+{
+    return mutableRegistry();
+}
+
+void
+registerRoutingFunction(const char *name, Protocol protocol,
+                        RoutingFactory make)
+{
+    for (RoutingEntry &entry : mutableRegistry()) {
+        if (std::strcmp(entry.name, name) == 0) {
+            entry = RoutingEntry{name, protocol, make};
+            return;
+        }
+    }
+    mutableRegistry().push_back(RoutingEntry{name, protocol, make});
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(Protocol protocol, const SimConfig &cfg)
+{
+    for (const RoutingEntry &entry : routingRegistry()) {
+        if (entry.protocol == protocol)
+            return entry.make(cfg);
+    }
+    tpnet_panic("no routing function registered for protocol ",
+                protocolName(protocol));
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(const std::string &name, const SimConfig &cfg)
+{
+    for (const RoutingEntry &entry : routingRegistry()) {
+        if (name == entry.name)
+            return entry.make(cfg);
+    }
+    tpnet_fatal("no routing function registered under \"", name, "\"");
+}
+
+} // namespace tpnet

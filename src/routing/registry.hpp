@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Named routing-function registry (the booksim RegisterRoutingFunctions
+ * shape): each protocol is registered once under its canonical name
+ * ("DOR", "DP", "SR", "PCS", "MB-m", "TP") with a factory closure over
+ * SimConfig, and both makeProtocol() and the tools resolve protocols
+ * through the registry instead of a hard-coded switch.
+ */
+
+#ifndef TPNET_ROUTING_REGISTRY_HPP
+#define TPNET_ROUTING_REGISTRY_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+
+namespace tpnet {
+
+class RoutingAlgorithm;
+
+/** Factory for a routing algorithm parameterized by the run config. */
+using RoutingFactory =
+    std::unique_ptr<RoutingAlgorithm> (*)(const SimConfig &cfg);
+
+/** One registered routing function. */
+struct RoutingEntry
+{
+    const char *name;   ///< canonical name, matches protocolName()
+    Protocol protocol;  ///< enum value the config refers to it by
+    RoutingFactory make;
+};
+
+/** All registered routing functions (builtins plus any added later). */
+const std::vector<RoutingEntry> &routingRegistry();
+
+/**
+ * Register a routing function under @p name. Registering an existing
+ * name replaces that entry (tests use this to interpose).
+ */
+void registerRoutingFunction(const char *name, Protocol protocol,
+                             RoutingFactory make);
+
+/** Build the routing function registered for @p protocol. */
+std::unique_ptr<RoutingAlgorithm> makeRouting(Protocol protocol,
+                                              const SimConfig &cfg);
+
+/** Build the routing function registered under @p name. */
+std::unique_ptr<RoutingAlgorithm> makeRouting(const std::string &name,
+                                              const SimConfig &cfg);
+
+} // namespace tpnet
+
+#endif // TPNET_ROUTING_REGISTRY_HPP

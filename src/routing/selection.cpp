@@ -4,7 +4,7 @@
 #include <cstdlib>
 
 #include "core/network.hpp"
-#include "routing/protocols.hpp"
+#include "routing/registry.hpp"
 #include "sim/log.hpp"
 
 namespace tpnet {
@@ -14,12 +14,10 @@ namespace select {
 std::vector<int>
 profitableByOffset(const Network &net, const Message &msg)
 {
-    const OffsetVec &off = msg.hdr.offset;
-    std::vector<int> ports = net.topo().profitablePorts(off);
-    std::stable_sort(ports.begin(), ports.end(), [&off](int a, int b) {
-        return std::abs(off[dimOf(a)]) > std::abs(off[dimOf(b)]);
-    });
-    return ports;
+    // The topology returns profitable ports already in its selection
+    // preference order (cubes: most-remaining-offset dimension first,
+    // reproducing the historical offset sort here bit for bit).
+    return net.topo().profitablePorts(msg.hdr.cur, msg.dst);
 }
 
 namespace {
@@ -102,14 +100,17 @@ misrouteUntried(Network &net, Message &msg, bool adaptive_only,
     const int in_port = net.arrivalPort(msg);
     const int radix = net.topo().radix();
 
-    // Candidate order: same dimension as the arrival channel first
-    // (Theorem 2 condition iii, continuing straight through), then the
-    // rest; the reverse of the arrival channel (a U-turn) last, and
-    // only when U-turns are permitted.
+    // Candidate order: the arrival channel's paired port first (Theorem 2
+    // condition iii, continuing straight through; topologies without a
+    // port pairing have no preferred continuation), then the rest; the
+    // reverse of the arrival channel (a U-turn) last, and only when
+    // U-turns are permitted.
+    const int paired =
+        in_port >= 0 ? net.topo().pairedPort(in_port) : -1;
     std::vector<int> order;
     order.reserve(static_cast<std::size_t>(radix));
-    if (in_port >= 0)
-        order.push_back(oppositePort(in_port));
+    if (paired >= 0 && paired != in_port)
+        order.push_back(paired);
     for (int port = 0; port < radix; ++port) {
         if (std::find(order.begin(), order.end(), port) == order.end() &&
             (in_port < 0 || port != in_port)) {
@@ -124,7 +125,7 @@ misrouteUntried(Network &net, Message &msg, bool adaptive_only,
             continue;
         if (tried & (1u << port))
             continue;
-        if (net.topo().portProfitable(msg.hdr.offset, port))
+        if (net.topo().portProfitable(cur, port, msg.dst))
             continue;  // handled by the profitable step
         if (net.channelFaulty(cur, port))
             continue;
@@ -143,22 +144,7 @@ misrouteUntried(Network &net, Message &msg, bool adaptive_only,
 std::unique_ptr<RoutingAlgorithm>
 makeProtocol(const SimConfig &cfg)
 {
-    switch (cfg.protocol) {
-      case Protocol::DimOrder:
-        return std::make_unique<DimOrderRouting>();
-      case Protocol::Duato:
-        return std::make_unique<DuatoRouting>();
-      case Protocol::Scouting:
-        return std::make_unique<ScoutingRouting>(cfg.scoutK);
-      case Protocol::Pcs:
-        return std::make_unique<PcsRouting>();
-      case Protocol::MBm:
-        return std::make_unique<MbmRouting>(cfg.misrouteLimit);
-      case Protocol::TwoPhase:
-        return std::make_unique<TwoPhaseRouting>(cfg.scoutK,
-                                                 cfg.misrouteLimit);
-    }
-    tpnet_panic("unknown protocol");
+    return makeRouting(cfg.protocol, cfg);
 }
 
 } // namespace tpnet

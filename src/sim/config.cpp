@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "sim/log.hpp"
+#include "topology/registry.hpp"
 
 namespace tpnet {
 
@@ -21,9 +22,19 @@ defaultEventEngine()
     return true;
 }
 
+TopologyKind
+SimConfig::effectiveTopology() const
+{
+    if (topology == TopologyKind::Torus && !wrap)
+        return TopologyKind::Mesh;
+    return topology;
+}
+
 int
 SimConfig::nodes() const
 {
+    if (effectiveTopology() == TopologyKind::Dragonfly)
+        return (dfRouters * dfGlobal + 1) * dfRouters;
     int total = 1;
     for (int d = 0; d < n; ++d)
         total *= k;
@@ -31,31 +42,51 @@ SimConfig::nodes() const
 }
 
 int
+SimConfig::radix() const
+{
+    switch (effectiveTopology()) {
+      case TopologyKind::Express:   return 4 * n;
+      case TopologyKind::Dragonfly: return dfRouters - 1 + dfGlobal;
+      default:                      return 2 * n;
+    }
+}
+
+int
 SimConfig::diameter() const
 {
-    return wrap ? n * (k / 2) : n * (k - 1);
+    switch (effectiveTopology()) {
+      case TopologyKind::Torus: return n * (k / 2);
+      case TopologyKind::Mesh:  return n * (k - 1);
+      default:                  return makeTopology(*this)->diameter();
+    }
 }
 
 double
 SimConfig::avgMinDistance() const
 {
-    if (!wrap) {
+    switch (effectiveTopology()) {
+      case TopologyKind::Torus: {
+        // Mean minimal distance along one ring of k nodes, uniform over
+        // all destinations including the source, times n dimensions. For
+        // even k the per-ring mean is k/4; computed exactly for any k.
+        double ring = 0.0;
+        for (int d = 1; d < k; ++d) {
+            int fwd = d;
+            int bwd = k - d;
+            ring += std::min(fwd, bwd);
+        }
+        ring /= static_cast<double>(k);
+        return ring * static_cast<double>(n);
+      }
+      case TopologyKind::Mesh: {
         // Mesh: mean |a - b| over a uniform pair per dimension is
         // (k^2 - 1) / (3k).
         const double kd = static_cast<double>(k);
         return static_cast<double>(n) * (kd * kd - 1.0) / (3.0 * kd);
+      }
+      default:
+        return makeTopology(*this)->avgMinDistance();
     }
-    // Mean minimal distance along one ring of k nodes, uniform over all
-    // destinations including the source, times n dimensions. For even k
-    // the per-ring mean is k/4; computed exactly here for any k.
-    double ring = 0.0;
-    for (int d = 1; d < k; ++d) {
-        int fwd = d;
-        int bwd = k - d;
-        ring += std::min(fwd, bwd);
-    }
-    ring /= static_cast<double>(k);
-    return ring * static_cast<double>(n);
 }
 
 double
@@ -90,15 +121,48 @@ patternNeedsPow2(TrafficPattern p)
 void
 SimConfig::validate() const
 {
-    if (k < 2)
-        tpnet_fatal("k must be >= 2 (got ", k, ")");
-    if (n < 1 || n > maxDims)
-        tpnet_fatal("n must be in [1, ", maxDims, "] (got ", n, ")");
+    const TopologyKind topo = effectiveTopology();
+    const bool isCube = topo != TopologyKind::Dragonfly;
+    if (isCube) {
+        if (k < 2)
+            tpnet_fatal("k must be >= 2 (got ", k, ")");
+        if (n < 1 || n > maxDims)
+            tpnet_fatal("n must be in [1, ", maxDims, "] (got ", n, ")");
+    }
     if (adaptiveVcs < 0 || escapeVcs < 1)
         tpnet_fatal("need at least one escape VC per link");
-    if (wrap && escapeVcs < 2 && k > 2)
-        tpnet_fatal("torus deadlock freedom requires 2 escape (dateline) "
-                    "VC classes; got ", escapeVcs);
+    switch (topo) {
+      case TopologyKind::Torus:
+        if (escapeVcs < 2 && k > 2)
+            tpnet_fatal("torus deadlock freedom requires 2 escape (dateline) "
+                        "VC classes; got ", escapeVcs);
+        break;
+      case TopologyKind::Mesh:
+        break;
+      case TopologyKind::Express:
+        if (expressGap < 2 || expressGap >= k)
+            tpnet_fatal("express gap must be in [2, k) (got ", expressGap,
+                        " for k=", k, ")");
+        if (escapeVcs < 2)
+            tpnet_fatal("torus deadlock freedom requires 2 escape (dateline) "
+                        "VC classes; got ", escapeVcs);
+        break;
+      case TopologyKind::Dragonfly:
+        if (dfRouters < 2)
+            tpnet_fatal("dragonfly needs at least 2 routers per group "
+                        "(got ", dfRouters, ")");
+        if (dfGlobal < 1)
+            tpnet_fatal("dragonfly needs at least 1 global channel per "
+                        "router (got ", dfGlobal, ")");
+        if (escapeVcs < 2)
+            tpnet_fatal("dragonfly escape routing requires 2 VC classes "
+                        "(foreign group, destination group); got ",
+                        escapeVcs);
+        break;
+    }
+    if (radix() > maxPorts)
+        tpnet_fatal("router radix ", radix(), " exceeds the supported "
+                    "maximum of ", maxPorts, " ports");
     if ((protocol == Protocol::Duato || protocol == Protocol::TwoPhase) &&
         adaptiveVcs < 1) {
         tpnet_fatal("DP/TP require at least one adaptive VC");
@@ -133,6 +197,10 @@ SimConfig::validate() const
     if (healBackoffBase < 1)
         tpnet_fatal("healBackoffBase must be >= 1");
     const bool pow2Nodes = (nodes() & (nodes() - 1)) == 0;
+    if (!isCube && pattern != TrafficPattern::Uniform)
+        tpnet_fatal(patternName(pattern), " traffic is defined on k-ary "
+                    "n-cube coordinates; --topology ", topologyName(topo),
+                    " supports uniform only");
     if (patternNeedsPow2(pattern) && !pow2Nodes)
         tpnet_fatal(patternName(pattern), " traffic requires a power-of-two "
                     "node count (got ", nodes(), ")");
@@ -142,6 +210,11 @@ SimConfig::validate() const
             tpnet_fatal("class ", i, ": load ", tc.load, " out of range");
         if (tc.msgLength < 0)
             tpnet_fatal("class ", i, ": msgLength must be >= 0");
+        if (!isCube && tc.pattern != TrafficPattern::Uniform)
+            tpnet_fatal("class ", i, ": ", patternName(tc.pattern),
+                        " traffic is defined on k-ary n-cube coordinates; "
+                        "--topology ", topologyName(topo),
+                        " supports uniform only");
         if (patternNeedsPow2(tc.pattern) && !pow2Nodes)
             tpnet_fatal("class ", i, ": ", patternName(tc.pattern),
                         " traffic requires a power-of-two node count (got ",
@@ -175,6 +248,40 @@ protocolName(Protocol p)
       case Protocol::TwoPhase: return "TP";
     }
     return "?";
+}
+
+const char *
+topologyName(TopologyKind t)
+{
+    switch (t) {
+      case TopologyKind::Torus:     return "torus";
+      case TopologyKind::Mesh:      return "mesh";
+      case TopologyKind::Express:   return "express";
+      case TopologyKind::Dragonfly: return "dragonfly";
+    }
+    return "?";
+}
+
+bool
+parseTopologyName(const std::string &name, TopologyKind *out)
+{
+    const struct
+    {
+        const char *name;
+        TopologyKind kind;
+    } table[] = {
+        {"torus", TopologyKind::Torus},
+        {"mesh", TopologyKind::Mesh},
+        {"express", TopologyKind::Express},
+        {"dragonfly", TopologyKind::Dragonfly},
+    };
+    for (const auto &row : table) {
+        if (name == row.name) {
+            *out = row.kind;
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *
@@ -386,9 +493,22 @@ std::string
 SimConfig::summary() const
 {
     std::ostringstream os;
-    os << protocolName(protocol) << " " << k << "-ary " << n
-       << (wrap ? "-cube, " : "-mesh, ")
-       << adaptiveVcs << "a+" << escapeVcs << "e VCs, L=" << msgLength
+    os << protocolName(protocol) << " ";
+    switch (effectiveTopology()) {
+      case TopologyKind::Torus:
+        os << k << "-ary " << n << "-cube, ";
+        break;
+      case TopologyKind::Mesh:
+        os << k << "-ary " << n << "-mesh, ";
+        break;
+      case TopologyKind::Express:
+        os << k << "-ary " << n << "-cube+express(e=" << expressGap << "), ";
+        break;
+      case TopologyKind::Dragonfly:
+        os << "dragonfly(a=" << dfRouters << ",h=" << dfGlobal << "), ";
+        break;
+    }
+    os << adaptiveVcs << "a+" << escapeVcs << "e VCs, L=" << msgLength
        << ", K=" << scoutK << ", m=" << misrouteLimit
        << ", load=" << load << " (" << patternName(pattern) << ")";
     if (!trafficClasses.empty())

@@ -117,12 +117,23 @@ bool defaultEventEngine();
 struct SimConfig
 {
     // --- Network geometry -------------------------------------------------
-    int k = 16;  ///< radix (nodes per dimension)
-    int n = 2;   ///< dimensions
+    /// Topology family (--topology). Torus with wrap = false is
+    /// normalized to Mesh by effectiveTopology(), preserving the
+    /// historical --mesh spelling; Express and Dragonfly ignore wrap.
+    TopologyKind topology = TopologyKind::Torus;
+    int k = 16;  ///< cube radix (nodes per dimension); unused by dragonfly
+    int n = 2;   ///< cube dimensions; unused by dragonfly
     /// Torus (true, the paper's network) or mesh (false): a mesh keeps
     /// the same addressing but its wraparound channels are absent and
     /// the deterministic channels need no dateline classes.
     bool wrap = true;
+    /// Express cube only: stride e of the express channels (2 <= e < k).
+    int expressGap = 4;
+    /// Dragonfly only: routers per group (a).
+    int dfRouters = 4;
+    /// Dragonfly only: global channels per router (h); the balanced
+    /// g = a*h + 1 groups and g*a nodes follow.
+    int dfGlobal = 1;
 
     // --- Virtual channel layout (per unidirectional physical link) --------
     int adaptiveVcs = 2;  ///< Duato's unrestricted partition
@@ -237,10 +248,12 @@ struct SimConfig
     int healBackoffBase = 16;
 
     // --- Derived helpers ---------------------------------------------------
-    int nodes() const;            ///< k^n
-    int radix() const { return 2 * n; }
+    /// Topology family after normalization (Torus + !wrap => Mesh).
+    TopologyKind effectiveTopology() const;
+    int nodes() const;            ///< node count of the configured topology
+    int radix() const;            ///< network ports per router
     int vcsPerLink() const { return adaptiveVcs + escapeVcs; }
-    int diameter() const;         ///< n * floor(k/2)
+    int diameter() const;         ///< max minimal hop distance
     double avgMinDistance() const;///< mean minimal hop count, uniform traffic
     /// Messages per node per cycle for the configured flit load.
     double msgRate() const;
@@ -258,6 +271,12 @@ struct SimConfig
 
 /** Human-readable protocol name. */
 const char *protocolName(Protocol p);
+
+/** Human-readable topology name (torus | mesh | express | dragonfly). */
+const char *topologyName(TopologyKind t);
+
+/** Parse a topology name (torus | mesh | express | dragonfly). */
+bool parseTopologyName(const std::string &name, TopologyKind *out);
 
 /** Human-readable traffic pattern name. */
 const char *patternName(TrafficPattern p);

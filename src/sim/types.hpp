@@ -35,8 +35,23 @@ constexpr LinkId invalidLink = -1;
 /** Maximum supported torus dimensionality (header offset fields). */
 constexpr int maxDims = 4;
 
+/**
+ * Maximum router radix any topology may declare. Bounded by the
+ * 32-bit tried-port masks of the RCU history store (one bit per
+ * output port) and the per-port misroute-balance array in the header.
+ */
+constexpr int maxPorts = 32;
+
 /** Sentinel output port meaning "deliver to the local PE". */
 constexpr int ejectPort = -2;
+
+/** Registered topology families (see topology/registry.hpp). */
+enum class TopologyKind : std::uint8_t {
+    Torus,      ///< k-ary n-cube with wraparound (the paper's network)
+    Mesh,       ///< k-ary n-mesh (no wraparound channels)
+    Express,    ///< torus plus express channels of stride e per dimension
+    Dragonfly,  ///< hierarchical: a-router groups, h global links/router
+};
 
 /**
  * Direction along a dimension. Port number for dimension d is

@@ -1,0 +1,129 @@
+#include "topology/dragonfly.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/log.hpp"
+
+namespace tpnet {
+
+DragonflyTopology::DragonflyTopology(int routers, int global)
+    : a_(routers), h_(global), g_(routers * global + 1)
+{
+    if (routers < 2)
+        tpnet_fatal("dragonfly needs at least 2 routers per group (got ",
+                    routers, ")");
+    if (global < 1)
+        tpnet_fatal("dragonfly needs at least 1 global channel per router "
+                    "(got ", global, ")");
+    initGeometry(g_ * a_, (a_ - 1) + h_);
+
+    // All-pairs BFS: with h > 1 a two-global detour can beat the direct
+    // <= 3-hop hierarchical route, so the distance table is computed on
+    // the real graph rather than from the route structure.
+    const int N = nodes();
+    dist_.assign(static_cast<std::size_t>(N) * static_cast<std::size_t>(N),
+                 0);
+    std::vector<int> hops(static_cast<std::size_t>(N));
+    for (NodeId src = 0; src < N; ++src) {
+        std::fill(hops.begin(), hops.end(), -1);
+        hops[static_cast<std::size_t>(src)] = 0;
+        std::queue<NodeId> frontier;
+        frontier.push(src);
+        while (!frontier.empty()) {
+            const NodeId u = frontier.front();
+            frontier.pop();
+            for (int port = 0; port < radix(); ++port) {
+                const NodeId v = neighbor(u, port);
+                if (hops[static_cast<std::size_t>(v)] < 0) {
+                    hops[static_cast<std::size_t>(v)] =
+                        hops[static_cast<std::size_t>(u)] + 1;
+                    frontier.push(v);
+                }
+            }
+        }
+        for (NodeId v = 0; v < N; ++v) {
+            const int d = hops[static_cast<std::size_t>(v)];
+            if (d < 0)
+                tpnet_fatal("dragonfly a=", a_, " h=", h_,
+                            " is not connected: ", src, " -/-> ", v);
+            dist_[static_cast<std::size_t>(src) *
+                      static_cast<std::size_t>(N) +
+                  static_cast<std::size_t>(v)] =
+                static_cast<std::uint8_t>(d);
+            if (d > diameter_)
+                diameter_ = d;
+        }
+    }
+}
+
+double
+DragonflyTopology::avgMinDistance() const
+{
+    double total = 0.0;
+    for (std::uint8_t d : dist_)
+        total += static_cast<double>(d);
+    return total / (static_cast<double>(nodes()) *
+                    static_cast<double>(nodes()));
+}
+
+NodeId
+DragonflyTopology::neighbor(NodeId node, int port) const
+{
+    const int G = group(node);
+    const int r = router(node);
+    if (!isGlobal(port))
+        return G * a_ + (r + 1 + port) % a_;
+    const int c = r * h_ + (port - (a_ - 1));
+    const int D = (G + c + 1) % g_;
+    const int cd = groupChannel(D, G);
+    return D * a_ + cd / h_;
+}
+
+int
+DragonflyTopology::arrivalPort(NodeId node, int port) const
+{
+    if (!isGlobal(port))
+        return a_ - 2 - port;
+    const int G = group(node);
+    const int c = router(node) * h_ + (port - (a_ - 1));
+    const int D = (G + c + 1) % g_;
+    const int cd = groupChannel(D, G);
+    return (a_ - 1) + cd % h_;
+}
+
+int
+DragonflyTopology::distance(NodeId from, NodeId to) const
+{
+    return dist_[static_cast<std::size_t>(from) *
+                     static_cast<std::size_t>(nodes()) +
+                 static_cast<std::size_t>(to)];
+}
+
+int
+DragonflyTopology::escapePort(NodeId cur, NodeId dst) const
+{
+    if (cur == dst)
+        return -1;
+    const int G = group(cur);
+    const int r = router(cur);
+    const int D = group(dst);
+    if (G == D)
+        return localPort(r, router(dst));
+    const int c = groupChannel(G, D);
+    if (c / h_ == r)
+        return (a_ - 1) + c % h_; // this router owns the global channel
+    return localPort(r, c / h_); // local hop to the gateway router
+}
+
+int
+DragonflyTopology::escapeClass(NodeId cur, int port, NodeId dst,
+                               std::uint8_t dateline, int escape_vcs) const
+{
+    (void)port;
+    (void)dateline;
+    const int cls = group(cur) == group(dst) ? 1 : 0;
+    return std::min(cls, escape_vcs - 1);
+}
+
+} // namespace tpnet

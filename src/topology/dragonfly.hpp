@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Canonical one-dimensional dragonfly (Kim/Dally/Scott/Abts DAL'08
+ * parameterization): g groups of a routers each, every router holding
+ * h global channels, with the balanced g = a*h + 1 so exactly one
+ * global channel connects every ordered group pair.
+ *
+ * Node id = group * a + router. Ports [0, a-1) are local: port p of
+ * router r reaches router (r + 1 + p) mod a (the group is a complete
+ * graph), arriving on port a-2-p — note the arrival port is NOT
+ * oppositePort(p), which is why arrivalPort() is part of the Topology
+ * interface. Ports [a-1, a-1+h) are global: router r's global channel
+ * j is the group's channel index c = r*h + j, wired to group
+ * (G + c + 1) mod g.
+ *
+ * The escape subfunction is minimal hierarchical routing (local to the
+ * gateway router, global, local to the destination router) with
+ * destination-keyed VC classes instead of datelines: hops in a foreign
+ * group use class 0, hops inside the destination group use class 1.
+ * Every escape path climbs the rank order (local,0) < (global,0) <
+ * (local,1), so the escape CDG is acyclic with 2 escape VCs.
+ */
+
+#ifndef TPNET_TOPOLOGY_DRAGONFLY_HPP
+#define TPNET_TOPOLOGY_DRAGONFLY_HPP
+
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace tpnet {
+
+/** Balanced dragonfly with @p routers per group and @p global channels
+ *  per router (g = routers * global + 1 groups). */
+class DragonflyTopology : public Topology
+{
+  public:
+    DragonflyTopology(int routers, int global);
+
+    int routersPerGroup() const { return a_; }
+    int globalsPerRouter() const { return h_; }
+    int groups() const { return g_; }
+
+    const char *name() const override { return "dragonfly"; }
+    TopologyKind kind() const override { return TopologyKind::Dragonfly; }
+
+    int diameter() const override { return diameter_; }
+    double avgMinDistance() const override;
+
+    NodeId neighbor(NodeId node, int port) const override;
+    int arrivalPort(NodeId node, int port) const override;
+
+    int distance(NodeId from, NodeId to) const override;
+
+    int escapePort(NodeId cur, NodeId dst) const override;
+    int escapeClass(NodeId cur, int port, NodeId dst, std::uint8_t dateline,
+                    int escape_vcs) const override;
+
+    int minEscapeVcs() const override { return 2; }
+
+    /** Group of @p node. */
+    int group(NodeId node) const { return node / a_; }
+
+    /** Router index of @p node within its group. */
+    int router(NodeId node) const { return node % a_; }
+
+    /** True for a global port. */
+    bool isGlobal(int port) const { return port >= a_ - 1; }
+
+  private:
+    /** Local port at router @p from reaching router @p to (same group). */
+    int localPort(int from, int to) const
+    {
+        return ((to - from - 1) % a_ + a_) % a_;
+    }
+
+    /** Group-level channel index [0, a*h) carrying src -> dst traffic. */
+    int groupChannel(int src_group, int dst_group) const
+    {
+        return ((dst_group - src_group - 1) % g_ + g_) % g_;
+    }
+
+    int a_;
+    int h_;
+    int g_;
+    int diameter_ = 0;
+    /** All-pairs minimal hop distances, dist_[u * nodes + v]. */
+    std::vector<std::uint8_t> dist_;
+};
+
+} // namespace tpnet
+
+#endif // TPNET_TOPOLOGY_DRAGONFLY_HPP

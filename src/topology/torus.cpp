@@ -1,5 +1,6 @@
 #include "topology/torus.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "sim/log.hpp"
@@ -7,14 +8,33 @@
 namespace tpnet {
 
 TorusTopology::TorusTopology(int k, int n, bool wrap)
-    : k_(k), n_(n), radix_(2 * n), wrap_(wrap)
+    : k_(k), n_(n), wrap_(wrap)
 {
     if (k < 2 || n < 1 || n > maxDims)
         tpnet_fatal("bad torus geometry k=", k, " n=", n);
     stride_[0] = 1;
     for (int d = 0; d < n_; ++d)
         stride_[d + 1] = stride_[d] * k_;
-    nodes_ = stride_[n_];
+    initGeometry(stride_[n_], 2 * n_);
+}
+
+double
+TorusTopology::avgMinDistance() const
+{
+    if (!wrap_) {
+        // Mesh: mean |a - b| over a uniform pair per dimension is
+        // (k^2 - 1) / (3k).
+        const double kd = static_cast<double>(k_);
+        return static_cast<double>(n_) * (kd * kd - 1.0) / (3.0 * kd);
+    }
+    // Mean minimal distance along one ring of k nodes, uniform over all
+    // destinations including the source, times n dimensions. For even k
+    // the per-ring mean is k/4; computed exactly here for any k.
+    double ring = 0.0;
+    for (int d = 1; d < k_; ++d)
+        ring += std::min(d, k_ - d);
+    ring /= static_cast<double>(k_);
+    return ring * static_cast<double>(n_);
 }
 
 int
@@ -47,6 +67,12 @@ TorusTopology::neighbor(NodeId node, int port) const
     else if (c >= k_)
         c -= k_;
     return node + (c - coord(node, dim)) * stride_[dim];
+}
+
+bool
+TorusTopology::portPresent(NodeId node, int port) const
+{
+    return wrap_ || !wrapsAround(node, port);
 }
 
 OffsetVec
@@ -110,6 +136,55 @@ TorusTopology::portProfitable(const OffsetVec &off, int port) const
         return true;
     return (off[d] > 0 && dirOf(port) == Dir::Plus) ||
            (off[d] < 0 && dirOf(port) == Dir::Minus);
+}
+
+std::vector<int>
+TorusTopology::profitablePorts(NodeId cur, NodeId dst) const
+{
+    const OffsetVec off = offsets(cur, dst);
+    std::vector<int> ports = profitablePorts(off);
+    std::stable_sort(ports.begin(), ports.end(), [&off](int a, int b) {
+        return std::abs(off[dimOf(a)]) > std::abs(off[dimOf(b)]);
+    });
+    return ports;
+}
+
+bool
+TorusTopology::portProfitable(NodeId cur, int port, NodeId dst) const
+{
+    return portProfitable(offsets(cur, dst), port);
+}
+
+int
+TorusTopology::escapePort(NodeId cur, NodeId dst) const
+{
+    const OffsetVec off = offsets(cur, dst);
+    for (int d = 0; d < n_; ++d) {
+        if (off[d] > 0)
+            return portOf(d, Dir::Plus);
+        if (off[d] < 0)
+            return portOf(d, Dir::Minus);
+    }
+    return -1;
+}
+
+int
+TorusTopology::escapeClass(NodeId cur, int port, NodeId dst,
+                           std::uint8_t dateline, int escape_vcs) const
+{
+    (void)cur;
+    (void)dst;
+    const int cls = (dateline >> dimOf(port)) & 1;
+    return std::min(cls, escape_vcs - 1);
+}
+
+std::uint8_t
+TorusTopology::datelineAfter(NodeId node, int port,
+                             std::uint8_t state) const
+{
+    if (crossesDateline(node, port))
+        state |= static_cast<std::uint8_t>(1u << dimOf(port));
+    return state;
 }
 
 OffsetVec

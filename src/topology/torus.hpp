@@ -1,12 +1,15 @@
 /**
  * @file
- * Torus-connected k-ary n-cube topology (paper Section 2.1).
+ * Torus-connected k-ary n-cube topology (paper Section 2.1), plus the
+ * first-class mesh variant.
  *
  * Nodes are numbered in mixed-radix order: node id = sum coord[d] * k^d.
  * Each node has 2n network ports (portOf(dim, dir)) plus the PE connection
- * which the router model treats separately. A unidirectional physical link
- * is identified by LinkId = node * 2n + port and runs from `node` out of
- * `port` into `neighbor(node, port)`, arriving on the opposite port.
+ * which the router model treats separately. A unidirectional physical
+ * link is identified by LinkId = node * 2n + port and runs from `node`
+ * out of `port` into `neighbor(node, port)`, arriving on the opposite
+ * port. The escape subfunction is e-cube (dimension-order) routing with
+ * two dateline VC classes per torus ring (one class on a mesh).
  */
 
 #ifndef TPNET_TOPOLOGY_TORUS_HPP
@@ -16,21 +19,20 @@
 #include <vector>
 
 #include "sim/types.hpp"
+#include "topology/topology.hpp"
 
 namespace tpnet {
-
-/** Signed per-dimension offsets from a node to a destination. */
-using OffsetVec = std::array<int, maxDims>;
 
 /**
  * Geometry and addressing of a k-ary n-cube, torus-connected by default
  * (paper Section 2.1). With @p wrap = false the same node/port/link
  * addressing describes a mesh: the wraparound channels still have ids
- * (so link numbering is uniform) but the Network marks them absent,
+ * (so link numbering is uniform) but portPresent() reports them absent,
  * offsets never point across the edge, and no dateline classes are
- * needed.
+ * needed. MeshTopology below names that variant as a first-class
+ * registered topology.
  */
-class TorusTopology
+class TorusTopology : public Topology
 {
   public:
     TorusTopology(int k, int n, bool wrap = true);
@@ -38,14 +40,21 @@ class TorusTopology
     int k() const { return k_; }
     int n() const { return n_; }
     bool wrap() const { return wrap_; }
-    int nodes() const { return nodes_; }
-    int radix() const { return radix_; }
-    int links() const { return nodes_ * radix_; }
+
+    const char *name() const override { return wrap_ ? "torus" : "mesh"; }
+    TopologyKind
+    kind() const override
+    {
+        return wrap_ ? TopologyKind::Torus : TopologyKind::Mesh;
+    }
+
     int
-    diameter() const
+    diameter() const override
     {
         return wrap_ ? n_ * (k_ / 2) : n_ * (k_ - 1);
     }
+
+    double avgMinDistance() const override;
 
     /** Coordinate of @p node along @p dim. */
     int coord(NodeId node, int dim) const;
@@ -54,43 +63,19 @@ class TorusTopology
     NodeId nodeAt(const OffsetVec &coords) const;
 
     /** Neighbor reached through @p port (torus wraparound). */
-    NodeId neighbor(NodeId node, int port) const;
+    NodeId neighbor(NodeId node, int port) const override;
 
-    /** Global id of the unidirectional link out of @p node via @p port. */
-    LinkId
-    linkId(NodeId node, int port) const
-    {
-        return node * radix_ + port;
-    }
-
-    /** Source node of link @p link. */
-    NodeId linkSrc(LinkId link) const { return link / radix_; }
-
-    /** Output port of link @p link at its source node. */
-    int linkPort(LinkId link) const { return link % radix_; }
-
-    /** Destination node of link @p link. */
-    NodeId
-    linkDst(LinkId link) const
-    {
-        return neighbor(linkSrc(link), linkPort(link));
-    }
-
-    /** Link running in the opposite direction over the same physical wire. */
-    LinkId
-    reverseLink(LinkId link) const
-    {
-        return linkId(linkDst(link), oppositePort(linkPort(link)));
-    }
+    /** Mesh wraparound channels do not physically exist. */
+    bool portPresent(NodeId node, int port) const override;
 
     /**
      * Minimal signed offset from @p from to @p to in each dimension.
      * |offset| <= k/2; ties (distance exactly k/2) resolve to +.
      */
-    OffsetVec offsets(NodeId from, NodeId to) const;
+    OffsetVec offsets(NodeId from, NodeId to) const override;
 
     /** Minimal hop distance between two nodes. */
-    int distance(NodeId from, NodeId to) const;
+    int distance(NodeId from, NodeId to) const override;
 
     /**
      * Ports that make minimal progress from a node whose offset vector to
@@ -100,6 +85,32 @@ class TorusTopology
 
     /** True when moving through @p port reduces |offset| in its dimension. */
     bool portProfitable(const OffsetVec &off, int port) const;
+
+    /**
+     * Profitable ports ordered most-remaining-offset dimension first
+     * (the adaptive selection heuristic; ties keep +/- enumeration
+     * order, matching the historical selection function exactly).
+     */
+    std::vector<int> profitablePorts(NodeId cur, NodeId dst) const override;
+
+    bool portProfitable(NodeId cur, int port, NodeId dst) const override;
+
+    /** Opposite direction of the same dimension (Theorem 2 pairing). */
+    int pairedPort(int port) const override { return oppositePort(port); }
+
+    /** E-cube: lowest dimension with a nonzero offset. */
+    int escapePort(NodeId cur, NodeId dst) const override;
+
+    /** Dateline class of the port's ring (class 1 after the dateline). */
+    int escapeClass(NodeId cur, int port, NodeId dst, std::uint8_t dateline,
+                    int escape_vcs) const override;
+
+    std::uint8_t datelineAfter(NodeId node, int port,
+                               std::uint8_t state) const override;
+
+    int minEscapeVcs() const override { return wrap_ && k_ > 2 ? 2 : 1; }
+
+    const TorusTopology *cube() const override { return this; }
 
     /**
      * Offset vector after moving through @p port: the port's dimension
@@ -124,13 +135,23 @@ class TorusTopology
      */
     bool wrapsAround(NodeId node, int port) const;
 
-  private:
+  protected:
     int k_;
     int n_;
-    int nodes_;
-    int radix_;
     bool wrap_;
     std::array<int, maxDims + 1> stride_;
+};
+
+/**
+ * k-ary n-mesh as a first-class topology (not a wrap flag): identical
+ * addressing to the torus, wraparound channels structurally absent, a
+ * single escape VC class suffices (e-cube on a mesh is acyclic with no
+ * datelines).
+ */
+class MeshTopology : public TorusTopology
+{
+  public:
+    MeshTopology(int k, int n) : TorusTopology(k, n, false) {}
 };
 
 } // namespace tpnet

@@ -20,14 +20,14 @@ indexBitsFor(int nodes)
 
 } // namespace
 
-TrafficSource::TrafficSource(TrafficPattern pattern,
-                             const TorusTopology &topo)
-    : pattern_(pattern), topo_(topo), indexBits_(indexBitsFor(topo.nodes()))
+TrafficSource::TrafficSource(TrafficPattern pattern, const Topology &topo)
+    : pattern_(pattern), topo_(topo), cube_(topo.cube()),
+      indexBits_(indexBitsFor(topo.nodes()))
 {}
 
 TrafficSource::TrafficSource(const TrafficClassConfig &cls,
-                             const TorusTopology &topo)
-    : pattern_(cls.pattern), topo_(topo),
+                             const Topology &topo)
+    : pattern_(cls.pattern), topo_(topo), cube_(topo.cube()),
       hotspotFraction_(cls.hotspotFraction), hotspotCount_(cls.hotspotCount),
       indexBits_(indexBitsFor(topo.nodes()))
 {}
@@ -35,8 +35,11 @@ TrafficSource::TrafficSource(const TrafficClassConfig &cls,
 NodeId
 TrafficSource::mapped(NodeId src) const
 {
-    const int n = topo_.n();
-    const int k = topo_.k();
+    if (pattern_ != TrafficPattern::Uniform && !cube_)
+        tpnet_panic(patternName(pattern_), " traffic on a non-cube "
+                    "topology (config validation should have refused it)");
+    const int n = cube_ ? cube_->n() : 0;
+    const int k = cube_ ? cube_->k() : 0;
     OffsetVec coords{};
     switch (pattern_) {
       case TrafficPattern::Uniform:
@@ -44,19 +47,19 @@ TrafficSource::mapped(NodeId src) const
 
       case TrafficPattern::BitComplement:
         for (int d = 0; d < n; ++d)
-            coords[d] = k - 1 - topo_.coord(src, d);
-        return topo_.nodeAt(coords);
+            coords[d] = k - 1 - cube_->coord(src, d);
+        return cube_->nodeAt(coords);
 
       case TrafficPattern::Transpose:
         for (int d = 0; d < n; ++d)
-            coords[d] = topo_.coord(src, n - 1 - d);
-        return topo_.nodeAt(coords);
+            coords[d] = cube_->coord(src, n - 1 - d);
+        return cube_->nodeAt(coords);
 
       case TrafficPattern::NeighborPlus:
         for (int d = 0; d < n; ++d)
-            coords[d] = topo_.coord(src, d);
+            coords[d] = cube_->coord(src, d);
         coords[0] = (coords[0] + 1) % k;
-        return topo_.nodeAt(coords);
+        return cube_->nodeAt(coords);
 
       case TrafficPattern::Tornado: {
         // Canonical tornado: just under half way around each ring,
@@ -67,8 +70,8 @@ TrafficSource::mapped(NodeId src) const
         if (off < 1)
             off = 1;
         for (int d = 0; d < n; ++d)
-            coords[d] = (topo_.coord(src, d) + off) % k;
-        return topo_.nodeAt(coords);
+            coords[d] = (cube_->coord(src, d) + off) % k;
+        return cube_->nodeAt(coords);
       }
 
       case TrafficPattern::BitReversal: {

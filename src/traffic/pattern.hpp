@@ -14,7 +14,7 @@
 #include "sim/config.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
-#include "topology/torus.hpp"
+#include "topology/topology.hpp"
 
 namespace tpnet {
 
@@ -24,10 +24,10 @@ class Network;
 class TrafficSource
 {
   public:
-    TrafficSource(TrafficPattern pattern, const TorusTopology &topo);
+    TrafficSource(TrafficPattern pattern, const Topology &topo);
 
     /** Pattern plus the class's hotspot skew. */
-    TrafficSource(const TrafficClassConfig &cls, const TorusTopology &topo);
+    TrafficSource(const TrafficClassConfig &cls, const Topology &topo);
 
     /**
      * Destination for a message from @p src, or invalidNode when the
@@ -50,7 +50,11 @@ class TrafficSource
     NodeId pickBase(Network &net, NodeId src, Rng &rng) const;
 
     TrafficPattern pattern_;
-    const TorusTopology &topo_;
+    const Topology &topo_;
+    /// Cube-coordinate view of topo_ for coordinate-defined patterns;
+    /// null on graph topologies (SimConfig::validate() rejects every
+    /// non-uniform pattern there before a source can be built).
+    const TorusTopology *cube_;
     double hotspotFraction_ = 0.0;
     int hotspotCount_ = 1;
     int indexBits_ = 0;  ///< log2(nodes) when nodes is a power of two

@@ -1,0 +1,171 @@
+#include "verify/escape_cdg.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace tpnet {
+namespace verify {
+
+namespace {
+
+/** One escape channel: link * escapeVcs + class. */
+using ChanKey = std::uint64_t;
+
+std::string
+describeChan(const Topology &topo, int escape_vcs, ChanKey key)
+{
+    const LinkId link = static_cast<LinkId>(
+        key / static_cast<std::uint64_t>(escape_vcs));
+    const int cls = static_cast<int>(
+        key % static_cast<std::uint64_t>(escape_vcs));
+    std::ostringstream os;
+    os << "node " << topo.linkSrc(link) << " port " << topo.linkPort(link)
+       << " class " << cls;
+    return os.str();
+}
+
+} // namespace
+
+EscapeCdgReport
+checkEscapeCdg(const Topology &topo, int escape_vcs)
+{
+    EscapeCdgReport rep;
+    if (escape_vcs < 1)
+        escape_vcs = 1;
+
+    const int nodes = topo.nodes();
+    // Dense channel ids for the adjacency; ChanKey -> small int.
+    std::unordered_map<ChanKey, int> ids;
+    std::vector<ChanKey> keys;
+    std::vector<std::vector<int>> out;
+    std::unordered_set<std::uint64_t> seenEdges;
+
+    auto idOf = [&](ChanKey key) {
+        auto it = ids.find(key);
+        if (it != ids.end())
+            return it->second;
+        const int id = static_cast<int>(keys.size());
+        ids.emplace(key, id);
+        keys.push_back(key);
+        out.emplace_back();
+        return id;
+    };
+
+    for (NodeId src = 0; src < nodes && rep.acyclic; ++src) {
+        for (NodeId dst = 0; dst < nodes; ++dst) {
+            if (src == dst)
+                continue;
+            ++rep.walks;
+            NodeId cur = src;
+            std::uint8_t dateline = 0;
+            int prev = -1;
+            int hops = 0;
+            while (cur != dst) {
+                if (++hops > nodes) {
+                    rep.acyclic = false;
+                    std::ostringstream os;
+                    os << "escape walk " << src << " -> " << dst
+                       << " did not terminate within " << nodes
+                       << " hops (stuck at node " << cur << ")";
+                    rep.diagnosis = os.str();
+                    break;
+                }
+                const int port = topo.escapePort(cur, dst);
+                if (port < 0) {
+                    rep.acyclic = false;
+                    std::ostringstream os;
+                    os << "escape walk " << src << " -> " << dst
+                       << ": no escape port at node " << cur;
+                    rep.diagnosis = os.str();
+                    break;
+                }
+                const int cls = topo.escapeClass(cur, port, dst, dateline,
+                                                 escape_vcs);
+                const ChanKey chan =
+                    static_cast<ChanKey>(topo.linkId(cur, port)) *
+                        static_cast<std::uint64_t>(escape_vcs) +
+                    static_cast<std::uint64_t>(cls);
+                const int v = idOf(chan);
+                if (prev >= 0 && prev != v) {
+                    const std::uint64_t ek =
+                        (static_cast<std::uint64_t>(prev) << 32) |
+                        static_cast<std::uint64_t>(v);
+                    if (seenEdges.insert(ek).second)
+                        out[static_cast<std::size_t>(prev)].push_back(v);
+                } else if (prev == v) {
+                    // A channel depending on itself is a 1-cycle.
+                    rep.acyclic = false;
+                    rep.diagnosis = "escape channel self-dependency at " +
+                                    describeChan(topo, escape_vcs, chan);
+                }
+                prev = v;
+                dateline = topo.datelineAfter(cur, port, dateline);
+                cur = topo.neighbor(cur, port);
+            }
+            if (!rep.acyclic)
+                break;
+        }
+    }
+
+    rep.channels = keys.size();
+    rep.edges = seenEdges.size();
+    if (!rep.acyclic)
+        return rep;
+
+    // Iterative three-color DFS for a cycle in the dependency graph.
+    const int total = static_cast<int>(keys.size());
+    std::vector<std::uint8_t> color(static_cast<std::size_t>(total), 0);
+    std::vector<int> parent(static_cast<std::size_t>(total), -1);
+    for (int root = 0; root < total; ++root) {
+        if (color[static_cast<std::size_t>(root)] != 0)
+            continue;
+        // Stack of (node, next-edge-index).
+        std::vector<std::pair<int, std::size_t>> stack;
+        stack.emplace_back(root, 0);
+        color[static_cast<std::size_t>(root)] = 1;
+        while (!stack.empty()) {
+            auto &[u, i] = stack.back();
+            const auto &adj = out[static_cast<std::size_t>(u)];
+            if (i == adj.size()) {
+                color[static_cast<std::size_t>(u)] = 2;
+                stack.pop_back();
+                continue;
+            }
+            const int v = adj[i++];
+            if (color[static_cast<std::size_t>(v)] == 0) {
+                color[static_cast<std::size_t>(v)] = 1;
+                parent[static_cast<std::size_t>(v)] = u;
+                stack.emplace_back(v, 0);
+            } else if (color[static_cast<std::size_t>(v)] == 1) {
+                // Back edge u -> v: the cycle is v ... u -> v.
+                rep.acyclic = false;
+                std::vector<int> cyc;
+                for (int w = u; w != v;
+                     w = parent[static_cast<std::size_t>(w)])
+                    cyc.push_back(w);
+                cyc.push_back(v);
+                std::ostringstream os;
+                os << "escape CDG cycle (" << cyc.size() << " channels): ";
+                for (auto it = cyc.rbegin(); it != cyc.rend(); ++it) {
+                    os << describeChan(
+                              topo, escape_vcs,
+                              keys[static_cast<std::size_t>(*it)])
+                       << " -> ";
+                }
+                os << describeChan(topo, escape_vcs,
+                                   keys[static_cast<std::size_t>(cyc.back())]);
+                rep.diagnosis = os.str();
+                return rep;
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace verify
+} // namespace tpnet

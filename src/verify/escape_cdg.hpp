@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Static escape-channel-dependency-graph checker.
+ *
+ * The online CWG tracker (verify/cwg.hpp) watches Theorem 3 at runtime;
+ * this checker proves the *static* half of the theorem's precondition
+ * for any registered topology: the escape subfunction's channel
+ * dependency graph, with channels split by escape class, is acyclic.
+ *
+ * The check enumerates every (src, dst) pair, walks the escape path a
+ * message would take if it used only escape channels from the start
+ * (dateline state 0, evolved by Topology::datelineAfter exactly as the
+ * router evolves it), and records each consecutive channel pair as a
+ * dependency edge (link, class) -> (link, class). A depth-first search
+ * then looks for a cycle. A walk that fails to terminate within
+ * nodes() hops is itself a failure (the escape subfunction must be
+ * connected and minimal-progress).
+ *
+ * This is conservative in the right direction: real traffic enters the
+ * escape network mid-route with arbitrary dateline history, but every
+ * dependency such a message can create is between channels on some
+ * suffix of a from-the-start walk with the datelines the walk itself
+ * set — on tori the dateline bits a message carries when it *enters*
+ * a ring only lower its class at the wrap (see DESIGN.md Section 6k
+ * for the per-topology argument).
+ */
+
+#ifndef TPNET_VERIFY_ESCAPE_CDG_HPP
+#define TPNET_VERIFY_ESCAPE_CDG_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace tpnet {
+
+class Topology;
+
+namespace verify {
+
+/** Outcome of the static escape-CDG acyclicity check. */
+struct EscapeCdgReport
+{
+    bool acyclic = true;     ///< no cycle and every walk terminated
+    std::size_t channels = 0; ///< distinct (link, class) channels used
+    std::size_t edges = 0;    ///< distinct dependency edges recorded
+    std::size_t walks = 0;    ///< (src, dst) escape walks traced
+    /** Human description of the first cycle / bad walk found, or "". */
+    std::string diagnosis;
+};
+
+/**
+ * Trace every (src, dst) escape walk on @p topo and check the induced
+ * channel dependency graph for cycles. @p escape_vcs is the number of
+ * escape classes configured (clamped per-hop by the topology's
+ * escapeClass, exactly as Network does it).
+ */
+EscapeCdgReport checkEscapeCdg(const Topology &topo, int escape_vcs);
+
+} // namespace verify
+} // namespace tpnet
+
+#endif // TPNET_VERIFY_ESCAPE_CDG_HPP

@@ -53,7 +53,7 @@ TEST(Duato, AdaptiveSpreadsOverDimensions)
     Network net(cfg);
     net.setMeasuring(true);
     std::uint64_t hops = 0;
-    const TorusTopology &topo = net.topo();
+    const Topology &topo = net.topo();
     const NodeId pairs[][2] = {{0, 27}, {5, 40}, {60, 3}, {17, 44}};
     for (auto &p : pairs) {
         net.offerMessage(p[0], p[1]);

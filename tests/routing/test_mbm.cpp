@@ -42,7 +42,7 @@ TEST(Mbm, BacktracksOutOfDeadEndAlley)
     // must backtrack out of it.
     SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
     Network net(cfg);
-    const auto faults = bounds::alleyFaults(net.topo(), 0, 2);
+    const auto faults = bounds::alleyFaults(*net.topo().cube(), 0, 2);
     for (NodeId f : faults)
         net.failNode(f);
     net.setMeasuring(true);
@@ -126,7 +126,7 @@ TEST(Mbm, NegativeAcksNotUsedByPcsFlow)
     // PCS backtracking releases trios but has no SR counters to adjust.
     SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
     Network net(cfg);
-    const auto faults = bounds::alleyFaults(net.topo(), 0, 1);
+    const auto faults = bounds::alleyFaults(*net.topo().cube(), 0, 1);
     for (NodeId f : faults)
         net.failNode(f);
     net.offerMessage(0, 5);

@@ -40,7 +40,7 @@ alleyRun(int depth)
 {
     SimConfig cfg = smallConfig(Protocol::MBm, 16, 2);
     Network net(cfg);
-    for (NodeId f : bounds::alleyFaults(net.topo(), 0, depth))
+    for (NodeId f : bounds::alleyFaults(*net.topo().cube(), 0, depth))
         net.failNode(f);
     BacktrackRunSink sink;
     net.attachTrace(&sink);
@@ -91,7 +91,7 @@ TEST(Theorem2Dynamic, BlockedPlaneDeliveredWithinMisrouteBudget)
         Network net(cfg);
         const NodeId dst = 5 + 16 * 5;
         for (NodeId f : bounds::blockedDestinationFaults(
-                 net.topo(), dst, open_port)) {
+                 *net.topo().cube(), dst, open_port)) {
             net.failNode(f);
         }
         net.setMeasuring(true);
@@ -108,7 +108,7 @@ TEST(Theorem2Dynamic, MbmAlsoSolvesBlockedPlane)
         Network net(cfg);
         const NodeId dst = 5 + 16 * 5;
         for (NodeId f : bounds::blockedDestinationFaults(
-                 net.topo(), dst, open_port)) {
+                 *net.topo().cube(), dst, open_port)) {
             net.failNode(f);
         }
         net.setMeasuring(true);

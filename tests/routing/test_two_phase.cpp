@@ -129,7 +129,7 @@ TEST(TwoPhase, BlockedDestinationPlaneNeedsDetour)
     const NodeId dst = 3 + 8 * 3;
     const int open = portOf(1, Dir::Minus);
     for (NodeId f :
-         bounds::blockedDestinationFaults(net.topo(), dst, open)) {
+         bounds::blockedDestinationFaults(*net.topo().cube(), dst, open)) {
         net.failNode(f);
     }
     net.setMeasuring(true);

@@ -108,6 +108,7 @@ main(int argc, char **argv)
     std::string victim = "youngest";
     std::string json_path;
     std::string protocol = "TP";
+    std::string topology = "torus";
     std::string classes_spec;
     tools::ShardCli shardcli;
     tools::CheckpointCli ckcli;
@@ -130,9 +131,22 @@ main(int argc, char **argv)
                      &replay_seed);
     parser.addString("protocol", "DOR | DP | SR | PCS | MB-m | TP",
                      &protocol);
+    parser.addString("topology",
+                     "torus | mesh | express | dragonfly",
+                     &topology);
     parser.addInt("k", "base radix (grid also runs k/2 unless "
                        "--no-vary-size)", &base.k);
     parser.addInt("n", "dimensions", &base.n);
+    parser.addInt("express-gap",
+                  "express-channel stride per dimension "
+                  "(--topology express)",
+                  &base.expressGap);
+    parser.addInt("df-routers",
+                  "routers per group (--topology dragonfly)",
+                  &base.dfRouters);
+    parser.addInt("df-global",
+                  "global channels per router (--topology dragonfly)",
+                  &base.dfGlobal);
     parser.addInt("length", "data flits per message", &base.msgLength);
     parser.addString("classes",
                      "workload classes replacing the grid cell's "
@@ -198,6 +212,16 @@ main(int argc, char **argv)
                      victim.c_str());
         return 2;
     }
+    if (!parseTopologyName(topology, &base.topology)) {
+        std::fprintf(stderr, "error: unknown topology '%s'\n",
+                     topology.c_str());
+        return 2;
+    }
+    base.wrap = base.topology != TopologyKind::Mesh;
+    // Size variation halves k; a dragonfly's scale is (routers, global),
+    // not k, so the grid keeps one size there.
+    if (base.topology == TopologyKind::Dragonfly)
+        no_vary_size = true;
     if (!classes_spec.empty()) {
         std::string clsErr;
         if (!parseTrafficClasses(classes_spec, &base.trafficClasses,
@@ -347,9 +371,15 @@ main(int argc, char **argv)
                             r.violations.size() - show);
             }
             if (!replay) {
+                std::string topo_arg;
+                if (base.topology != TopologyKind::Torus) {
+                    topo_arg = std::string(" --topology ") +
+                               topologyName(base.topology);
+                }
                 std::printf("    replay: tpnet_chaos --replay-seed %llu"
-                            "%s%s%s\n",
+                            "%s%s%s%s\n",
                             static_cast<unsigned long long>(s),
+                            topo_arg.c_str(),
                             hook_skip_kills ? " --hook-skip-kills" : "",
                             no_vary_size ? " --no-vary-size" : "",
                             recovery ? " --recovery" : "");

@@ -50,6 +50,7 @@ main(int argc, char **argv)
 
     SimConfig cfg;
     std::string protocol = "TP";
+    std::string topology = "torus";
     std::string pattern = "uniform";
     std::string victim = "youngest";
     std::string sweep;
@@ -69,8 +70,21 @@ main(int argc, char **argv)
         "configurable flow control (Dao/Duato/Yalamanchili, ISCA'95)");
     parser.addString("protocol", "DOR | DP | SR | PCS | MB-m | TP",
                      &protocol);
+    parser.addString("topology",
+                     "torus | mesh | express | dragonfly",
+                     &topology);
     parser.addInt("k", "radix (nodes per dimension)", &cfg.k);
     parser.addInt("n", "dimensions", &cfg.n);
+    parser.addInt("express-gap",
+                  "express-channel stride per dimension "
+                  "(--topology express)",
+                  &cfg.expressGap);
+    parser.addInt("df-routers",
+                  "routers per group (--topology dragonfly)",
+                  &cfg.dfRouters);
+    parser.addInt("df-global",
+                  "global channels per router (--topology dragonfly)",
+                  &cfg.dfGlobal);
     parser.addInt("length", "data flits per message", &cfg.msgLength);
     parser.addInt("K", "scouting distance (SR mode)", &cfg.scoutK);
     parser.addInt("m", "misroute limit", &cfg.misrouteLimit);
@@ -161,6 +175,11 @@ main(int argc, char **argv)
     if (!parseProtocolName(protocol, &cfg.protocol)) {
         std::fprintf(stderr, "error: unknown protocol '%s'\n",
                      protocol.c_str());
+        return 1;
+    }
+    if (!parseTopologyName(topology, &cfg.topology)) {
+        std::fprintf(stderr, "error: unknown topology '%s'\n",
+                     topology.c_str());
         return 1;
     }
     if (!parsePatternName(pattern, &cfg.pattern)) {

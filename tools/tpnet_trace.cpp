@@ -412,6 +412,7 @@ legacyLive(int argc, const char *const *argv)
     cfg.msgLength = 8;
     cfg.load = 0.0;
     std::string protocol = "SR";
+    std::string topology = "torus";
     std::string fail_csv;
     int hops = 5;
     int dst = -1;
@@ -424,6 +425,11 @@ legacyLive(int argc, const char *const *argv)
                         "subcommands");
     parser.addString("protocol", "DOR | DP | SR | PCS | MB-m | TP",
                      &protocol);
+    parser.addString("topology",
+                     "torus | mesh (the hop-count synthesizer walks "
+                     "cube coordinates; express/dragonfly diagrams "
+                     "need an explicit --dst via the record subcommand)",
+                     &topology);
     parser.addInt("k", "radix", &cfg.k);
     parser.addInt("n", "dimensions", &cfg.n);
     parser.addInt("K", "scouting distance", &cfg.scoutK);
@@ -452,6 +458,22 @@ legacyLive(int argc, const char *const *argv)
                      protocol.c_str());
         return 1;
     }
+    if (!parseTopologyName(topology, &cfg.topology)) {
+        std::fprintf(stderr, "error: unknown topology '%s'\n",
+                     topology.c_str());
+        return 1;
+    }
+    if (cfg.topology != TopologyKind::Torus &&
+        cfg.topology != TopologyKind::Mesh) {
+        std::fprintf(stderr,
+                     "error: the time-space synthesizer only draws "
+                     "torus/mesh paths; record a trace on --topology "
+                     "%s with tpnet_cli and use the dump/replay "
+                     "subcommands instead\n",
+                     topologyName(cfg.topology));
+        return 1;
+    }
+    cfg.wrap = cfg.topology != TopologyKind::Mesh;
     cfg.validate();
 
     if (cfg.protocol == Protocol::Scouting && cfg.scoutK == 0)

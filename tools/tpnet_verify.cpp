@@ -4,8 +4,9 @@
  *
  * Runs N seeded chaos campaigns with the channel-wait-for-graph tracker
  * armed, sweeping {DP, PCS, SR K=1..5, TP K=0, TP K=3} x topology
- * (8-ary 2-cube, binary and 4-ary 3-cubes, 16-ary 2-cube) x offered
- * load x fault intensity x ack configuration (TAck, hardware acks).
+ * (8-ary 2-cube, binary and 4-ary 3-cubes, 16-ary 2-cube, 8-ary
+ * 2-mesh, express cube, dragonfly) x offered load x fault intensity x
+ * ack configuration (TAck, hardware acks).
  * Every campaign audits deadlock freedom online: any wait cycle through
  * an escape class and any knot (a blocked set whose entire candidate
  * ownership closes over itself with no exit) is a violation; benign
@@ -72,6 +73,11 @@ struct GridPoint
     double faultScale;
     int k;                    ///< radix
     int n;                    ///< dimensions
+    /// Topology family; the cube fields above only apply to cube kinds.
+    TopologyKind topo = TopologyKind::Torus;
+    int expressGap = 4;       ///< express-channel stride (Express)
+    int dfRouters = 4;        ///< routers per group (Dragonfly)
+    int dfGlobal = 1;         ///< global channels per router (Dragonfly)
     bool tailAck = false;
     bool hardwareAcks = false;
     /// Workload-library cell: a --classes spec replacing the open-loop
@@ -83,10 +89,27 @@ struct GridPoint
 std::string
 describe(const GridPoint &g)
 {
-    char buf[96];
+    char topo[32];
+    switch (g.topo) {
+      case TopologyKind::Mesh:
+        std::snprintf(topo, sizeof topo, "%2d-ary %d-mesh", g.k, g.n);
+        break;
+      case TopologyKind::Express:
+        std::snprintf(topo, sizeof topo, "%2d-ary %d-xc/e%d", g.k, g.n,
+                      g.expressGap);
+        break;
+      case TopologyKind::Dragonfly:
+        std::snprintf(topo, sizeof topo, "dfly(%d,%d)", g.dfRouters,
+                      g.dfGlobal);
+        break;
+      default:
+        std::snprintf(topo, sizeof topo, "%2d-ary %d-cube", g.k, g.n);
+        break;
+    }
+    char buf[112];
     std::snprintf(buf, sizeof buf,
-                  "%-4s %2d-ary %d-cube K=%d load=%.2f fx%.1f%s%s",
-                  protocolName(g.proto), g.k, g.n, g.scoutK, g.load,
+                  "%-4s %-13s K=%d load=%.2f fx%.1f%s%s",
+                  protocolName(g.proto), topo, g.scoutK, g.load,
                   g.faultScale, g.tailAck ? " TAck" : "",
                   g.hardwareAcks ? " HWAck" : "");
     std::string out = buf;
@@ -199,6 +222,39 @@ buildGrid()
         }
     }
 
+    // Block 7: 8-ary 2-mesh — first-class mesh: no wraparound
+    // channels, boundary-truncated escape routing (single dateline
+    // class suffices, but the grid keeps the configured default).
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos) {
+        GridPoint cell{p.proto, p.scoutK, 0.15, 2.0, 8, 2};
+        cell.topo = TopologyKind::Mesh;
+        blocks.back().push_back(cell);
+    }
+
+    // Block 8: 8-ary 2-cube with express channels of stride 4 —
+    // adaptive hops can cross datelines in stride-length jumps while
+    // the escape subnetwork stays the local-channel e-cube.
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos) {
+        GridPoint cell{p.proto, p.scoutK, 0.15, 2.0, 8, 2};
+        cell.topo = TopologyKind::Express;
+        cell.expressGap = 4;
+        blocks.back().push_back(cell);
+    }
+
+    // Block 9: dragonfly with 4-router groups and 2 global channels
+    // per router (9 groups, 36 nodes) — hierarchical escape routing
+    // with destination-group VC classes instead of datelines.
+    blocks.emplace_back();
+    for (const ProtoCell &p : protos) {
+        GridPoint cell{p.proto, p.scoutK, 0.15, 2.0, 8, 2};
+        cell.topo = TopologyKind::Dragonfly;
+        cell.dfRouters = 4;
+        cell.dfGlobal = 2;
+        blocks.back().push_back(cell);
+    }
+
     // Interleave the blocks round-robin so consecutive seeds sample
     // every topology.
     std::vector<GridPoint> grid;
@@ -226,6 +282,11 @@ buildSpec(const SimConfig &base, const GridPoint &g, std::uint64_t seed,
     spec.cfg.load = g.load;
     spec.cfg.k = g.k;
     spec.cfg.n = g.n;
+    spec.cfg.topology = g.topo;
+    spec.cfg.wrap = g.topo != TopologyKind::Mesh;
+    spec.cfg.expressGap = g.expressGap;
+    spec.cfg.dfRouters = g.dfRouters;
+    spec.cfg.dfGlobal = g.dfGlobal;
     spec.cfg.tailAck = g.tailAck;
     spec.cfg.hardwareAcks = g.hardwareAcks;
     if (!g.classes.empty()) {
@@ -264,6 +325,15 @@ replayCommand(const CampaignSpec &spec)
        << protocolName(spec.cfg.protocol) << " --scout-k "
        << spec.cfg.scoutK << " --k " << spec.cfg.k << " --n "
        << spec.cfg.n;
+    if (spec.cfg.effectiveTopology() != TopologyKind::Torus) {
+        os << " --topology "
+           << topologyName(spec.cfg.effectiveTopology());
+        if (spec.cfg.effectiveTopology() == TopologyKind::Express)
+            os << " --express-gap " << spec.cfg.expressGap;
+        if (spec.cfg.effectiveTopology() == TopologyKind::Dragonfly)
+            os << " --df-routers " << spec.cfg.dfRouters
+               << " --df-global " << spec.cfg.dfGlobal;
+    }
     if (spec.cfg.tailAck)
         os << " --tail-ack";
     if (spec.cfg.hardwareAcks)
@@ -463,6 +533,10 @@ main(int argc, char **argv)
     int scout_k = -1;
     int k_override = 0;
     int n_override = 0;
+    std::string topology;
+    int express_gap = 0;
+    int df_routers = 0;
+    int df_global = 0;
     bool tail_ack = false;
     bool hardware_acks = false;
     bool no_shrink = false;
@@ -504,6 +578,22 @@ main(int argc, char **argv)
                   &k_override);
     parser.addInt("n", "replay override: dimensions (0 = grid cell's)",
                   &n_override);
+    parser.addString("topology",
+                     "override: force torus | mesh | express | "
+                     "dragonfly on every campaign (replay, or a "
+                     "focused sweep of one topology)",
+                     &topology);
+    parser.addInt("express-gap",
+                  "override: express-channel stride (0 = grid cell's)",
+                  &express_gap);
+    parser.addInt("df-routers",
+                  "override: dragonfly routers per group (0 = grid "
+                  "cell's)",
+                  &df_routers);
+    parser.addInt("df-global",
+                  "override: dragonfly global channels per router "
+                  "(0 = grid cell's)",
+                  &df_global);
     parser.addFlag("tail-ack", "replay override: force tail acks on",
                    &tail_ack);
     parser.addFlag("hardware-acks",
@@ -586,6 +676,14 @@ main(int argc, char **argv)
         return 2;
     }
 
+    TopologyKind topo_override = TopologyKind::Torus;
+    if (!topology.empty() &&
+        !parseTopologyName(topology, &topo_override)) {
+        std::fprintf(stderr, "error: unknown topology '%s'\n",
+                     topology.c_str());
+        return 2;
+    }
+
     base.eventEngine = base.eventEngine && !no_event_skip;
 
     const std::vector<GridPoint> grid = buildGrid();
@@ -646,6 +744,39 @@ main(int argc, char **argv)
             spec.cfg.k = k_override;
         if (n_override > 0)
             spec.cfg.n = n_override;
+        if (!topology.empty()) {
+            spec.cfg.topology = topo_override;
+            spec.cfg.wrap = topo_override != TopologyKind::Mesh;
+        }
+        if (express_gap > 0)
+            spec.cfg.expressGap = express_gap;
+        if (df_routers > 0)
+            spec.cfg.dfRouters = df_routers;
+        if (df_global > 0)
+            spec.cfg.dfGlobal = df_global;
+        if (!topology.empty()) {
+            // A topology override re-bases the whole grid, including
+            // workload cells whose patterns are defined on cube
+            // coordinates or node-index bits. Coerce those to uniform
+            // (keeping load, bursts, priorities, and closed-loop
+            // settings) rather than dying in validate(); an explicit
+            // --classes below still rejects loudly.
+            const bool cube =
+                spec.cfg.effectiveTopology() != TopologyKind::Dragonfly;
+            const int nn = spec.cfg.nodes();
+            const bool pow2 = (nn & (nn - 1)) == 0;
+            const auto unsupported = [&](TrafficPattern p) {
+                if (!cube)
+                    return p != TrafficPattern::Uniform;
+                return !pow2 && (p == TrafficPattern::BitReversal ||
+                                 p == TrafficPattern::Shuffle);
+            };
+            if (unsupported(spec.cfg.pattern))
+                spec.cfg.pattern = TrafficPattern::Uniform;
+            for (TrafficClassConfig &tc : spec.cfg.trafficClasses)
+                if (unsupported(tc.pattern))
+                    tc.pattern = TrafficPattern::Uniform;
+        }
         if (tail_ack)
             spec.cfg.tailAck = true;
         if (hardware_acks)
@@ -726,8 +857,9 @@ main(int argc, char **argv)
     }
 
     std::printf("# tpnet_verify: %zu campaign(s), grid of %zu cells "
-                "(8-ary/16-ary 2-cubes, binary/4-ary 3-cubes, ack "
-                "variants, workload cells), inject %llu + drain %llu "
+                "(8-ary/16-ary 2-cubes, binary/4-ary 3-cubes, mesh, "
+                "express cube, dragonfly, ack variants, workload "
+                "cells), inject %llu + drain %llu "
                 "cycles, CWG armed%s\n",
                 seeds.size(), grid.size(),
                 static_cast<unsigned long long>(max_cycles),
